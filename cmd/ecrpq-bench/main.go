@@ -1,0 +1,49 @@
+// Command ecrpq-bench runs the full experiment suite (E1–E12 plus the
+// ablations; see DESIGN.md for the experiment index) and prints the result
+// tables as markdown — the same material recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	ecrpq-bench [-seed N] [-only E3,E5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ecrpq/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "deterministic seed for all generators")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	outPath := flag.String("out", "", "also write the tables to this file")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecrpq-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+	fmt.Fprintf(w, "# ECRPQ reproduction experiment suite (seed %d)\n\n", *seed)
+	for _, tb := range experiments.All(*seed) {
+		if len(want) > 0 && !want[tb.ID] {
+			continue
+		}
+		fmt.Fprint(w, tb.Markdown())
+	}
+}

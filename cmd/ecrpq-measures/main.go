@@ -1,0 +1,74 @@
+// Command ecrpq-measures prints a query's structural measures (cc_vertex,
+// cc_hedge, treewidth of G^node) and the complexity regimes predicted by
+// Theorems 3.1 and 3.2 for query families bounded by those values.
+//
+// Usage:
+//
+//	ecrpq-measures -query query.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ecrpq"
+	"ecrpq/internal/core"
+	"ecrpq/internal/twolevel"
+)
+
+func main() {
+	queryPath := flag.String("query", "", "query file")
+	flag.Parse()
+	if *queryPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: ecrpq-measures -query <file>")
+		os.Exit(2)
+	}
+	if err := run(*queryPath); err != nil {
+		fmt.Fprintln(os.Stderr, "ecrpq-measures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(queryPath string) error {
+	f, err := os.Open(queryPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	q, err := ecrpq.ReadQuery(f)
+	if err != nil {
+		return err
+	}
+	fmt.Println("query:", q.String())
+	fmt.Printf("  node variables: %d, path variables: %d, relation atoms: %d\n",
+		len(q.NodeVars()), len(q.PathVars()), len(q.Rels))
+	if q.IsCRPQ() {
+		fmt.Println("  the query is a plain CRPQ")
+	}
+	m := ecrpq.QueryMeasures(q)
+	fmt.Printf("measures (of the normalized abstraction):\n")
+	fmt.Printf("  cc_vertex = %d\n", m.CCVertex)
+	fmt.Printf("  cc_hedge  = %d\n", m.CCHedge)
+	if m.TreewidthExact {
+		fmt.Printf("  tw(G^node) = %d (exact)\n", m.TreewidthUpper)
+	} else {
+		fmt.Printf("  tw(G^node) ∈ [%d, %d] (heuristic bounds)\n", m.TreewidthLower, m.TreewidthUpper)
+	}
+	ec, pc := twolevel.Classify(true, true, true)
+	fmt.Printf("\nfor the family of queries with cc_vertex ≤ %d, cc_hedge ≤ %d, tw ≤ %d:\n",
+		m.CCVertex, m.CCHedge, m.TreewidthUpper)
+	fmt.Printf("  evaluation (Thm 3.2):               %s\n", ec)
+	fmt.Printf("  parameterized evaluation (Thm 3.1): %s\n", pc)
+	ecU, pcU := twolevel.Classify(false, true, true)
+	fmt.Printf("if instead cc_vertex were unbounded:  %s / %s\n", ecU, pcU)
+	ecT, pcT := twolevel.Classify(true, true, false)
+	fmt.Printf("if instead treewidth were unbounded:  %s / %s\n", ecT, pcT)
+
+	plan, err := core.Explain(q, core.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nevaluation plan:\n%s", plan.String())
+	return nil
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunMeasures(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "q.txt")
+	src := `
+alphabet a b
+x -[$p1]-> y
+x -[$p2]-> y
+rel eqlen(p1, p2)
+`
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(p); err != nil {
+		t.Errorf("run: %v", err)
+	}
+	if err := run("/nonexistent"); err == nil {
+		t.Error("missing file should error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	os.WriteFile(bad, []byte("garbage"), 0o644)
+	if err := run(bad); err == nil {
+		t.Error("malformed query should error")
+	}
+}

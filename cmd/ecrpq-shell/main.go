@@ -1,0 +1,266 @@
+// Command ecrpq-shell is an interactive shell for exploring graph databases
+// with ECRPQ queries.
+//
+// Usage:
+//
+//	ecrpq-shell [-db graph.txt]
+//
+// Commands (one per line):
+//
+//	.help                 show this help
+//	.db <file>            load a database file
+//	.rel <file>           load a custom relation file (synchro format)
+//	.strategy <name>      auto | generic | reduction
+//	.query                start a query block; finish with .go (or .explain)
+//	.go                   evaluate the current query block
+//	.explain              print the plan of the current query block
+//	.measures             print measures + regimes of the current query block
+//	.sat                  database-independent satisfiability of the block
+//	.quit                 exit
+//
+// Anything else inside a query block is accumulated as query DSL text.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"ecrpq"
+	"ecrpq/internal/twolevel"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "initial database file")
+	flag.Parse()
+	sh := newShell(os.Stdout)
+	if *dbPath != "" {
+		if err := sh.loadDB(*dbPath); err != nil {
+			fmt.Fprintln(os.Stderr, "ecrpq-shell:", err)
+			os.Exit(1)
+		}
+	}
+	sh.repl(os.Stdin)
+}
+
+// shell holds the interactive session state.
+type shell struct {
+	out      io.Writer
+	db       *ecrpq.DB
+	strategy ecrpq.Strategy
+	registry map[string]*ecrpq.Relation
+	inQuery  bool
+	queryBuf strings.Builder
+}
+
+func newShell(out io.Writer) *shell {
+	return &shell{out: out, strategy: ecrpq.Auto, registry: make(map[string]*ecrpq.Relation)}
+}
+
+func (s *shell) repl(in io.Reader) {
+	sc := bufio.NewScanner(in)
+	fmt.Fprintln(s.out, "ecrpq shell — .help for commands")
+	for sc.Scan() {
+		if quit := s.handle(sc.Text()); quit {
+			return
+		}
+	}
+}
+
+// handle processes one input line, returning true to quit.
+func (s *shell) handle(line string) bool {
+	trimmed := strings.TrimSpace(line)
+	if s.inQuery && !strings.HasPrefix(trimmed, ".") {
+		s.queryBuf.WriteString(line)
+		s.queryBuf.WriteString("\n")
+		return false
+	}
+	fields := strings.Fields(trimmed)
+	if len(fields) == 0 {
+		return false
+	}
+	switch fields[0] {
+	case ".help":
+		fmt.Fprint(s.out, helpText)
+	case ".quit", ".exit":
+		return true
+	case ".db":
+		if len(fields) != 2 {
+			fmt.Fprintln(s.out, "usage: .db <file>")
+			return false
+		}
+		if err := s.loadDB(fields[1]); err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+		}
+	case ".rel":
+		if len(fields) != 2 {
+			fmt.Fprintln(s.out, "usage: .rel <file>")
+			return false
+		}
+		if err := s.loadRel(fields[1]); err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+		}
+	case ".strategy":
+		if len(fields) != 2 {
+			fmt.Fprintln(s.out, "usage: .strategy auto|generic|reduction")
+			return false
+		}
+		switch fields[1] {
+		case "auto":
+			s.strategy = ecrpq.Auto
+		case "generic":
+			s.strategy = ecrpq.Generic
+		case "reduction":
+			s.strategy = ecrpq.Reduction
+		default:
+			fmt.Fprintln(s.out, "error: unknown strategy", fields[1])
+			return false
+		}
+		fmt.Fprintln(s.out, "strategy:", s.strategy)
+	case ".query":
+		s.inQuery = true
+		s.queryBuf.Reset()
+		fmt.Fprintln(s.out, "enter query DSL; finish with .go, .explain, .measures or .sat")
+	case ".go":
+		s.withQuery(func(q *ecrpq.Query) { s.evaluate(q) })
+	case ".explain":
+		s.withQuery(func(q *ecrpq.Query) {
+			plan, err := ecrpq.Explain(q, ecrpq.Options{Strategy: s.strategy})
+			if err != nil {
+				fmt.Fprintln(s.out, "error:", err)
+				return
+			}
+			fmt.Fprint(s.out, plan.String())
+		})
+	case ".measures":
+		s.withQuery(func(q *ecrpq.Query) {
+			m := ecrpq.QueryMeasures(q)
+			fmt.Fprintf(s.out, "cc_vertex=%d cc_hedge=%d tw=[%d,%d]\n",
+				m.CCVertex, m.CCHedge, m.TreewidthLower, m.TreewidthUpper)
+			ec, pc := twolevel.Classify(true, true, true)
+			fmt.Fprintf(s.out, "bounded family regimes: eval %s; p-eval %s\n", ec, pc)
+		})
+	case ".sat":
+		s.withQuery(func(q *ecrpq.Query) {
+			db, res, sat, err := ecrpq.Satisfiable(q)
+			if err != nil {
+				fmt.Fprintln(s.out, "error:", err)
+				return
+			}
+			fmt.Fprintln(s.out, "satisfiable (on some database):", sat)
+			if sat {
+				fmt.Fprintf(s.out, "canonical database: %d vertices, %d edges\n",
+					db.NumVertices(), db.NumEdges())
+				_ = res
+			}
+		})
+	default:
+		fmt.Fprintf(s.out, "unknown command %q (.help for help)\n", fields[0])
+	}
+	return false
+}
+
+// withQuery parses the accumulated query block and runs fn on it.
+func (s *shell) withQuery(fn func(*ecrpq.Query)) {
+	if !s.inQuery {
+		fmt.Fprintln(s.out, "error: no query block; start with .query")
+		return
+	}
+	s.inQuery = false
+	q, err := ecrpq.ParseQueryWithRelations(strings.NewReader(s.queryBuf.String()), s.registry)
+	if err != nil {
+		fmt.Fprintln(s.out, "parse error:", err)
+		return
+	}
+	fn(q)
+}
+
+func (s *shell) evaluate(q *ecrpq.Query) {
+	if s.db == nil {
+		fmt.Fprintln(s.out, "error: no database loaded (.db <file>)")
+		return
+	}
+	opts := ecrpq.Options{Strategy: s.strategy}
+	if len(q.Free) > 0 {
+		answers, err := ecrpq.Answers(s.db, q, opts)
+		if err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			return
+		}
+		fmt.Fprintf(s.out, "%d answer(s)\n", len(answers))
+		for _, tup := range answers {
+			parts := make([]string, len(tup))
+			for i, v := range tup {
+				parts[i] = s.db.VertexName(v)
+			}
+			fmt.Fprintln(s.out, " ", "("+strings.Join(parts, ", ")+")")
+		}
+		return
+	}
+	res, err := ecrpq.Evaluate(s.db, q, opts)
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	fmt.Fprintln(s.out, "satisfiable:", res.Sat, "(strategy:", res.Stats.StrategyUsed, ")")
+	if res.Sat {
+		var pvs []string
+		for p := range res.Paths {
+			pvs = append(pvs, p)
+		}
+		sort.Strings(pvs)
+		for _, p := range pvs {
+			fmt.Fprintf(s.out, "  %s: %s\n", p, res.Paths[p].Format(s.db))
+		}
+	}
+}
+
+func (s *shell) loadDB(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	db, err := ecrpq.ReadDB(f)
+	if err != nil {
+		return err
+	}
+	s.db = db
+	fmt.Fprintf(s.out, "loaded %s: %d vertices, %d edges over %s\n",
+		path, db.NumVertices(), db.NumEdges(), db.Alphabet())
+	return nil
+}
+
+func (s *shell) loadRel(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rel, err := ecrpq.ParseRelation(f)
+	if err != nil {
+		return err
+	}
+	if rel.Name() == "" {
+		return fmt.Errorf("relation file %s has no name", path)
+	}
+	s.registry[rel.Name()] = rel
+	fmt.Fprintf(s.out, "loaded relation %s (arity %d)\n", rel.Name(), rel.Arity())
+	return nil
+}
+
+const helpText = `commands:
+  .db <file>        load a database
+  .rel <file>       load a custom relation (synchro text format)
+  .strategy <name>  auto | generic | reduction
+  .query            start a query block (DSL lines follow)
+  .go               evaluate the block against the database
+  .explain          print the evaluation plan of the block
+  .measures         print structural measures + theorem regimes
+  .sat              database-independent satisfiability of the block
+  .quit             exit
+`

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const shellDB = `
+alphabet a b
+u a v
+v b w
+u b n
+n a w
+`
+
+// runScript feeds lines to a fresh shell and returns the transcript.
+func runScript(t *testing.T, setup func(*shell), lines ...string) string {
+	t.Helper()
+	var out strings.Builder
+	sh := newShell(&out)
+	if setup != nil {
+		setup(sh)
+	}
+	sh.repl(strings.NewReader(strings.Join(lines, "\n")))
+	return out.String()
+}
+
+func TestShellEvaluateBoolean(t *testing.T) {
+	db := writeTemp(t, "db.txt", shellDB)
+	out := runScript(t, nil,
+		".db "+db,
+		".query",
+		"alphabet a b",
+		"x -[$p1]-> y",
+		"x -[$p2]-> y",
+		"rel eqlen(p1, p2)",
+		"lang p1 ab",
+		"lang p2 ba",
+		".go",
+		".quit",
+	)
+	for _, want := range []string{"loaded", "satisfiable: true", "p1:", "p2:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellAnswers(t *testing.T) {
+	db := writeTemp(t, "db.txt", shellDB)
+	out := runScript(t, nil,
+		".db "+db,
+		".query",
+		"alphabet a b",
+		"free x",
+		"x -[ab]-> y",
+		".go",
+		".quit",
+	)
+	if !strings.Contains(out, "1 answer(s)") || !strings.Contains(out, "(u)") {
+		t.Errorf("transcript:\n%s", out)
+	}
+}
+
+func TestShellExplainMeasuresSat(t *testing.T) {
+	out := runScript(t, nil,
+		".query",
+		"alphabet a",
+		"x -[$p1]-> y",
+		"x -[$p2]-> y",
+		"rel eqlen(p1, p2)",
+		".explain",
+		".query",
+		"alphabet a",
+		"x -[$p1]-> y",
+		"x -[$p2]-> y",
+		"rel eqlen(p1, p2)",
+		".measures",
+		".query",
+		"alphabet a",
+		"x -[$p]-> y",
+		"lang p aa",
+		".sat",
+		".quit",
+	)
+	for _, want := range []string{"strategy: reduction", "cc_vertex=2", "satisfiable (on some database): true", "canonical database:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellCustomRelationAndStrategy(t *testing.T) {
+	db := writeTemp(t, "db.txt", shellDB)
+	rel := writeTemp(t, "r.txt", `relation same
+arity 2
+alphabet a b
+states 1
+start 0
+accept 0
+0 (a,a) 0
+0 (b,b) 0
+`)
+	out := runScript(t, nil,
+		".db "+db,
+		".rel "+rel,
+		".strategy generic",
+		".query",
+		"alphabet a b",
+		"x -[$p1]-> y",
+		"x -[$p2]-> y",
+		"rel same(p1, p2)",
+		".go",
+		".quit",
+	)
+	for _, want := range []string{"loaded relation same", "strategy: generic", "satisfiable: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	out := runScript(t, nil,
+		".db",               // usage
+		".db /nonexistent",  // missing file
+		".rel",              // usage
+		".rel /nonexistent", // missing file
+		".strategy",         // usage
+		".strategy warp",    // unknown
+		".go",               // no block
+		".bogus",            // unknown command
+		".query",
+		"this is not a query",
+		".go", // parse error
+		".query",
+		"alphabet a",
+		"x -[a]-> y",
+		".go", // no database
+		".help",
+		".quit",
+	)
+	for _, want := range []string{
+		"usage: .db", "error:", "usage: .rel", "usage: .strategy",
+		"unknown strategy", "no query block", "unknown command",
+		"parse error", "no database loaded", "commands:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellUnnamedRelationRejected(t *testing.T) {
+	rel := writeTemp(t, "r.txt", "arity 2\nalphabet a\nuniversal\n")
+	out := runScript(t, nil, ".rel "+rel, ".quit")
+	if !strings.Contains(out, "no name") {
+		t.Errorf("transcript:\n%s", out)
+	}
+}

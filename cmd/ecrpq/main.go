@@ -1,0 +1,145 @@
+// Command ecrpq evaluates an ECRPQ query against a graph database.
+//
+// Usage:
+//
+//	ecrpq -db graph.txt -query query.txt [-strategy auto|generic|reduction] [-witness]
+//
+// The database format is one labelled edge per line after an alphabet
+// header; the query format is the DSL of internal/query (see README.md).
+// With free variables the answer set is printed, one tuple per line;
+// otherwise the Boolean verdict (and, with -witness, the witness paths).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"ecrpq"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "graph database file")
+	queryPath := flag.String("query", "", "query file")
+	strategy := flag.String("strategy", "auto", "evaluation strategy: auto, generic, reduction")
+	witness := flag.Bool("witness", false, "print the witness assignment and paths")
+	relFiles := flag.String("rel", "", "comma-separated custom relation files (synchro text format); atom names resolve against these before built-ins")
+	flag.Parse()
+	if *dbPath == "" || *queryPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: ecrpq -db <file> -query <file> [-strategy auto|generic|reduction] [-witness] [-rel r1.txt,r2.txt]")
+		os.Exit(2)
+	}
+	if err := run(*dbPath, *queryPath, *strategy, *witness, *relFiles); err != nil {
+		fmt.Fprintln(os.Stderr, "ecrpq:", err)
+		os.Exit(1)
+	}
+}
+
+func loadRelations(relFiles string) (map[string]*ecrpq.Relation, error) {
+	registry := make(map[string]*ecrpq.Relation)
+	if relFiles == "" {
+		return registry, nil
+	}
+	for _, path := range strings.Split(relFiles, ",") {
+		f, err := os.Open(strings.TrimSpace(path))
+		if err != nil {
+			return nil, err
+		}
+		rel, err := ecrpq.ParseRelation(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		if rel.Name() == "" {
+			return nil, fmt.Errorf("%s: relation has no name", path)
+		}
+		registry[rel.Name()] = rel
+	}
+	return registry, nil
+}
+
+func run(dbPath, queryPath, strategy string, witness bool, relFiles string) error {
+	dbFile, err := os.Open(dbPath)
+	if err != nil {
+		return err
+	}
+	defer dbFile.Close()
+	db, err := ecrpq.ReadDB(dbFile)
+	if err != nil {
+		return err
+	}
+	registry, err := loadRelations(relFiles)
+	if err != nil {
+		return err
+	}
+	qFile, err := os.Open(queryPath)
+	if err != nil {
+		return err
+	}
+	defer qFile.Close()
+	q, err := ecrpq.ParseQueryWithRelations(qFile, registry)
+	if err != nil {
+		return err
+	}
+	var opts ecrpq.Options
+	switch strategy {
+	case "auto":
+		opts.Strategy = ecrpq.Auto
+	case "generic":
+		opts.Strategy = ecrpq.Generic
+	case "reduction":
+		opts.Strategy = ecrpq.Reduction
+	default:
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+
+	if len(q.Free) > 0 {
+		answers, err := ecrpq.Answers(db, q, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("answers(%s): %d tuple(s)\n", strings.Join(q.Free, ", "), len(answers))
+		for _, tup := range answers {
+			parts := make([]string, len(tup))
+			for i, v := range tup {
+				parts[i] = db.VertexName(v)
+			}
+			fmt.Println("  (" + strings.Join(parts, ", ") + ")")
+		}
+		return nil
+	}
+
+	res, err := ecrpq.Evaluate(db, q, opts)
+	if err != nil {
+		return err
+	}
+	if !res.Sat {
+		fmt.Println("false")
+		return nil
+	}
+	fmt.Println("true")
+	if witness {
+		if err := ecrpq.VerifyWitness(db, q, res); err != nil {
+			return fmt.Errorf("internal: witness failed verification: %v", err)
+		}
+		var nodeVars []string
+		for v := range res.Nodes {
+			nodeVars = append(nodeVars, v)
+		}
+		sort.Strings(nodeVars)
+		for _, v := range nodeVars {
+			fmt.Printf("  %s = %s\n", v, db.VertexName(res.Nodes[v]))
+		}
+		var pathVars []string
+		for p := range res.Paths {
+			pathVars = append(pathVars, p)
+		}
+		sort.Strings(pathVars)
+		for _, p := range pathVars {
+			fmt.Printf("  %s: %s\n", p, res.Paths[p].Format(db))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const testDB = `
+alphabet a b
+u a v
+v b w
+`
+
+func TestRunBoolean(t *testing.T) {
+	db := writeTemp(t, "db.txt", testDB)
+	q := writeTemp(t, "q.txt", "alphabet a b\nx -[ab]-> y\n")
+	for _, strat := range []string{"auto", "generic", "reduction"} {
+		if err := run(db, q, strat, true, ""); err != nil {
+			t.Errorf("strategy %s: %v", strat, err)
+		}
+	}
+}
+
+func TestRunAnswers(t *testing.T) {
+	db := writeTemp(t, "db.txt", testDB)
+	q := writeTemp(t, "q.txt", "alphabet a b\nfree x\nx -[a]-> y\n")
+	if err := run(db, q, "auto", false, ""); err != nil {
+		t.Errorf("answers: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	db := writeTemp(t, "db.txt", testDB)
+	q := writeTemp(t, "q.txt", "alphabet a b\nx -[ab]-> y\n")
+	if err := run("/nonexistent", q, "auto", false, ""); err == nil {
+		t.Error("missing db should error")
+	}
+	if err := run(db, "/nonexistent", "auto", false, ""); err == nil {
+		t.Error("missing query should error")
+	}
+	if err := run(db, q, "bogus", false, ""); err == nil {
+		t.Error("unknown strategy should error")
+	}
+	badQ := writeTemp(t, "bad.txt", "not a query")
+	if err := run(db, badQ, "auto", false, ""); err == nil {
+		t.Error("malformed query should error")
+	}
+	badDB := writeTemp(t, "baddb.txt", "junk")
+	if err := run(badDB, q, "auto", false, ""); err == nil {
+		t.Error("malformed db should error")
+	}
+}
+
+func TestRunWithCustomRelation(t *testing.T) {
+	db := writeTemp(t, "db.txt", testDB)
+	rel := writeTemp(t, "rel.txt", `relation myeq
+arity 2
+alphabet a b
+states 1
+start 0
+accept 0
+0 (a,a) 0
+0 (b,b) 0
+`)
+	q := writeTemp(t, "q.txt", `
+alphabet a b
+x -[$p1]-> y
+x -[$p2]-> y
+rel myeq(p1, p2)
+`)
+	if err := run(db, q, "auto", true, rel); err != nil {
+		t.Errorf("custom relation: %v", err)
+	}
+	if err := run(db, q, "auto", false, "/nonexistent.txt"); err == nil {
+		t.Error("missing relation file should error")
+	}
+	badRel := writeTemp(t, "bad.txt", "garbage")
+	if err := run(db, q, "auto", false, badRel); err == nil {
+		t.Error("malformed relation file should error")
+	}
+	// Relation without a name line gets name "rel"... actually Parse
+	// defaults name to "" unless declared; our format requires it for the
+	// registry.
+	noName := writeTemp(t, "noname.txt", `arity 2
+alphabet a b
+universal
+`)
+	if err := run(db, q, "auto", false, noName); err == nil {
+		t.Error("unnamed relation should error")
+	}
+}

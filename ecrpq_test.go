@@ -1,0 +1,143 @@
+package ecrpq_test
+
+import (
+	"strings"
+	"testing"
+
+	"ecrpq"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	db, err := ecrpq.ParseDB(`
+alphabet a b
+u a v
+v a w
+u b m
+m a w
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ecrpq.ParseQuery(`
+alphabet a b
+x -[$p1]-> y
+x -[$p2]-> y
+rel eqlen(p1, p2)
+lang p1 aa
+lang p2 ba
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ecrpq.Evaluate(db, q, ecrpq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sat {
+		t.Fatal("aa and ba paths u→w exist")
+	}
+	if err := ecrpq.VerifyWitness(db, q, res); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Paths["p1"].Label().Format(db.Alphabet()); got != "aa" {
+		t.Errorf("p1 label = %q", got)
+	}
+}
+
+func TestFacadeBuilderAndRelations(t *testing.T) {
+	a, err := ecrpq.NewAlphabet("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := ecrpq.NewDB(a)
+	u := db.MustAddVertex("u")
+	v := db.MustAddVertex("v")
+	db.MustAddEdge(u, 0, v)
+	db.MustAddEdge(v, 1, u)
+
+	ed, err := ecrpq.EditDistanceAtMost(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ecrpq.NewQuery(a).
+		Reach("x", "p1", "y").
+		Reach("x", "p2", "y").
+		Rel(ed, "p1", "p2").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ecrpq.Evaluate(db, q, ecrpq.Options{Strategy: ecrpq.Generic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sat {
+		t.Error("same path twice has edit distance 0")
+	}
+}
+
+func TestFacadeMeasuresAndClassify(t *testing.T) {
+	q, err := ecrpq.ParseQuery(`
+alphabet a b
+x -[$p1]-> y
+x -[$p2]-> y
+rel eq(p1, p2)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ecrpq.QueryMeasures(q)
+	if m.CCVertex != 2 || m.CCHedge != 1 {
+		t.Errorf("measures = %+v", m)
+	}
+	ec, pc := ecrpq.Classify(true, true, true)
+	if !strings.Contains(string(ec), "polynomial") || pc != "FPT" {
+		t.Errorf("Classify = %v, %v", ec, pc)
+	}
+}
+
+func TestFacadeAnswers(t *testing.T) {
+	db, _ := ecrpq.ParseDB("alphabet a\nu a v\nv a w\n")
+	q, err := ecrpq.ParseQuery(`
+alphabet a
+free x
+x -[aa]-> y
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := ecrpq.Answers(db, q, ecrpq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := db.Lookup("u")
+	if len(ans) != 1 || ans[0][0] != u {
+		t.Errorf("answers = %v, want [[%d]]", ans, u)
+	}
+}
+
+func TestFacadeRelationConstructors(t *testing.T) {
+	a, _ := ecrpq.NewAlphabet("a", "b")
+	for _, r := range []*ecrpq.Relation{
+		ecrpq.Equality(a, 2),
+		ecrpq.EqualLength(a, 3),
+		ecrpq.PrefixOf(a),
+		ecrpq.HammingAtMost(a, 2),
+		ecrpq.LengthDiffAtMost(a, 1),
+		ecrpq.UniversalRelation(a, 2),
+	} {
+		if r.Arity() < 2 {
+			t.Errorf("unexpected arity for %v", r)
+		}
+	}
+	lang, err := ecrpq.Language(a, "a*b")
+	if err != nil || lang.Arity() != 1 {
+		t.Errorf("Language: %v", err)
+	}
+	if _, err := ecrpq.Language(a, "((("); err == nil {
+		t.Error("bad regex should error")
+	}
+	if _, err := ecrpq.CompileRegex(a, "a|b"); err != nil {
+		t.Errorf("CompileRegex: %v", err)
+	}
+}

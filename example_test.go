@@ -1,0 +1,130 @@
+package ecrpq_test
+
+import (
+	"fmt"
+
+	"ecrpq"
+)
+
+// ExampleEvaluate demonstrates Boolean evaluation with a synchronous
+// relation and witness extraction.
+func ExampleEvaluate() {
+	db, _ := ecrpq.ParseDB(`
+alphabet a b
+u a m
+m b z
+u b n
+n a z
+`)
+	q, _ := ecrpq.ParseQuery(`
+alphabet a b
+x -[$p1]-> y
+x -[$p2]-> y
+rel eqlen(p1, p2)
+lang p1 ab
+lang p2 ba
+`)
+	res, _ := ecrpq.Evaluate(db, q, ecrpq.Options{})
+	fmt.Println(res.Sat)
+	fmt.Println(res.Paths["p1"].Label().Format(db.Alphabet()))
+	fmt.Println(res.Paths["p2"].Label().Format(db.Alphabet()))
+	// Output:
+	// true
+	// ab
+	// ba
+}
+
+// ExampleAnswers demonstrates answer-set computation for a free-variable
+// query.
+func ExampleAnswers() {
+	db, _ := ecrpq.ParseDB(`
+alphabet a
+v0 a v1
+v1 a v2
+`)
+	q, _ := ecrpq.ParseQuery(`
+alphabet a
+free x
+x -[aa]-> y
+`)
+	answers, _ := ecrpq.Answers(db, q, ecrpq.Options{})
+	for _, tup := range answers {
+		fmt.Println(db.VertexName(tup[0]))
+	}
+	// Output:
+	// v0
+}
+
+// ExampleQueryMeasures demonstrates the structural measures and the regime
+// classification of Theorems 3.1 and 3.2.
+func ExampleQueryMeasures() {
+	q, _ := ecrpq.ParseQuery(`
+alphabet a
+x -[$p1]-> y
+x -[$p2]-> y
+x -[$p3]-> y
+rel eqlen(p1, p2, p3)
+`)
+	m := ecrpq.QueryMeasures(q)
+	fmt.Println("cc_vertex:", m.CCVertex)
+	fmt.Println("cc_hedge:", m.CCHedge)
+	ec, pc := ecrpq.Classify(false, true, true) // cc_vertex unbounded along this family
+	fmt.Println("eval:", ec)
+	fmt.Println("p-eval:", pc)
+	// Output:
+	// cc_vertex: 3
+	// cc_hedge: 1
+	// eval: PSPACE-complete
+	// p-eval: XNL-complete
+}
+
+// ExampleSatisfiable demonstrates database-independent satisfiability with a
+// canonical witness database.
+func ExampleSatisfiable() {
+	q, _ := ecrpq.ParseQuery(`
+alphabet a b
+x -[$p1]-> y
+x -[$p2]-> y
+rel eq(p1, p2)
+lang p1 ab
+`)
+	db, res, sat, _ := ecrpq.Satisfiable(q)
+	fmt.Println(sat)
+	fmt.Println(db.NumVertices(), "vertices")
+	fmt.Println(res.Paths["p1"].Label().Format(db.Alphabet()))
+	// Output:
+	// true
+	// 4 vertices
+	// ab
+}
+
+// ExampleExplain demonstrates evaluation-plan inspection.
+func ExampleExplain() {
+	q, _ := ecrpq.ParseQuery(`
+alphabet a
+x -[$p1]-> y
+x -[$p2]-> y
+rel eqlen(p1, p2)
+`)
+	plan, _ := ecrpq.Explain(q, ecrpq.Options{})
+	fmt.Println("strategy:", plan.Strategy)
+	fmt.Println("components:", len(plan.Components))
+	// Output:
+	// strategy: reduction
+	// components: 1
+}
+
+// ExampleEvaluateUnion demonstrates UECRPQ evaluation.
+func ExampleEvaluateUnion() {
+	db, _ := ecrpq.ParseDB("alphabet a b\nu a v\n")
+	u, _ := ecrpq.ParseUnionQuery(`
+alphabet a b
+x -[b]-> y
+or
+x -[a]-> y
+`)
+	res, _ := ecrpq.EvaluateUnion(db, u, ecrpq.Options{})
+	fmt.Println(res.Sat, "via disjunct", res.Disjunct)
+	// Output:
+	// true via disjunct 1
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a small graph database, ask an ECRPQ question with a
+// synchronous relation (equal length), and print the witness paths.
+//
+// Run with:  go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecrpq"
+)
+
+func main() {
+	// A toy network: two branches from u to z with different labels.
+	db, err := ecrpq.ParseDB(`
+alphabet a b
+u a m1
+m1 a m2
+m2 b z
+u b n1
+n1 a n2
+n2 a z
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// "Are there two paths from a common source to a common target with the
+	// same length, one starting with a and the other with b?"
+	q, err := ecrpq.ParseQuery(`
+alphabet a b
+x -[$p1]-> y
+x -[$p2]-> y
+rel eqlen(p1, p2)
+lang p1 a(a|b)*
+lang p2 b(a|b)*
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := ecrpq.Evaluate(db, q, ecrpq.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("satisfiable:", res.Sat)
+	if res.Sat {
+		if err := ecrpq.VerifyWitness(db, q, res); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  p1:", res.Paths["p1"].Format(db))
+		fmt.Println("  p2:", res.Paths["p2"].Format(db))
+	}
+
+	// Structural measures and the regimes the paper's theorems predict for
+	// query families bounded by them.
+	m := ecrpq.QueryMeasures(q)
+	fmt.Printf("measures: cc_vertex=%d cc_hedge=%d tw=%d\n",
+		m.CCVertex, m.CCHedge, m.TreewidthUpper)
+	ec, pc := ecrpq.Classify(true, true, true)
+	fmt.Printf("bounded-measure family regime: eval %s, p-eval %s\n", ec, pc)
+}

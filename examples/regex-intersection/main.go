@@ -1,0 +1,81 @@
+// Regular-expression intersection through ECRPQ evaluation: the Lemma 5.1
+// reduction in action. Deciding whether several regexes share a common word
+// is the canonical PSPACE-complete problem, and the paper shows ECRPQ
+// evaluation subsumes it as soon as relation components are unbounded —
+// this example runs that encoding both ways and compares with the direct
+// automaton product.
+//
+// Run with:  go run ./examples/regex-intersection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecrpq"
+	"ecrpq/internal/core"
+	"ecrpq/internal/reductions"
+	"ecrpq/internal/rex"
+)
+
+func main() {
+	a, err := ecrpq.NewAlphabet("a", "b")
+	if err != nil {
+		log.Fatal(err)
+	}
+	exprs := []string{"a*b", "(a|b)*b", "(ab|b)*"}
+	in := &reductions.INEInstance{Alphabet: a}
+	for _, e := range exprs {
+		nfa, err := rex.CompileString(a, e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in.Automata = append(in.Automata, nfa)
+	}
+
+	// Direct decision by automaton products.
+	w, ok := in.Solve()
+	fmt.Printf("intersection of %v non-empty (direct product): %v\n", exprs, ok)
+	if ok {
+		fmt.Println("  shortest common word:", w.Format(a))
+	}
+
+	// Route 1 — Lemma 5.1 case 1: one big relation component. The query has
+	// cc_vertex = number of regexes, placing it in the PSPACE regime of
+	// Theorem 3.2(1).
+	db1, q1, err := reductions.BigHyperedge(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res1, err := core.Evaluate(db1, q1, core.Options{Strategy: core.Generic})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m1 := ecrpq.QueryMeasures(q1)
+	fmt.Printf("via ECRPQ (big component, cc_vertex=%d): %v\n", m1.CCVertex, res1.Sat)
+	if res1.Sat {
+		lbl := res1.Paths["pi1"].Label()
+		fmt.Println("  witness path label (= $·w·#·$):", lbl.Format(db1.Alphabet()))
+	}
+
+	// Route 2 — Lemma 5.1 case 2: one path variable shared by many unary
+	// atoms (cc_hedge = number of regexes).
+	db2, q2, err := reductions.SharedVariable(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := core.Evaluate(db2, q2, core.Options{Strategy: core.Generic})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m2 := ecrpq.QueryMeasures(q2)
+	fmt.Printf("via ECRPQ (shared variable, cc_hedge=%d): %v\n", m2.CCHedge, res2.Sat)
+	if res2.Sat {
+		fmt.Println("  witness word:", res2.Paths["pi"].Label().Format(a))
+	}
+
+	if res1.Sat != ok || res2.Sat != ok {
+		log.Fatal("encodings disagree with the direct decision — reduction bug")
+	}
+	fmt.Println("all three routes agree, as Claim 5.1 requires")
+}

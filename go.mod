@@ -1,0 +1,3 @@
+module ecrpq
+
+go 1.22

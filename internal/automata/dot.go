@@ -1,0 +1,52 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the automaton in Graphviz DOT format. The format function
+// renders letters (pass nil for %v formatting). Start states get an
+// incoming arrow from a hidden node; accepting states are double circles.
+func (a *NFA[L]) DOT(name string, format func(L) string) string {
+	if format == nil {
+		format = func(l L) string { return fmt.Sprintf("%v", l) }
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=LR;\n  node [shape=circle];\n", name)
+	for _, q := range a.AcceptStates() {
+		fmt.Fprintf(&sb, "  %d [shape=doublecircle];\n", q)
+	}
+	for i, q := range a.StartStates() {
+		fmt.Fprintf(&sb, "  __start%d [shape=point, style=invis];\n  __start%d -> %d;\n", i, i, q)
+	}
+	// Group parallel transitions by (from, to) for compact labels.
+	type key struct{ p, q int }
+	labels := make(map[key][]string)
+	a.Transitions(func(p int, l L, q int) {
+		labels[key{p, q}] = append(labels[key{p, q}], format(l))
+	})
+	var keys []key
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].p != keys[j].p {
+			return keys[i].p < keys[j].p
+		}
+		return keys[i].q < keys[j].q
+	})
+	for _, k := range keys {
+		ls := labels[k]
+		sort.Strings(ls)
+		fmt.Fprintf(&sb, "  %d -> %d [label=%q];\n", k.p, k.q, strings.Join(ls, ","))
+	}
+	for p := range a.eps {
+		for _, q := range a.eps[p] {
+			fmt.Fprintf(&sb, "  %d -> %d [label=\"ε\", style=dashed];\n", p, q)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,24 @@
+package automata
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOT(t *testing.T) {
+	a := buildAB()
+	a.AddEps(0, 1)
+	dot := a.DOT("ab", func(b byte) string { return string(b) })
+	for _, want := range []string{
+		"digraph \"ab\"", "doublecircle", "__start0 -> 0",
+		"0 -> 0 [label=\"a\"]", "0 -> 1 [label=\"b\"]", "style=dashed",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// nil formatter works.
+	if d := a.DOT("x", nil); !strings.Contains(d, "label") {
+		t.Error("nil formatter produced no labels")
+	}
+}

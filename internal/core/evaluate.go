@@ -1,0 +1,512 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"ecrpq/internal/cq"
+	"ecrpq/internal/graphdb"
+	"ecrpq/internal/query"
+	"ecrpq/internal/synchro"
+)
+
+// Strategy selects the evaluation algorithm.
+type Strategy int
+
+// Evaluation strategies.
+const (
+	// Auto picks Reduction when every component is small enough to
+	// materialize (Lemma 4.3 applies at tractable cost), else Generic.
+	Auto Strategy = iota
+	// Generic is the product-search algorithm behind the PSPACE/XNL upper
+	// bounds (Proposition 2.2 / Lemma 4.2).
+	Generic
+	// Reduction is the ECRPQ→CQ reduction of Lemma 4.3 followed by
+	// tree-decomposition CQ evaluation (Proposition 2.3).
+	Reduction
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case Generic:
+		return "generic"
+	case Reduction:
+		return "reduction"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Options configures evaluation.
+type Options struct {
+	Strategy Strategy
+	// MaxProductStates caps each component product search (0 = default of
+	// 20 million states; negative = unlimited).
+	MaxProductStates int
+	// EagerMerge makes the Generic strategy pre-merge each component's
+	// relations into one automaton (Lemma 4.1) before the product search,
+	// instead of running the multi-automaton product lazily.
+	EagerMerge bool
+	// MaxReductionTracks bounds the component arity t for which Auto deems
+	// the V^t materialization of Lemma 4.3 affordable (default 3).
+	MaxReductionTracks int
+	// Parallelism sets the number of worker goroutines for the Lemma 4.3
+	// R' sweep (the dominant cost of the reduction strategy). 0 or 1 runs
+	// sequentially; negative uses GOMAXPROCS.
+	Parallelism int
+}
+
+func (o Options) workers() int {
+	switch {
+	case o.Parallelism < 0:
+		return runtime.GOMAXPROCS(0)
+	case o.Parallelism == 0:
+		return 1
+	default:
+		return o.Parallelism
+	}
+}
+
+func (o Options) maxStates() int {
+	switch {
+	case o.MaxProductStates < 0:
+		return 0
+	case o.MaxProductStates == 0:
+		return 20_000_000
+	default:
+		return o.MaxProductStates
+	}
+}
+
+func (o Options) maxReductionTracks() int {
+	if o.MaxReductionTracks <= 0 {
+		return 3
+	}
+	return o.MaxReductionTracks
+}
+
+// Result is the outcome of Boolean evaluation, with a full witness when
+// satisfied.
+type Result struct {
+	Sat   bool
+	Nodes map[string]int          // node variable → vertex
+	Paths map[string]graphdb.Path // path variable → witness path
+	Stats Stats
+}
+
+// Stats reports work done during evaluation.
+type Stats struct {
+	StrategyUsed      Strategy
+	Components        int
+	FreeTracks        int
+	ProductChecks     int // generic: component product searches performed
+	NodeAssignments   int // generic: node-variable assignments tried
+	CQTuples          int // reduction: materialized tuples across relations R'
+	MergedStatesTotal int // eager merge: total states of merged relation NFAs
+}
+
+// Evaluate decides whether the (Boolean) query holds on the database. For
+// queries with free variables it decides existential satisfiability (use
+// Answers for the answer set).
+func Evaluate(db *graphdb.DB, q *query.Query, opts Options) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if db.Alphabet().Size() != q.Alphabet().Size() {
+		return nil, fmt.Errorf("core: query alphabet size %d ≠ database alphabet size %d",
+			q.Alphabet().Size(), db.Alphabet().Size())
+	}
+	return evaluatePinned(db, q, nil, opts)
+}
+
+// evaluatePinned evaluates with some node variables pre-assigned.
+func evaluatePinned(db *graphdb.DB, q *query.Query, pinned map[string]int, opts Options) (*Result, error) {
+	comps, frees, err := decompose(q)
+	if err != nil {
+		return nil, err
+	}
+	strat := opts.Strategy
+	if strat == Auto {
+		strat = Reduction
+		for _, c := range comps {
+			if len(c.tracks) > opts.maxReductionTracks() {
+				strat = Generic
+				break
+			}
+		}
+	}
+	var res *Result
+	switch strat {
+	case Generic:
+		res, err = evalGeneric(db, q, comps, frees, pinned, opts)
+	case Reduction:
+		res, err = evalReduction(db, q, comps, frees, pinned, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %v", opts.Strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.StrategyUsed = strat
+	res.Stats.Components = len(comps)
+	res.Stats.FreeTracks = len(frees)
+	return res, nil
+}
+
+// Answers computes the answer set of a query with free variables: all tuples
+// of vertices (in Free order) admitting a satisfying assignment. When the
+// reduction strategy applies, the Lemma 4.3 instance is materialized once
+// and the answer set is computed on the conjunctive query directly;
+// otherwise each candidate tuple is pinned and decided separately.
+func Answers(db *graphdb.DB, q *query.Query, opts Options) ([][]int, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(q.Free) == 0 {
+		return nil, fmt.Errorf("core: Answers on a Boolean query; use Evaluate")
+	}
+	if out, ok, err := answersReduction(db, q, opts); err != nil {
+		return nil, err
+	} else if ok {
+		return out, nil
+	}
+	var out [][]int
+	tuple := make([]int, len(q.Free))
+	pinned := make(map[string]int, len(q.Free))
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(q.Free) {
+			res, err := evaluatePinned(db, q, pinned, opts)
+			if err != nil {
+				return err
+			}
+			if res.Sat {
+				out = append(out, append([]int(nil), tuple...))
+			}
+			return nil
+		}
+		for v := 0; v < db.NumVertices(); v++ {
+			tuple[i] = v
+			pinned[q.Free[i]] = v
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		delete(pinned, q.Free[i])
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out, nil
+}
+
+// anyReach computes the reflexive any-label reachability set from u.
+func anyReach(db *graphdb.DB, u int) []bool {
+	seen := make([]bool, db.NumVertices())
+	seen[u] = true
+	queue := []int{u}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range db.Out(v) {
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// anyPath returns a shortest any-label path from u to v.
+func anyPath(db *graphdb.DB, u, v int) (graphdb.Path, bool) {
+	type prev struct {
+		vert int
+		edge graphdb.Edge
+	}
+	seen := map[int]prev{u: {vert: -1}}
+	queue := []int{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		if x == v {
+			var rev []graphdb.Edge
+			for cur := v; seen[cur].vert >= 0; cur = seen[cur].vert {
+				rev = append(rev, seen[cur].edge)
+			}
+			edges := make([]graphdb.Edge, len(rev))
+			for i := range rev {
+				edges[i] = rev[len(rev)-1-i]
+			}
+			return graphdb.Path{Start: u, Edges: edges}, true
+		}
+		for _, e := range db.Out(x) {
+			if _, ok := seen[e.To]; !ok {
+				seen[e.To] = prev{vert: x, edge: e}
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return graphdb.Path{}, false
+}
+
+// evalGeneric backtracks over node variables and checks each component's
+// product as soon as all of its node variables are assigned.
+func evalGeneric(db *graphdb.DB, q *query.Query, comps []component, frees []freeTrack, pinned map[string]int, opts Options) (*Result, error) {
+	stats := Stats{}
+	workComps := comps
+	if opts.EagerMerge {
+		merged := make([]component, len(comps))
+		for i := range comps {
+			rel, err := mergeComponent(q.Alphabet(), &comps[i])
+			if err != nil {
+				return nil, err
+			}
+			if rel.IsUniversal() {
+				// Cannot happen: components contain ≥1 non-universal atom.
+				return nil, fmt.Errorf("core: merged component unexpectedly universal")
+			}
+			nStates, _ := rel.Size()
+			stats.MergedStatesTotal += nStates
+			allTracks := make([]int, len(comps[i].tracks))
+			for k := range allTracks {
+				allTracks[k] = k
+			}
+			merged[i] = component{
+				tracks:    comps[i].tracks,
+				nodeVars:  comps[i].nodeVars,
+				rels:      []*synchro.Relation{rel},
+				relTracks: [][]int{allTracks},
+			}
+		}
+		workComps = merged
+	}
+
+	// Node variable universe and ordering: pinned first, then component by
+	// component so components complete early.
+	nodeVars := q.NodeVars()
+	var order []string
+	inOrder := make(map[string]bool)
+	add := func(v string) {
+		if !inOrder[v] {
+			inOrder[v] = true
+			order = append(order, v)
+		}
+	}
+	for v := range pinned {
+		add(v)
+	}
+	for i := range workComps {
+		for _, v := range workComps[i].nodeVars {
+			add(v)
+		}
+	}
+	for _, f := range frees {
+		add(f.srcVar)
+		add(f.dstVar)
+	}
+	for _, v := range nodeVars {
+		add(v)
+	}
+	// compReady[i] = position in order after which component i is fully
+	// assigned.
+	pos := make(map[string]int, len(order))
+	for i, v := range order {
+		pos[v] = i
+	}
+	readyAt := func(vars []string) int {
+		r := -1
+		for _, v := range vars {
+			if pos[v] > r {
+				r = pos[v]
+			}
+		}
+		return r
+	}
+	compReady := make([][]int, len(order)+1)
+	for i := range workComps {
+		r := readyAt(workComps[i].nodeVars) + 1
+		compReady[r] = append(compReady[r], i)
+	}
+	freeReady := make([][]int, len(order)+1)
+	reachCache := make(map[int][]bool)
+	for i, f := range frees {
+		r := readyAt([]string{f.srcVar, f.dstVar}) + 1
+		freeReady[r] = append(freeReady[r], i)
+	}
+	// Components with no node variables (impossible: tracks have endpoints)
+	// would be at compReady[0]; handled uniformly.
+
+	assign := make(map[string]int, len(order))
+	pathWitness := make(map[string]graphdb.Path)
+	var searchErr error
+	var rec func(i int) bool
+	check := func(i int) bool {
+		for _, ci := range compReady[i] {
+			c := &workComps[ci]
+			srcs := make([]int, len(c.tracks))
+			dsts := make([]int, len(c.tracks))
+			for k, tr := range c.tracks {
+				srcs[k] = assign[tr.srcVar]
+				dsts[k] = assign[tr.dstVar]
+			}
+			paths, ok, err := checkComponent(db, c, srcs, dsts, opts.maxStates())
+			stats.ProductChecks++
+			if err != nil {
+				searchErr = err
+				return false
+			}
+			if !ok {
+				return false
+			}
+			for k, tr := range c.tracks {
+				pathWitness[tr.pathVar] = paths[k]
+			}
+		}
+		for _, fi := range freeReady[i] {
+			f := frees[fi]
+			u, v := assign[f.srcVar], assign[f.dstVar]
+			reach, ok := reachCache[u]
+			if !ok {
+				reach = anyReach(db, u)
+				reachCache[u] = reach
+			}
+			if !reach[v] {
+				return false
+			}
+			p, _ := anyPath(db, u, v)
+			pathWitness[f.pathVar] = p
+		}
+		return true
+	}
+	rec = func(i int) bool {
+		if searchErr != nil {
+			return false
+		}
+		if i == len(order) {
+			return true
+		}
+		v := order[i]
+		if pv, ok := pinned[v]; ok {
+			assign[v] = pv
+			stats.NodeAssignments++
+			if check(i+1) && rec(i+1) {
+				return true
+			}
+			delete(assign, v)
+			return false
+		}
+		for d := 0; d < db.NumVertices(); d++ {
+			assign[v] = d
+			stats.NodeAssignments++
+			if check(i+1) && rec(i+1) {
+				return true
+			}
+		}
+		delete(assign, v)
+		return false
+	}
+	// Edge case: zero node variables (no atoms): trivially satisfiable.
+	sat := rec(0)
+	if searchErr != nil {
+		return nil, searchErr
+	}
+	res := &Result{Sat: sat, Stats: stats}
+	if sat {
+		res.Nodes = make(map[string]int, len(assign))
+		for k, v := range assign {
+			res.Nodes[k] = v
+		}
+		res.Paths = pathWitness
+	}
+	return res, nil
+}
+
+// evalReduction implements Lemma 4.3: merge components (Lemma 4.1),
+// materialize each merged component's endpoint relation
+//
+//	R' = { (u1, v1, ..., ut, vt) : ∃ paths ui→vi with labels in R },
+//
+// build the conjunctive query with one atom R'(x1, y1, ..., xt, yt) per
+// component plus binary reachability atoms for free tracks, and evaluate it
+// with the tree-decomposition dynamic program. The Gaifman graph of that CQ
+// is exactly G^node of the (normalized) abstraction.
+func evalReduction(db *graphdb.DB, q *query.Query, comps []component, frees []freeTrack, pinned map[string]int, opts Options) (*Result, error) {
+	st, cqq, stats, err := buildReduction(db, q, comps, frees, pinned, opts)
+	if err != nil {
+		return nil, err
+	}
+	if db.NumVertices() == 0 {
+		// Empty database: satisfiable only if the query has no atoms at all.
+		sat := len(cqq.Atoms) == 0 && len(q.Reach) == 0
+		return &Result{Sat: sat, Stats: stats}, nil
+	}
+
+	assign, sat, err := cq.EvalTreeDecomp(st, cqq)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Sat: sat, Stats: stats}
+	if !sat {
+		return res, nil
+	}
+	// Node variables that appear in the query but not in any CQ atom (no
+	// components and no free tracks reference them) default to vertex 0.
+	res.Nodes = make(map[string]int)
+	for _, v := range q.NodeVars() {
+		if d, ok := assign[v]; ok {
+			res.Nodes[v] = d
+		} else if pv, ok := pinned[v]; ok {
+			res.Nodes[v] = pv
+		} else {
+			res.Nodes[v] = 0
+		}
+	}
+	// Recover concrete paths per component with pinned endpoints.
+	res.Paths = make(map[string]graphdb.Path)
+	for ci := range comps {
+		c := &comps[ci]
+		srcs := make([]int, len(c.tracks))
+		dsts := make([]int, len(c.tracks))
+		for k, tr := range c.tracks {
+			srcs[k] = res.Nodes[tr.srcVar]
+			dsts[k] = res.Nodes[tr.dstVar]
+		}
+		paths, ok, err := checkComponent(db, c, srcs, dsts, opts.maxStates())
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("core: internal error: CQ witness not realizable in component %d", ci)
+		}
+		for k, tr := range c.tracks {
+			res.Paths[tr.pathVar] = paths[k]
+		}
+	}
+	for _, f := range frees {
+		p, ok := anyPath(db, res.Nodes[f.srcVar], res.Nodes[f.dstVar])
+		if !ok {
+			return nil, fmt.Errorf("core: internal error: free track %q not realizable", f.pathVar)
+		}
+		res.Paths[f.pathVar] = p
+	}
+	return res, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ecrpq/internal/alphabet"
+	"ecrpq/internal/graphdb"
+)
+
+// fastProduct is an allocation-light variant of productSearch for the hot
+// paths that do not need witness reconstruction (existence checks and the
+// Lemma 4.3 R' sweep). Product states are packed into a single uint64:
+//
+//	[ relation-state combo | vertex per track | done bits ]
+//
+// It applies when the packing fits in 63 bits; callers fall back to the
+// general search otherwise.
+type fastProduct struct {
+	db    *graphdb.DB
+	c     *component
+	nfas  []*nfaView
+	t     int
+	vBits uint
+	qBits uint
+	radix []int // relation NFA sizes for mixed-radix state packing
+	nsym  int
+	adj   [][]int32 // adj[v*nsym+sym] = successors of v along sym-edges
+
+	// Precomputed per-relation transition lists plus the stall pseudo-move.
+	// Transitions are grouped per source state (from nfaView).
+
+	// Scratch (reused across Run calls). For small packed spaces a bitset
+	// replaces the map; it is cleared incrementally via the previous queue.
+	visited map[uint64]struct{}
+	bitset  []uint64
+	queue   []uint64
+}
+
+// bitsetMaxBits bounds the packed-space size for which a bitset is used
+// (2^26 bits = 8 MiB).
+const bitsetMaxBits = 26
+
+// newFastProduct returns nil when the state does not pack into 63 bits.
+func newFastProduct(db *graphdb.DB, c *component) *fastProduct {
+	t := len(c.tracks)
+	if t == 0 || t > 16 {
+		return nil
+	}
+	nfas := make([]*nfaView, len(c.rels))
+	qCombos := 1
+	radix := make([]int, len(c.rels))
+	for i, r := range c.rels {
+		nfas[i] = newNFAView(r)
+		n := r.RawNFA().NumStates()
+		if n == 0 {
+			n = 1
+		}
+		radix[i] = n
+		if qCombos > (1<<30)/n {
+			return nil
+		}
+		qCombos *= n
+	}
+	vBits := uint(bits.Len(uint(maxInt(db.NumVertices()-1, 1))))
+	qBits := uint(bits.Len(uint(qCombos - 1)))
+	if qBits == 0 {
+		qBits = 1
+	}
+	total := qBits + uint(t)*vBits + uint(t)
+	if total > 63 {
+		return nil
+	}
+	nsym := db.Alphabet().Size()
+	adj := make([][]int32, db.NumVertices()*nsym)
+	for v := 0; v < db.NumVertices(); v++ {
+		for _, e := range db.Out(v) {
+			idx := v*nsym + int(e.Label)
+			adj[idx] = append(adj[idx], int32(e.To))
+		}
+	}
+	f := &fastProduct{
+		db: db, c: c, nfas: nfas, t: t,
+		vBits: vBits, qBits: qBits, radix: radix,
+		nsym: nsym, adj: adj,
+	}
+	if total <= bitsetMaxBits {
+		f.bitset = make([]uint64, (uint64(1)<<total+63)/64)
+	} else {
+		f.visited = make(map[uint64]struct{})
+	}
+	return f
+}
+
+func (f *fastProduct) pack(relStates []int, verts []int, done uint64) uint64 {
+	q := 0
+	for i := len(relStates) - 1; i >= 0; i-- {
+		q = q*f.radix[i] + relStates[i]
+	}
+	key := uint64(q)
+	shift := f.qBits
+	for _, v := range verts {
+		key |= uint64(v) << shift
+		shift += f.vBits
+	}
+	key |= done << shift
+	return key
+}
+
+func (f *fastProduct) unpack(key uint64, relStates []int, verts []int) (done uint64) {
+	q := int(key & (1<<f.qBits - 1))
+	for i := range relStates {
+		relStates[i] = q % f.radix[i]
+		q /= f.radix[i]
+	}
+	shift := f.qBits
+	mask := uint64(1)<<f.vBits - 1
+	for i := range verts {
+		verts[i] = int((key >> shift) & mask)
+		shift += f.vBits
+	}
+	return key >> shift
+}
+
+// Run explores from the given sources and calls accept on every accepting
+// state's vertex tuple; accept returning true stops the search early (and
+// Run returns true). maxStates caps exploration (0 = unlimited).
+func (f *fastProduct) Run(srcs []int, accept func(verts []int) bool, maxStates int) (bool, error) {
+	if f.bitset != nil {
+		// Incremental clear: exactly the previous run's states are set.
+		for _, k := range f.queue {
+			f.bitset[k>>6] &^= 1 << (k & 63)
+		}
+	} else {
+		clear(f.visited)
+	}
+	f.queue = f.queue[:0]
+	t := f.t
+	const unset = alphabet.Symbol(-2)
+
+	relStates := make([]int, len(f.nfas))
+	verts := make([]int, t)
+	nextRel := make([]int, len(f.nfas))
+	joint := make([]alphabet.Symbol, t)
+	newVerts := make([]int, t)
+
+	var push func(key uint64)
+	if f.bitset != nil {
+		push = func(key uint64) {
+			if f.bitset[key>>6]&(1<<(key&63)) == 0 {
+				f.bitset[key>>6] |= 1 << (key & 63)
+				f.queue = append(f.queue, key)
+			}
+		}
+	} else {
+		push = func(key uint64) {
+			if _, ok := f.visited[key]; !ok {
+				f.visited[key] = struct{}{}
+				f.queue = append(f.queue, key)
+			}
+		}
+	}
+	// Start states: all combinations of relation start states.
+	var buildStarts func(i int)
+	buildStarts = func(i int) {
+		if i == len(f.nfas) {
+			push(f.pack(relStates, srcs, 0))
+			return
+		}
+		for _, q := range f.nfas[i].starts {
+			relStates[i] = q
+			buildStarts(i + 1)
+		}
+	}
+	buildStarts(0)
+
+	for qi := 0; qi < len(f.queue); qi++ {
+		key := f.queue[qi]
+		done := f.unpack(key, relStates, verts)
+		allAcc := true
+		for i, v := range f.nfas {
+			if !v.accept[relStates[i]] {
+				allAcc = false
+				break
+			}
+		}
+		if allAcc && accept(verts) {
+			return true, nil
+		}
+		if maxStates > 0 && len(f.queue) > maxStates {
+			return false, fmt.Errorf("core: product exceeded the state budget of %d", maxStates)
+		}
+		for i := range joint {
+			joint[i] = unset
+		}
+		var overRels func(i int)
+		overRels = func(i int) {
+			if i == len(f.nfas) {
+				f.expand(done, verts, joint, nextRel, newVerts, push)
+				return
+			}
+			for _, tr := range f.nfas[i].trans[relStates[i]] {
+				ok := true
+				var touched [16]int
+				nt := 0
+				for k, s := range tr.tuple {
+					mt := f.c.relTracks[i][k]
+					if joint[mt] == unset {
+						joint[mt] = s
+						touched[nt] = mt
+						nt++
+					} else if joint[mt] != s {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					nextRel[i] = tr.to
+					overRels(i + 1)
+				}
+				for j := 0; j < nt; j++ {
+					joint[touched[j]] = unset
+				}
+			}
+			// Stall: this relation's tracks are all padded from here on.
+			ok := true
+			var touched [16]int
+			nt := 0
+			for _, mt := range f.c.relTracks[i] {
+				if joint[mt] == unset {
+					joint[mt] = alphabet.Pad
+					touched[nt] = mt
+					nt++
+				} else if joint[mt] != alphabet.Pad {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				nextRel[i] = relStates[i]
+				overRels(i + 1)
+			}
+			for j := 0; j < nt; j++ {
+				joint[touched[j]] = unset
+			}
+		}
+		overRels(0)
+	}
+	return false, nil
+}
+
+// expand advances database pointers for a fully-determined joint letter.
+func (f *fastProduct) expand(done uint64, verts []int, joint []alphabet.Symbol, nextRel, newVerts []int, push func(uint64)) {
+	t := f.t
+	allPad := true
+	for i := 0; i < t; i++ {
+		if joint[i] != alphabet.Pad {
+			allPad = false
+			if done&(1<<uint(i)) != 0 {
+				return
+			}
+		}
+	}
+	if allPad {
+		return
+	}
+	newDone := done
+	for i := 0; i < t; i++ {
+		if joint[i] == alphabet.Pad {
+			newDone |= 1 << uint(i)
+		}
+	}
+	copy(newVerts, verts)
+	var overTracks func(i int)
+	overTracks = func(i int) {
+		if i == t {
+			push(f.pack(nextRel, newVerts, newDone))
+			return
+		}
+		if joint[i] == alphabet.Pad {
+			overTracks(i + 1)
+			return
+		}
+		cur := verts[i]
+		for _, to := range f.adj[cur*f.nsym+int(joint[i])] {
+			newVerts[i] = int(to)
+			overTracks(i + 1)
+		}
+		newVerts[i] = cur
+	}
+	overTracks(0)
+}

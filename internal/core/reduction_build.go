@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"ecrpq/internal/cq"
+	"ecrpq/internal/graphdb"
+	"ecrpq/internal/query"
+	"ecrpq/internal/synchro"
+)
+
+// buildReduction constructs the Lemma 4.3 instance: a relational structure
+// over the database's vertices with one materialized endpoint relation R'
+// per merged component (plus a plain-reachability relation for free tracks
+// and singleton relations for pinned variables), and the conjunctive query
+// whose Gaifman graph is G^node of the normalized abstraction.
+func buildReduction(db *graphdb.DB, q *query.Query, comps []component, frees []freeTrack, pinned map[string]int, opts Options) (*cq.Structure, *cq.Query, Stats, error) {
+	stats := Stats{}
+	n := db.NumVertices()
+	st := cq.NewStructure(maxInt(n, 1))
+	cqq := &cq.Query{}
+
+	// Free tracks: binary reachability relation (shared by all).
+	if len(frees) > 0 {
+		if err := st.AddRelation("__reach", 2); err != nil {
+			return nil, nil, stats, err
+		}
+		for u := 0; u < n; u++ {
+			reach := anyReach(db, u)
+			for v, ok := range reach {
+				if ok {
+					st.MustAddTuple("__reach", u, v)
+					stats.CQTuples++
+				}
+			}
+		}
+		for _, f := range frees {
+			cqq.Atoms = append(cqq.Atoms, cq.Atom{Rel: "__reach", Args: []string{f.srcVar, f.dstVar}})
+		}
+	}
+
+	// Components: materialize R' by sweeping all source tuples.
+	for ci := range comps {
+		c := &comps[ci]
+		rel, err := mergeComponent(q.Alphabet(), c)
+		if err != nil {
+			return nil, nil, stats, err
+		}
+		mst, _ := rel.Size()
+		stats.MergedStatesTotal += mst
+		allTracks := make([]int, len(c.tracks))
+		for k := range allTracks {
+			allTracks[k] = k
+		}
+		merged := component{
+			tracks:    c.tracks,
+			nodeVars:  c.nodeVars,
+			rels:      []*synchro.Relation{rel},
+			relTracks: [][]int{allTracks},
+		}
+
+		t := len(c.tracks)
+		name := fmt.Sprintf("__comp%d", ci)
+		if err := st.AddRelation(name, 2*t); err != nil {
+			return nil, nil, stats, err
+		}
+		if n > 0 {
+			added, err := sweepComponent(db, &merged, t, n, opts, func(tuple []int) error {
+				return st.AddTuple(name, tuple...)
+			})
+			if err != nil {
+				return nil, nil, stats, err
+			}
+			stats.CQTuples += added
+		}
+		args := make([]string, 0, 2*t)
+		for _, tr := range c.tracks {
+			args = append(args, tr.srcVar, tr.dstVar)
+		}
+		cqq.Atoms = append(cqq.Atoms, cq.Atom{Rel: name, Args: args})
+	}
+
+	// Pin variables via singleton relations.
+	for v, val := range pinned {
+		name := fmt.Sprintf("__pin_%s", v)
+		if st.Relation(name) == nil {
+			if err := st.AddRelation(name, 1); err != nil {
+				return nil, nil, stats, err
+			}
+			if err := st.AddTuple(name, val); err != nil {
+				return nil, nil, stats, err
+			}
+		}
+		cqq.Atoms = append(cqq.Atoms, cq.Atom{Rel: name, Args: []string{v}})
+	}
+	return st, cqq, stats, nil
+}
+
+// answersReduction computes the answer set via a single Lemma 4.3
+// materialization followed by conjunctive-query answer enumeration. It
+// reports ok=false when the strategy resolution chooses the generic
+// algorithm (large components), in which case the caller falls back to
+// per-tuple pinning.
+func answersReduction(db *graphdb.DB, q *query.Query, opts Options) ([][]int, bool, error) {
+	comps, frees, err := decompose(q)
+	if err != nil {
+		return nil, false, err
+	}
+	strat := opts.Strategy
+	if strat == Auto {
+		strat = Reduction
+		for _, c := range comps {
+			if len(c.tracks) > opts.maxReductionTracks() {
+				strat = Generic
+				break
+			}
+		}
+	}
+	if strat != Reduction {
+		return nil, false, nil
+	}
+	if db.NumVertices() == 0 {
+		return nil, true, nil
+	}
+	st, cqq, _, err := buildReduction(db, q, comps, frees, nil, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	// Free variables must occur in the CQ; a free variable used only in
+	// reachability atoms of components always does (its component atom
+	// mentions it). Guard for pathological queries anyway.
+	inCQ := make(map[string]bool)
+	for _, at := range cqq.Atoms {
+		for _, v := range at.Args {
+			inCQ[v] = true
+		}
+	}
+	for _, f := range q.Free {
+		if !inCQ[f] {
+			// Unconstrained free variable: fall back to pinning.
+			return nil, false, nil
+		}
+	}
+	cqq.Free = append([]string(nil), q.Free...)
+	out, err := cq.AllAnswers(st, cqq)
+	if err != nil {
+		return nil, false, err
+	}
+	return out, true, nil
+}
+
+// maxSweepSources bounds the Lemma 4.3 sweep: V^t source tuples beyond this
+// are refused rather than silently running for hours.
+const maxSweepSources = 1 << 32
+
+// sweepComponent enumerates all V^t source tuples of a merged component,
+// computes each reachable destination tuple, and feeds the interleaved
+// (u1, v1, ..., ut, vt) rows to add. The sweep is sharded across
+// opts.workers() goroutines, each with its own product-search scratch
+// space; rows are merged on the calling goroutine, so add needs no locking.
+// Returns the number of rows produced.
+func sweepComponent(db *graphdb.DB, merged *component, t, n int, opts Options, add func([]int) error) (int, error) {
+	total := 1
+	for i := 0; i < t; i++ {
+		if total > maxSweepSources/n {
+			return 0, fmt.Errorf("core: Lemma 4.3 sweep of %d^%d source tuples exceeds the safety bound", n, t)
+		}
+		total *= n
+	}
+	decode := func(idx int, srcs []int) {
+		for i := 0; i < t; i++ {
+			srcs[i] = idx % n
+			idx /= n
+		}
+	}
+	workers := opts.workers()
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		fp := newFastProduct(db, merged)
+		srcs := make([]int, t)
+		row := make([]int, 2*t)
+		count := 0
+		for idx := 0; idx < total; idx++ {
+			decode(idx, srcs)
+			dstTuples, err := componentReachSet(db, merged, fp, srcs, opts.maxStates())
+			if err != nil {
+				return count, err
+			}
+			for _, dsts := range dstTuples {
+				for k := 0; k < t; k++ {
+					row[2*k] = srcs[k]
+					row[2*k+1] = dsts[k]
+				}
+				if err := add(row); err != nil {
+					return count, err
+				}
+				count++
+			}
+		}
+		return count, nil
+	}
+
+	results := make([][][]int, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fp := newFastProduct(db, merged)
+			srcs := make([]int, t)
+			for idx := w; idx < total; idx += workers {
+				decode(idx, srcs)
+				dstTuples, err := componentReachSet(db, merged, fp, srcs, opts.maxStates())
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				for _, dsts := range dstTuples {
+					row := make([]int, 2*t)
+					for k := 0; k < t; k++ {
+						row[2*k] = srcs[k]
+						row[2*k+1] = dsts[k]
+					}
+					results[w] = append(results[w], row)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	count := 0
+	for _, rows := range results {
+		for _, row := range rows {
+			if err := add(row); err != nil {
+				return count, err
+			}
+			count++
+		}
+	}
+	return count, nil
+}

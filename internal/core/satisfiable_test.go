@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ecrpq/internal/alphabet"
+	"ecrpq/internal/graphdb"
+	"ecrpq/internal/query"
+	"ecrpq/internal/synchro"
+)
+
+func TestSatisfiableBasic(t *testing.T) {
+	a := alphabet.Lower(2)
+	// eq-len pair: satisfiable (empty words).
+	q := query.NewBuilder(a).
+		Reach("x", "p1", "y").
+		Reach("x", "p2", "y").
+		Rel(synchro.EqualLength(a, 2), "p1", "p2").
+		MustBuild()
+	db, res, sat, err := Satisfiable(q)
+	if err != nil || !sat {
+		t.Fatalf("sat=%v err=%v", sat, err)
+	}
+	if err := VerifyWitness(db, q, res); err != nil {
+		t.Fatal(err)
+	}
+	// With empty-word witnesses, x and y should have been identified.
+	if res.Nodes["x"] != res.Nodes["y"] {
+		// Only required if the witness words are empty; check consistency.
+		if res.Paths["p1"].Len() == 0 {
+			t.Error("empty path with distinct endpoints")
+		}
+	}
+}
+
+func TestSatisfiableUnsat(t *testing.T) {
+	a := alphabet.Lower(2)
+	// Equality with disjoint languages: unsatisfiable on every database.
+	q := query.NewBuilder(a).
+		Reach("x", "p1", "y").
+		Reach("x", "p2", "y").
+		Rel(synchro.Equality(a, 2), "p1", "p2").
+		Lang("p1", "a+").
+		Lang("p2", "b+").
+		MustBuild()
+	_, _, sat, err := Satisfiable(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat {
+		t.Error("a+ = b+ should be unsatisfiable")
+	}
+}
+
+func TestSatisfiableForcedWords(t *testing.T) {
+	a := alphabet.Lower(2)
+	// Non-empty forced words with a shared endpoint cycle: x -p-> x with
+	// label in a+ forces a cycle in the canonical database.
+	q := query.NewBuilder(a).
+		Reach("x", "p", "x").
+		Lang("p", "aa+").
+		MustBuild()
+	db, res, sat, err := Satisfiable(q)
+	if err != nil || !sat {
+		t.Fatalf("sat=%v err=%v", sat, err)
+	}
+	if res.Paths["p"].Len() < 2 {
+		t.Errorf("witness path too short: %d", res.Paths["p"].Len())
+	}
+	if res.Paths["p"].Start != res.Paths["p"].End() {
+		t.Error("cycle witness does not close")
+	}
+	if db.NumVertices() < 2 {
+		t.Error("canonical database too small for a length-2 cycle")
+	}
+}
+
+func TestSatisfiableInvalidQuery(t *testing.T) {
+	a := alphabet.Lower(2)
+	bad := query.NewBuilder(a).Reach("x", "p", "y").MustBuild()
+	bad.Rels = append(bad.Rels, query.RelAtom{Rel: synchro.Equality(a, 2), Paths: []string{"p", "missing"}})
+	if _, _, _, err := Satisfiable(bad); err == nil {
+		t.Error("invalid query should error")
+	}
+}
+
+// TestSatisfiableAgreesWithCanonicalEvaluationProperty: for random queries,
+// Satisfiable's verdict must match evaluating on the canonical database
+// (when sat) and the query must also fail on the single-vertex loop database
+// test only when genuinely constrained... we simply cross-check: if
+// Satisfiable says yes, Evaluate on the returned database says yes.
+func TestSatisfiableAgreesWithEvaluationProperty(t *testing.T) {
+	a := alphabet.Lower(2)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuery(rng, a)
+		db, res, sat, err := Satisfiable(q)
+		if err != nil {
+			return false
+		}
+		if !sat {
+			// Cross-check: unsatisfiable on a generous database too (the
+			// two-symbol loop database realizes every word as a path).
+			loop := loopedDB(a)
+			r2, err := Evaluate(loop, q, Options{Strategy: Generic})
+			if err != nil {
+				return false
+			}
+			return !r2.Sat
+		}
+		if err := VerifyWitness(db, q, res); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		r2, err := Evaluate(db, q, Options{Strategy: Generic})
+		if err != nil || !r2.Sat {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func loopedDB(a *alphabet.Alphabet) *graphdb.DB {
+	db := graphdb.New(a)
+	v := db.MustAddVertex("v")
+	for _, s := range a.Symbols() {
+		db.MustAddEdge(v, s, v)
+	}
+	return db
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"sort"
+
+	"ecrpq/internal/graphdb"
+	"ecrpq/internal/query"
+)
+
+// UnionResult is the outcome of evaluating a UECRPQ: the first satisfying
+// disjunct's witness, if any.
+type UnionResult struct {
+	Sat      bool
+	Disjunct int // index of the satisfying disjunct (-1 when unsat)
+	Result   *Result
+}
+
+// EvaluateUnion decides a UECRPQ (finite union of ECRPQs): satisfied iff
+// some disjunct is. The paper's characterization extends verbatim to unions
+// — every measure of the union's class is the max over disjuncts.
+func EvaluateUnion(db *graphdb.DB, u *query.UnionQuery, opts Options) (*UnionResult, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	for i, q := range u.Disjuncts {
+		res, err := Evaluate(db, q, opts)
+		if err != nil {
+			return nil, err
+		}
+		if res.Sat {
+			return &UnionResult{Sat: true, Disjunct: i, Result: res}, nil
+		}
+	}
+	return &UnionResult{Sat: false, Disjunct: -1}, nil
+}
+
+// AnswersUnion computes the answer set of a UECRPQ with free variables: the
+// union of the disjuncts' answer sets, deduplicated and sorted.
+func AnswersUnion(db *graphdb.DB, u *query.UnionQuery, opts Options) ([][]int, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out [][]int
+	for _, q := range u.Disjuncts {
+		ans, err := Answers(db, q, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, tup := range ans {
+			k := key4(tup)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, tup)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out, nil
+}

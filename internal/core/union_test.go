@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"ecrpq/internal/query"
+)
+
+func TestEvaluateUnion(t *testing.T) {
+	db := lineDB(t)
+	u, err := query.ParseUnionString(`
+alphabet a b
+x -[bb]-> y
+or
+x -[aab]-> y
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvaluateUnion(db, u, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sat || res.Disjunct != 1 {
+		t.Errorf("union: sat=%v disjunct=%d, want sat via disjunct 1", res.Sat, res.Disjunct)
+	}
+	if err := VerifyWitness(db, u.Disjuncts[1], res.Result); err != nil {
+		t.Errorf("witness: %v", err)
+	}
+	// All-unsat union.
+	u2, err := query.ParseUnionString(`
+alphabet a b
+x -[bb]-> y
+or
+x -[bbb]-> y
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := EvaluateUnion(db, u2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Sat || res2.Disjunct != -1 {
+		t.Errorf("unsat union: %+v", res2)
+	}
+	// Invalid union.
+	if _, err := EvaluateUnion(db, &query.UnionQuery{}, Options{}); err == nil {
+		t.Error("empty union should error")
+	}
+}
+
+func TestAnswersUnion(t *testing.T) {
+	db := lineDB(t)
+	u, err := query.ParseUnionString(`
+alphabet a b
+free x
+x -[aa]-> y
+or
+free x
+x -[b]-> y
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AnswersUnion(db, u, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// aa-paths start at u, n1; b-paths start at u, m2. Union = {u, n1, m2}.
+	want := map[string]bool{"u": true, "n1": true, "m2": true}
+	if len(got) != len(want) {
+		t.Fatalf("answers = %v", got)
+	}
+	for _, tup := range got {
+		if !want[db.VertexName(tup[0])] {
+			t.Errorf("unexpected answer %s", db.VertexName(tup[0]))
+		}
+	}
+	if _, err := AnswersUnion(db, &query.UnionQuery{}, Options{}); err == nil {
+		t.Error("empty union should error")
+	}
+}

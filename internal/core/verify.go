@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+
+	"ecrpq/internal/alphabet"
+	"ecrpq/internal/graphdb"
+	"ecrpq/internal/query"
+)
+
+// VerifyWitness checks that a satisfying Result is genuine: every node
+// variable is assigned a database vertex, every path witness is a real path
+// of the database connecting the assigned endpoints of its reachability
+// atom, and every relation atom holds on the witness path labels. It returns
+// nil exactly when the witness certifies D ⊨ q.
+func VerifyWitness(db *graphdb.DB, q *query.Query, res *Result) error {
+	if res == nil || !res.Sat {
+		return fmt.Errorf("core: result is not satisfying")
+	}
+	for _, v := range q.NodeVars() {
+		d, ok := res.Nodes[v]
+		if !ok {
+			return fmt.Errorf("core: node variable %q unassigned", v)
+		}
+		if d < 0 || d >= db.NumVertices() {
+			return fmt.Errorf("core: node variable %q assigned to non-vertex %d", v, d)
+		}
+	}
+	for _, ra := range q.Reach {
+		p, ok := res.Paths[ra.Path]
+		if !ok {
+			return fmt.Errorf("core: path variable %q has no witness", ra.Path)
+		}
+		if !p.Valid(db) {
+			return fmt.Errorf("core: witness for %q is not a path of the database", ra.Path)
+		}
+		if p.Start != res.Nodes[ra.Src] {
+			return fmt.Errorf("core: witness for %q starts at %d, want %s=%d",
+				ra.Path, p.Start, ra.Src, res.Nodes[ra.Src])
+		}
+		if p.End() != res.Nodes[ra.Dst] {
+			return fmt.Errorf("core: witness for %q ends at %d, want %s=%d",
+				ra.Path, p.End(), ra.Dst, res.Nodes[ra.Dst])
+		}
+	}
+	for i, ra := range q.Rels {
+		words := make([]alphabet.Word, len(ra.Paths))
+		for k, pv := range ra.Paths {
+			words[k] = res.Paths[pv].Label()
+		}
+		in, err := ra.Rel.Contains(words...)
+		if err != nil {
+			return fmt.Errorf("core: relation atom %d: %v", i, err)
+		}
+		if !in {
+			return fmt.Errorf("core: relation atom %d (%s) rejects witness labels", i, ra.Rel)
+		}
+	}
+	return nil
+}

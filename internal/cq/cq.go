@@ -1,0 +1,204 @@
+// Package cq implements conjunctive queries over finite relational
+// structures and two evaluators: exhaustive backtracking, and the
+// tree-decomposition dynamic program that makes bounded-treewidth evaluation
+// polynomial (Proposition 2.3 of the paper). It is the target of the
+// ECRPQ-to-CQ reduction of Lemma 4.3.
+package cq
+
+import (
+	"fmt"
+	"sort"
+
+	"ecrpq/internal/twolevel"
+)
+
+// Structure is a finite relational structure with domain {0, ..., Domain-1}
+// and named relations.
+type Structure struct {
+	Domain int
+	rels   map[string]*Relation
+}
+
+// Relation is a named relation: a set of tuples over the domain.
+type Relation struct {
+	Arity  int
+	Tuples [][]int
+	index  map[string]bool
+}
+
+// NewStructure returns a structure with the given domain size.
+func NewStructure(domain int) *Structure {
+	return &Structure{Domain: domain, rels: make(map[string]*Relation)}
+}
+
+// AddRelation declares a relation. Re-declaring a name is an error.
+func (s *Structure) AddRelation(name string, arity int) error {
+	if _, ok := s.rels[name]; ok {
+		return fmt.Errorf("cq: duplicate relation %q", name)
+	}
+	if arity < 1 {
+		return fmt.Errorf("cq: relation %q arity %d < 1", name, arity)
+	}
+	s.rels[name] = &Relation{Arity: arity, index: make(map[string]bool)}
+	return nil
+}
+
+// AddTuple inserts a tuple into a declared relation. Duplicates are ignored.
+func (s *Structure) AddTuple(name string, tuple ...int) error {
+	r, ok := s.rels[name]
+	if !ok {
+		return fmt.Errorf("cq: unknown relation %q", name)
+	}
+	if len(tuple) != r.Arity {
+		return fmt.Errorf("cq: relation %q arity %d, tuple %v", name, r.Arity, tuple)
+	}
+	for _, v := range tuple {
+		if v < 0 || v >= s.Domain {
+			return fmt.Errorf("cq: tuple value %d outside domain", v)
+		}
+	}
+	k := key(tuple)
+	if r.index[k] {
+		return nil
+	}
+	r.index[k] = true
+	cp := make([]int, len(tuple))
+	copy(cp, tuple)
+	r.Tuples = append(r.Tuples, cp)
+	return nil
+}
+
+// MustAddTuple is AddTuple, panicking on error.
+func (s *Structure) MustAddTuple(name string, tuple ...int) {
+	if err := s.AddTuple(name, tuple...); err != nil {
+		panic(err)
+	}
+}
+
+// Contains reports whether the relation holds the tuple.
+func (s *Structure) Contains(name string, tuple ...int) bool {
+	r, ok := s.rels[name]
+	if !ok || len(tuple) != r.Arity {
+		return false
+	}
+	return r.index[key(tuple)]
+}
+
+// RelationNames returns the declared relation names, sorted.
+func (s *Structure) RelationNames() []string {
+	out := make([]string, 0, len(s.rels))
+	for n := range s.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Relation returns the named relation (nil if absent).
+func (s *Structure) Relation(name string) *Relation { return s.rels[name] }
+
+// NumTuples returns the total number of tuples across relations.
+func (s *Structure) NumTuples() int {
+	n := 0
+	for _, r := range s.rels {
+		n += len(r.Tuples)
+	}
+	return n
+}
+
+func key(tuple []int) string {
+	buf := make([]byte, 4*len(tuple))
+	for i, v := range tuple {
+		buf[4*i] = byte(v)
+		buf[4*i+1] = byte(v >> 8)
+		buf[4*i+2] = byte(v >> 16)
+		buf[4*i+3] = byte(v >> 24)
+	}
+	return string(buf)
+}
+
+// Atom is a conjunctive-query atom Rel(Args...).
+type Atom struct {
+	Rel  string
+	Args []string
+}
+
+// Query is a conjunctive query. Free lists the free variables (empty means
+// Boolean).
+type Query struct {
+	Atoms []Atom
+	Free  []string
+}
+
+// Vars returns the variables of the query in first-occurrence order.
+func (q *Query) Vars() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range q.Free {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	for _, at := range q.Atoms {
+		for _, v := range at.Args {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks atoms against the structure's signature.
+func (q *Query) Validate(s *Structure) error {
+	varSeen := make(map[string]bool)
+	for i, at := range q.Atoms {
+		r := s.Relation(at.Rel)
+		if r == nil {
+			return fmt.Errorf("cq: atom %d uses unknown relation %q", i, at.Rel)
+		}
+		if len(at.Args) != r.Arity {
+			return fmt.Errorf("cq: atom %d has %d args for arity-%d relation %q",
+				i, len(at.Args), r.Arity, at.Rel)
+		}
+		for _, v := range at.Args {
+			if v == "" {
+				return fmt.Errorf("cq: atom %d has empty variable", i)
+			}
+			varSeen[v] = true
+		}
+	}
+	for _, f := range q.Free {
+		if !varSeen[f] {
+			return fmt.Errorf("cq: free variable %q not in query", f)
+		}
+	}
+	return nil
+}
+
+// GaifmanGraph returns the Gaifman (primal) graph of the query together with
+// the variable order indexing its vertices.
+func (q *Query) GaifmanGraph() (*twolevel.SimpleGraph, []string) {
+	vars := q.Vars()
+	idx := make(map[string]int, len(vars))
+	for i, v := range vars {
+		idx[v] = i
+	}
+	g := twolevel.NewSimpleGraph(len(vars))
+	for _, at := range q.Atoms {
+		for i := 0; i < len(at.Args); i++ {
+			for j := i + 1; j < len(at.Args); j++ {
+				g.AddEdge(idx[at.Args[i]], idx[at.Args[j]])
+			}
+		}
+	}
+	return g, vars
+}
+
+// Treewidth returns treewidth bounds of the query's Gaifman graph.
+func (q *Query) Treewidth() (lower, upper int, exact bool) {
+	g, _ := q.GaifmanGraph()
+	return g.Treewidth()
+}

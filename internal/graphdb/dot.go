@@ -1,0 +1,23 @@
+package graphdb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the database in Graphviz DOT format, using vertex names and
+// symbol names as labels.
+func (d *DB) DOT(name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=LR;\n  node [shape=ellipse];\n", name)
+	for v := 0; v < d.NumVertices(); v++ {
+		fmt.Fprintf(&sb, "  %d [label=%q];\n", v, d.VertexName(v))
+	}
+	for u := 0; u < d.NumVertices(); u++ {
+		for _, e := range d.Out(u) {
+			fmt.Fprintf(&sb, "  %d -> %d [label=%q];\n", u, e.To, d.alpha.Name(e.Label))
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,447 @@
+// Package graphdb implements edge-labelled graph databases (Section 2 of the
+// paper): finite graphs D = (V, E) with E ⊆ V × A × V over a finite alphabet
+// A, plus regular-path-query (RPQ) evaluation by product reachability.
+package graphdb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ecrpq/internal/alphabet"
+	"ecrpq/internal/automata"
+)
+
+// Edge is a labelled edge to a target vertex (the source is implicit in the
+// adjacency list position).
+type Edge struct {
+	Label alphabet.Symbol
+	To    int
+}
+
+// DB is a graph database. Vertices are dense integers; each may carry an
+// optional name. The zero value is not usable; create with New.
+type DB struct {
+	alpha *alphabet.Alphabet
+	names []string
+	index map[string]int
+	out   [][]Edge
+	in    [][]Edge
+	edges int
+}
+
+// New returns an empty database over the given alphabet.
+func New(a *alphabet.Alphabet) *DB {
+	return &DB{alpha: a, index: make(map[string]int)}
+}
+
+// Alphabet returns the database's edge alphabet.
+func (d *DB) Alphabet() *alphabet.Alphabet { return d.alpha }
+
+// AddVertex adds a vertex with an optional name ("" for anonymous) and
+// returns its id. Named vertices must be unique.
+func (d *DB) AddVertex(name string) (int, error) {
+	if name != "" {
+		if _, ok := d.index[name]; ok {
+			return -1, fmt.Errorf("graphdb: duplicate vertex %q", name)
+		}
+	}
+	v := len(d.names)
+	d.names = append(d.names, name)
+	d.out = append(d.out, nil)
+	d.in = append(d.in, nil)
+	if name != "" {
+		d.index[name] = v
+	}
+	return v, nil
+}
+
+// MustAddVertex is AddVertex, panicking on error.
+func (d *DB) MustAddVertex(name string) int {
+	v, err := d.AddVertex(name)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// EnsureVertex returns the id of the named vertex, creating it if absent.
+func (d *DB) EnsureVertex(name string) int {
+	if v, ok := d.index[name]; ok {
+		return v
+	}
+	return d.MustAddVertex(name)
+}
+
+// Lookup returns the id of a named vertex.
+func (d *DB) Lookup(name string) (int, bool) {
+	v, ok := d.index[name]
+	return v, ok
+}
+
+// VertexName returns the vertex's name, or "v<id>" if anonymous.
+func (d *DB) VertexName(v int) string {
+	if v >= 0 && v < len(d.names) && d.names[v] != "" {
+		return d.names[v]
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+// AddEdge adds the edge u --label--> v. Parallel duplicate edges are
+// ignored.
+func (d *DB) AddEdge(u int, label alphabet.Symbol, v int) error {
+	if u < 0 || u >= len(d.out) || v < 0 || v >= len(d.out) {
+		return fmt.Errorf("graphdb: edge endpoints (%d,%d) out of range", u, v)
+	}
+	if !d.alpha.Contains(label) {
+		return fmt.Errorf("graphdb: label %d not in alphabet", label)
+	}
+	for _, e := range d.out[u] {
+		if e.Label == label && e.To == v {
+			return nil
+		}
+	}
+	d.out[u] = append(d.out[u], Edge{label, v})
+	d.in[v] = append(d.in[v], Edge{label, u})
+	d.edges++
+	return nil
+}
+
+// MustAddEdge is AddEdge, panicking on error.
+func (d *DB) MustAddEdge(u int, label alphabet.Symbol, v int) {
+	if err := d.AddEdge(u, label, v); err != nil {
+		panic(err)
+	}
+}
+
+// NumVertices returns the number of vertices.
+func (d *DB) NumVertices() int { return len(d.names) }
+
+// NumEdges returns the number of edges.
+func (d *DB) NumEdges() int { return d.edges }
+
+// Out returns the outgoing edges of v. The slice must not be modified.
+func (d *DB) Out(v int) []Edge { return d.out[v] }
+
+// In returns the incoming edges of v (Edge.To holds the source). The slice
+// must not be modified.
+func (d *DB) In(v int) []Edge { return d.in[v] }
+
+// HasEdge reports whether u --label--> v exists.
+func (d *DB) HasEdge(u int, label alphabet.Symbol, v int) bool {
+	for _, e := range d.out[u] {
+		if e.Label == label && e.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Path is a path through the database: a start vertex plus a sequence of
+// edges.
+type Path struct {
+	Start int
+	Edges []Edge
+}
+
+// End returns the last vertex of the path.
+func (p Path) End() int {
+	if len(p.Edges) == 0 {
+		return p.Start
+	}
+	return p.Edges[len(p.Edges)-1].To
+}
+
+// Len returns the number of edges.
+func (p Path) Len() int { return len(p.Edges) }
+
+// Label returns the word read along the path.
+func (p Path) Label() alphabet.Word {
+	w := make(alphabet.Word, len(p.Edges))
+	for i, e := range p.Edges {
+		w[i] = e.Label
+	}
+	return w
+}
+
+// Valid reports whether the path's edges exist in the database and chain
+// correctly.
+func (p Path) Valid(d *DB) bool {
+	if p.Start < 0 || p.Start >= d.NumVertices() {
+		return false
+	}
+	cur := p.Start
+	for _, e := range p.Edges {
+		if !d.HasEdge(cur, e.Label, e.To) {
+			return false
+		}
+		cur = e.To
+	}
+	return true
+}
+
+// Format renders the path as v0 -a-> v1 -b-> v2.
+func (p Path) Format(d *DB) string {
+	var sb strings.Builder
+	sb.WriteString(d.VertexName(p.Start))
+	cur := p.Start
+	for _, e := range p.Edges {
+		fmt.Fprintf(&sb, " -%s-> %s", d.alpha.Name(e.Label), d.VertexName(e.To))
+		cur = e.To
+	}
+	_ = cur
+	return sb.String()
+}
+
+// ReachableFrom returns the set of vertices v such that some path from src
+// to v has a label accepted by the NFA, computed by BFS over the product of
+// the database with the automaton. The automaton must be ε-free (compile
+// regexes with rex, which guarantees this, or call RemoveEps first).
+func ReachableFrom(d *DB, nfa *automata.NFA[alphabet.Symbol], src int) []int {
+	nV := d.NumVertices()
+	nQ := nfa.NumStates()
+	if nQ == 0 || src < 0 || src >= nV {
+		return nil
+	}
+	visited := make([]bool, nV*nQ)
+	var queue []int
+	push := func(v, q int) {
+		id := v*nQ + q
+		if !visited[id] {
+			visited[id] = true
+			queue = append(queue, id)
+		}
+	}
+	for _, q := range nfa.StartStates() {
+		push(src, q)
+	}
+	resSet := make([]bool, nV)
+	for i := 0; i < len(queue); i++ {
+		id := queue[i]
+		v, q := id/nQ, id%nQ
+		if nfa.IsAccept(q) {
+			resSet[v] = true
+		}
+		for _, e := range d.Out(v) {
+			for _, q2 := range nfa.Successors(q, e.Label) {
+				push(e.To, q2)
+			}
+		}
+	}
+	var out []int
+	for v, ok := range resSet {
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// AllPairs evaluates the RPQ for every source vertex, returning a matrix
+// reach[u][v] = true iff some u→v path has a label in the language.
+func AllPairs(d *DB, nfa *automata.NFA[alphabet.Symbol]) [][]bool {
+	clean := nfa.RemoveEps()
+	n := d.NumVertices()
+	out := make([][]bool, n)
+	for u := 0; u < n; u++ {
+		row := make([]bool, n)
+		for _, v := range ReachableFrom(d, clean, u) {
+			row[v] = true
+		}
+		out[u] = row
+	}
+	return out
+}
+
+// PathBetween returns a shortest path from src to dst whose label is in the
+// automaton's language, or ok=false if none exists.
+func PathBetween(d *DB, nfa *automata.NFA[alphabet.Symbol], src, dst int) (Path, bool) {
+	clean := nfa.RemoveEps()
+	nV := d.NumVertices()
+	nQ := clean.NumStates()
+	if nQ == 0 || src < 0 || src >= nV || dst < 0 || dst >= nV {
+		return Path{}, false
+	}
+	type prev struct {
+		id   int
+		edge Edge
+	}
+	visited := make(map[int]prev)
+	var queue []int
+	for _, q := range clean.StartStates() {
+		id := src*nQ + q
+		if _, ok := visited[id]; !ok {
+			visited[id] = prev{id: -1}
+			queue = append(queue, id)
+		}
+	}
+	goal := -1
+	for i := 0; i < len(queue) && goal < 0; i++ {
+		id := queue[i]
+		v, q := id/nQ, id%nQ
+		if v == dst && clean.IsAccept(q) {
+			goal = id
+			break
+		}
+		for _, e := range d.Out(v) {
+			for _, q2 := range clean.Successors(q, e.Label) {
+				nid := e.To*nQ + q2
+				if _, ok := visited[nid]; !ok {
+					visited[nid] = prev{id: id, edge: e}
+					queue = append(queue, nid)
+				}
+			}
+		}
+	}
+	if goal < 0 {
+		return Path{}, false
+	}
+	var rev []Edge
+	for id := goal; visited[id].id >= 0; id = visited[id].id {
+		rev = append(rev, visited[id].edge)
+	}
+	edges := make([]Edge, len(rev))
+	for i := range rev {
+		edges[i] = rev[len(rev)-1-i]
+	}
+	return Path{Start: src, Edges: edges}, true
+}
+
+// Parse reads a database from text. Format:
+//
+//	# comment
+//	alphabet a b c
+//	u a v
+//	v b w
+//
+// The alphabet line must come first (before any edge). Vertices are created
+// on first mention.
+func Parse(r io.Reader) (*DB, error) {
+	sc := bufio.NewScanner(r)
+	var db *DB
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "alphabet" {
+			if db != nil {
+				return nil, fmt.Errorf("graphdb: line %d: duplicate alphabet line", lineNo)
+			}
+			a, err := alphabet.New(fields[1:]...)
+			if err != nil {
+				return nil, fmt.Errorf("graphdb: line %d: %v", lineNo, err)
+			}
+			db = New(a)
+			continue
+		}
+		if db == nil {
+			return nil, fmt.Errorf("graphdb: line %d: alphabet line must come first", lineNo)
+		}
+		if fields[0] == "vertex" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graphdb: line %d: vertex line needs one name", lineNo)
+			}
+			db.EnsureVertex(fields[1])
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graphdb: line %d: want 'src label dst', got %q", lineNo, line)
+		}
+		label, ok := db.alpha.Lookup(fields[1])
+		if !ok {
+			return nil, fmt.Errorf("graphdb: line %d: unknown label %q", lineNo, fields[1])
+		}
+		u := db.EnsureVertex(fields[0])
+		v := db.EnsureVertex(fields[2])
+		if err := db.AddEdge(u, label, v); err != nil {
+			return nil, fmt.Errorf("graphdb: line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if db == nil {
+		return nil, fmt.Errorf("graphdb: no alphabet line found")
+	}
+	return db, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*DB, error) { return Parse(strings.NewReader(s)) }
+
+// Format writes the database in the textual format accepted by Parse.
+func (d *DB) Format(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "alphabet %s\n", strings.Join(d.alpha.Names(), " ")); err != nil {
+		return err
+	}
+	// Emit isolated vertices explicitly so round-tripping preserves them.
+	for v := 0; v < d.NumVertices(); v++ {
+		if len(d.out[v]) == 0 && len(d.in[v]) == 0 {
+			if _, err := fmt.Fprintf(w, "vertex %s\n", d.VertexName(v)); err != nil {
+				return err
+			}
+		}
+	}
+	type row struct {
+		u, v int
+		l    alphabet.Symbol
+	}
+	var rows []row
+	for u := range d.out {
+		for _, e := range d.out[u] {
+			rows = append(rows, row{u, e.To, e.Label})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].u != rows[j].u {
+			return rows[i].u < rows[j].u
+		}
+		if rows[i].l != rows[j].l {
+			return rows[i].l < rows[j].l
+		}
+		return rows[i].v < rows[j].v
+	})
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s %s %s\n", d.VertexName(r.u), d.alpha.Name(r.l), d.VertexName(r.v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatString renders the database as text.
+func (d *DB) FormatString() string {
+	var sb strings.Builder
+	_ = d.Format(&sb)
+	return sb.String()
+}
+
+// DisjointUnion adds a copy of other into d, returning the vertex-id offset
+// of the copy. Both databases must share the same alphabet object (or equal
+// symbol sets in the same order).
+func (d *DB) DisjointUnion(other *DB) (int, error) {
+	if d.alpha.Size() != other.alpha.Size() {
+		return 0, fmt.Errorf("graphdb: alphabet size mismatch in union")
+	}
+	off := d.NumVertices()
+	for v := 0; v < other.NumVertices(); v++ {
+		// Names may clash; import anonymously.
+		if _, err := d.AddVertex(""); err != nil {
+			return 0, err
+		}
+	}
+	for u := 0; u < other.NumVertices(); u++ {
+		for _, e := range other.out[u] {
+			if err := d.AddEdge(u+off, e.Label, e.To+off); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return off, nil
+}

@@ -1,0 +1,46 @@
+package query
+
+// Simplify returns a semantically equivalent query with redundant atoms
+// removed:
+//
+//   - duplicate relation atoms (same relation value over the same path
+//     variables) collapse to one;
+//   - universal relation atoms are dropped (they constrain nothing);
+//   - free-variable order and all reachability atoms are preserved.
+//
+// Note that dropping universal atoms can change the structural measures
+// (cc_vertex/cc_hedge may shrink), never increasing them — so simplification
+// can only move a query toward a cheaper regime of the characterization
+// theorems. The input query is not modified.
+func Simplify(q *Query) *Query {
+	out := &Query{
+		alpha: q.alpha,
+		Free:  append([]string(nil), q.Free...),
+		Reach: append([]ReachAtom(nil), q.Reach...),
+	}
+	type key struct {
+		rel   interface{}
+		paths string
+	}
+	seen := make(map[key]bool)
+	for _, ra := range q.Rels {
+		if ra.Rel.IsUniversal() {
+			continue
+		}
+		k := key{rel: ra.Rel, paths: joinPaths(ra.Paths)}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Rels = append(out.Rels, RelAtom{Rel: ra.Rel, Paths: append([]string(nil), ra.Paths...)})
+	}
+	return out
+}
+
+func joinPaths(ps []string) string {
+	s := ""
+	for _, p := range ps {
+		s += p + "\x00"
+	}
+	return s
+}

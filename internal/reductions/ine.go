@@ -1,0 +1,236 @@
+// Package reductions implements the paper's lower-bound constructions:
+//
+//   - INE → ECRPQ (Lemma 5.1, cases 1 and 2, plus the "long chain" variant
+//     used in Lemma 5.4(a)): regular-language intersection non-emptiness
+//     encoded as ECRPQ evaluation, the source of PSPACE- and XNL-hardness.
+//
+//   - CQ_bin(C_collapse) → ECRPQ (Lemma 5.3): conjunctive-query evaluation
+//     encoded as ECRPQ evaluation via binary-counter cycles, the source of
+//     W[1]-hardness.
+//
+// Every construction returns concrete (database, query) pairs whose
+// satisfiability provably matches the source instance; the test suite
+// round-trips witnesses to confirm it.
+package reductions
+
+import (
+	"fmt"
+
+	"ecrpq/internal/alphabet"
+	"ecrpq/internal/automata"
+	"ecrpq/internal/graphdb"
+	"ecrpq/internal/query"
+	"ecrpq/internal/synchro"
+)
+
+// INEInstance is an intersection-non-emptiness instance: automata over a
+// shared alphabet. The question is whether ∩ L(A_i) ≠ ∅.
+type INEInstance struct {
+	Alphabet *alphabet.Alphabet
+	Automata []*automata.NFA[alphabet.Symbol]
+}
+
+// Solve decides the INE instance directly by automaton products (the
+// baseline the reductions are checked against), returning a witness word.
+func (in *INEInstance) Solve() (alphabet.Word, bool) {
+	if len(in.Automata) == 0 {
+		return alphabet.Word{}, true
+	}
+	prod := in.Automata[0]
+	for _, a := range in.Automata[1:] {
+		prod = prod.Intersect(a).Trim()
+	}
+	w, empty := prod.IsEmpty()
+	if empty {
+		return nil, false
+	}
+	return alphabet.Word(w), true
+}
+
+// BigHyperedge implements Lemma 5.1 case (1) (shape also used in Lemma
+// 5.4(b)): one relation atom of arity n ties all path variables into a
+// single connected component. The i-th word must be $·u·#^i·$ for a common
+// u, and the database is the disjoint union (except for a shared vertex s)
+// of gadgets built from the automata's transition graphs, so that path i is
+// forced through gadget i. The resulting query has cc_vertex = n and
+// cc_hedge = 1.
+//
+// D ⊨ q  ⇔  ∩ L(A_i) ≠ ∅.
+func BigHyperedge(in *INEInstance) (*graphdb.DB, *query.Query, error) {
+	n := len(in.Automata)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("reductions: empty INE instance")
+	}
+	ext, err := in.Alphabet.Extend("$", "#")
+	if err != nil {
+		return nil, nil, err
+	}
+	dollar, _ := ext.Lookup("$")
+	hash, _ := ext.Lookup("#")
+
+	db := graphdb.New(ext)
+	s := db.MustAddVertex("s")
+	for i, a := range in.Automata {
+		clean := a.RemoveEps().Trim()
+		if clean.NumStates() == 0 {
+			// Empty language: intersection empty; encode with an unreachable
+			// gadget (no edges from s).
+			continue
+		}
+		off := db.NumVertices()
+		for q := 0; q < clean.NumStates(); q++ {
+			db.MustAddVertex("")
+		}
+		clean.Transitions(func(p int, sym alphabet.Symbol, q int) {
+			db.MustAddEdge(off+p, sym, off+q)
+		})
+		for _, q := range clean.StartStates() {
+			db.MustAddEdge(s, dollar, off+q)
+		}
+		// Shared #-chain of length i+1, then $ back to s.
+		chain := make([]int, i+1)
+		for k := range chain {
+			chain[k] = db.MustAddVertex("")
+		}
+		for _, q := range clean.AcceptStates() {
+			db.MustAddEdge(off+q, hash, chain[0])
+		}
+		for k := 0; k+1 < len(chain); k++ {
+			db.MustAddEdge(chain[k], hash, chain[k+1])
+		}
+		db.MustAddEdge(chain[len(chain)-1], dollar, s)
+	}
+
+	rel, err := staircaseRelation(ext, n, dollar, hash)
+	if err != nil {
+		return nil, nil, err
+	}
+	b := query.NewBuilder(ext)
+	paths := make([]string, n)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("pi%d", i+1)
+		b.Reach("x", paths[i], "x")
+	}
+	b.Rel(rel, paths...)
+	q, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, q, nil
+}
+
+// staircaseRelation builds the synchronous relation of all n-tuples
+// ($·u·#^1·$, $·u·#^2·$, ..., $·u·#^n·$) for u ∈ A* — the paper's
+// polynomial-size NFA from the proof of Lemma 5.1 case (1).
+func staircaseRelation(ext *alphabet.Alphabet, n int, dollar, hash alphabet.Symbol) (*synchro.Relation, error) {
+	// Base symbols of the original alphabet (everything except $ and #,
+	// which were appended last).
+	var base []alphabet.Symbol
+	for _, s := range ext.Symbols() {
+		if s != dollar && s != hash {
+			base = append(base, s)
+		}
+	}
+	nfa := automata.NewNFA[string](0)
+	q0 := nfa.AddState()
+	q1 := nfa.AddState()
+	nfa.SetStart(q0, true)
+	all := func(sym alphabet.Symbol) alphabet.Tuple {
+		t := make(alphabet.Tuple, n)
+		for i := range t {
+			t[i] = sym
+		}
+		return t
+	}
+	nfa.AddTransition(q0, all(dollar).Key(), q1)
+	for _, a := range base {
+		nfa.AddTransition(q1, all(a).Key(), q1)
+	}
+	// Staircase: after the common u, at suffix step t (1-based, t = 1..n+1)
+	// track i reads: # if t ≤ i; $ if t = i+1; ⊥ if t > i+1.
+	cur := q1
+	for t := 1; t <= n+1; t++ {
+		next := nfa.AddState()
+		letter := make(alphabet.Tuple, n)
+		for i := 1; i <= n; i++ {
+			switch {
+			case t <= i:
+				letter[i-1] = hash
+			case t == i+1:
+				letter[i-1] = dollar
+			default:
+				letter[i-1] = alphabet.Pad
+			}
+		}
+		nfa.AddTransition(cur, letter.Key(), next)
+		cur = next
+	}
+	nfa.SetAccept(cur, true)
+	return synchro.FromNFA(ext, n, nfa)
+}
+
+// SharedVariable implements Lemma 5.1 case (2): one path variable π carries
+// n unary relation atoms L_i(π); the database is a single vertex with one
+// self-loop per alphabet symbol. The query's abstraction has a single
+// first-level edge incident to n hyperedges (cc_hedge = n, cc_vertex = 1).
+//
+// D ⊨ q  ⇔  ∩ L(A_i) ≠ ∅.
+func SharedVariable(in *INEInstance) (*graphdb.DB, *query.Query, error) {
+	if len(in.Automata) == 0 {
+		return nil, nil, fmt.Errorf("reductions: empty INE instance")
+	}
+	db := loopDB(in.Alphabet)
+	b := query.NewBuilder(in.Alphabet)
+	b.Reach("x", "pi", "x")
+	for i, a := range in.Automata {
+		b.Rel(synchro.Lift(in.Alphabet, a).WithName(fmt.Sprintf("L%d", i+1)), "pi")
+	}
+	q, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, q, nil
+}
+
+// Chain implements the "long path" shape from the proof of Lemma 5.4(a):
+// path variables π_1, ..., π_n chained by binary equality atoms
+// eq(π_i, π_{i+1}), each additionally constrained by L_i(π_i), over the
+// single-vertex loop database. The abstraction's big component has n
+// first-level edges but every hyperedge has size ≤ 2.
+//
+// D ⊨ q  ⇔  ∩ L(A_i) ≠ ∅.
+func Chain(in *INEInstance) (*graphdb.DB, *query.Query, error) {
+	n := len(in.Automata)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("reductions: empty INE instance")
+	}
+	db := loopDB(in.Alphabet)
+	b := query.NewBuilder(in.Alphabet)
+	paths := make([]string, n)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("pi%d", i+1)
+		b.Reach("x", paths[i], "x")
+	}
+	for i, a := range in.Automata {
+		b.Rel(synchro.Lift(in.Alphabet, a).WithName(fmt.Sprintf("L%d", i+1)), paths[i])
+	}
+	for i := 0; i+1 < n; i++ {
+		b.Rel(synchro.Equality(in.Alphabet, 2), paths[i], paths[i+1])
+	}
+	q, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, q, nil
+}
+
+// loopDB is the one-vertex database with a self-loop per symbol (every word
+// is a path label).
+func loopDB(a *alphabet.Alphabet) *graphdb.DB {
+	db := graphdb.New(a)
+	v := db.MustAddVertex("v")
+	for _, s := range a.Symbols() {
+		db.MustAddEdge(v, s, v)
+	}
+	return db
+}

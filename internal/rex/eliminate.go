@@ -1,0 +1,117 @@
+package rex
+
+import (
+	"fmt"
+	"strings"
+
+	"ecrpq/internal/alphabet"
+	"ecrpq/internal/automata"
+)
+
+// FromNFA converts an automaton back to a regular expression by state
+// elimination (the inverse of Compile, up to language equivalence). The
+// result can be exponentially larger than the automaton; intended for small
+// automata (debugging, serialization, teaching).
+func FromNFA(a *alphabet.Alphabet, nfa *automata.NFA[alphabet.Symbol]) (string, error) {
+	clean := nfa.RemoveEps().Trim()
+	n := clean.NumStates()
+	if n == 0 {
+		// Empty language: no regex denotes ∅ in our syntax; report it.
+		return "", fmt.Errorf("rex: the empty language has no expression in this syntax")
+	}
+	// Generalized NFA over n+2 states: 0 = super-start, n+1 = super-accept,
+	// internals shifted by 1. labels[p][q] holds a regex string or "" (no
+	// edge). We use "ε" for the empty word.
+	size := n + 2
+	labels := make([][]string, size)
+	for i := range labels {
+		labels[i] = make([]string, size)
+	}
+	union := func(old, add string) string {
+		if old == "" {
+			return add
+		}
+		if old == add {
+			return old
+		}
+		return old + "|" + add
+	}
+	for _, s := range clean.StartStates() {
+		labels[0][s+1] = union(labels[0][s+1], "ε")
+	}
+	for _, f := range clean.AcceptStates() {
+		labels[f+1][n+1] = union(labels[f+1][n+1], "ε")
+	}
+	clean.Transitions(func(p int, sym alphabet.Symbol, q int) {
+		labels[p+1][q+1] = union(labels[p+1][q+1], symbolExpr(a, sym))
+	})
+
+	group := func(e string) string {
+		if e == "" || e == "ε" {
+			return e
+		}
+		if len([]rune(e)) == 1 {
+			return e
+		}
+		return "(" + e + ")"
+	}
+	concat := func(x, y string) string {
+		switch {
+		case x == "" || y == "":
+			return ""
+		case x == "ε":
+			return y
+		case y == "ε":
+			return x
+		}
+		return group(x) + group(y)
+	}
+	star := func(x string) string {
+		if x == "" || x == "ε" {
+			return "ε"
+		}
+		return group(x) + "*"
+	}
+
+	// Eliminate internal states 1..n.
+	alive := make([]bool, size)
+	for i := 1; i <= n; i++ {
+		alive[i] = true
+	}
+	for x := 1; x <= n; x++ {
+		alive[x] = false
+		loop := star(labels[x][x])
+		for p := 0; p < size; p++ {
+			if (p != 0 && p != n+1 && !alive[p]) || labels[p][x] == "" {
+				continue
+			}
+			for q := 0; q < size; q++ {
+				if (q != 0 && q != n+1 && !alive[q]) || labels[x][q] == "" {
+					continue
+				}
+				via := concat(concat(labels[p][x], loop), labels[x][q])
+				if via != "" {
+					labels[p][q] = union(labels[p][q], via)
+				}
+			}
+		}
+	}
+	result := labels[0][n+1]
+	if result == "" {
+		return "", fmt.Errorf("rex: the empty language has no expression in this syntax")
+	}
+	return result, nil
+}
+
+// symbolExpr renders a symbol as regex source: single-rune names directly
+// (escaped if they are metacharacters), multi-rune names in angle brackets.
+func symbolExpr(a *alphabet.Alphabet, s alphabet.Symbol) string {
+	name := a.Name(s)
+	if len([]rune(name)) == 1 {
+		if strings.ContainsAny(name, `()[]|*+?.\<>`) || name == "ε" {
+			return `\` + name
+		}
+		return name
+	}
+	return "<" + name + ">"
+}

@@ -1,0 +1,109 @@
+package rex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ecrpq/internal/alphabet"
+	"ecrpq/internal/automata"
+)
+
+func TestFromNFASimple(t *testing.T) {
+	a := alphabet.Lower(2)
+	cases := []string{"a", "ab", "a*b", "(a|b)*", "a+", "a?b", "ε", "(ab|ba)*a?"}
+	for _, src := range cases {
+		nfa := MustCompileString(a, src)
+		back, err := FromNFA(a, nfa)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		nfa2, err := CompileString(a, back)
+		if err != nil {
+			t.Fatalf("%q → %q: recompile: %v", src, back, err)
+		}
+		if !automata.Equivalent(nfa, nfa2) {
+			t.Errorf("%q → %q: languages differ", src, back)
+		}
+	}
+}
+
+func TestFromNFAEmptyLanguage(t *testing.T) {
+	a := alphabet.Lower(2)
+	empty := automata.NewNFA[alphabet.Symbol](1)
+	empty.SetStart(0, true) // no accepting state
+	if _, err := FromNFA(a, empty); err == nil {
+		t.Error("empty language should be reported as inexpressible")
+	}
+}
+
+func TestFromNFAMultiCharSymbols(t *testing.T) {
+	a := alphabet.MustNew("load", "store")
+	nfa := MustCompileString(a, "<load>*<store>")
+	back, err := FromNFA(a, nfa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfa2, err := CompileString(a, back)
+	if err != nil {
+		t.Fatalf("recompile %q: %v", back, err)
+	}
+	if !automata.Equivalent(nfa, nfa2) {
+		t.Errorf("round trip through %q changed the language", back)
+	}
+}
+
+func TestFromNFAMetacharacterSymbols(t *testing.T) {
+	a := alphabet.MustNew("*", "(")
+	nfa := automata.NewNFA[alphabet.Symbol](2)
+	nfa.SetStart(0, true)
+	nfa.SetAccept(1, true)
+	nfa.AddTransition(0, 0, 1)
+	nfa.AddTransition(1, 1, 1)
+	back, err := FromNFA(a, nfa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfa2, err := CompileString(a, back)
+	if err != nil {
+		t.Fatalf("recompile %q: %v", back, err)
+	}
+	if !automata.Equivalent(nfa, nfa2) {
+		t.Errorf("metacharacter round trip through %q changed the language", back)
+	}
+}
+
+func TestFromNFARoundTripProperty(t *testing.T) {
+	a := alphabet.Lower(2)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := &gen{rng: rng}
+		src := g.expr()
+		nfa, err := CompileString(a, src)
+		if err != nil {
+			return false
+		}
+		back, err := FromNFA(a, nfa)
+		if err != nil {
+			// Only the empty language is inexpressible.
+			_, empty := nfa.IsEmpty()
+			return empty
+		}
+		if len(back) > 100_000 {
+			return true // state elimination blowup: skip equivalence check
+		}
+		nfa2, err := CompileString(a, back)
+		if err != nil {
+			t.Logf("seed %d: %q → %q failed to recompile: %v", seed, src, back, err)
+			return false
+		}
+		if !automata.Equivalent(nfa, nfa2) {
+			t.Logf("seed %d: %q → %q not equivalent", seed, src, back)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,41 @@
+package rex
+
+import (
+	"testing"
+
+	"ecrpq/internal/alphabet"
+)
+
+// FuzzParseCompile: arbitrary expressions must never panic; successfully
+// compiled automata must validate and behave consistently on a few words.
+func FuzzParseCompile(f *testing.F) {
+	for _, s := range []string{
+		"a*b", "(a|b)+", "[ab]?c", "", "ε", "((a))", "a|b|c",
+		"<x>", "\\*", ".*.", "a**", "((((((a))))))",
+	} {
+		f.Add(s)
+	}
+	a := alphabet.Lower(3)
+	words := []alphabet.Word{{}, {0}, {0, 1}, {2, 2, 2}, {0, 1, 2, 0}}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 100 {
+			return // cap compile sizes
+		}
+		nfa, err := CompileString(a, src)
+		if err != nil {
+			return
+		}
+		if err := nfa.Validate(); err != nil {
+			t.Fatalf("compiled NFA invalid: %v (source %q)", err, src)
+		}
+		// Determinization must agree with the NFA.
+		d := nfa.Determinize()
+		for _, w := range words {
+			ws := make([]alphabet.Symbol, len(w))
+			copy(ws, w)
+			if nfa.Accepts(ws) != d.Accepts(ws) {
+				t.Fatalf("NFA/DFA disagree on %v for %q", w, src)
+			}
+		}
+	})
+}

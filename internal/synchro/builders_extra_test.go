@@ -1,0 +1,106 @@
+package synchro
+
+import (
+	"testing"
+
+	"ecrpq/internal/alphabet"
+)
+
+func TestShorterThan(t *testing.T) {
+	a := alphabet.Lower(2)
+	r := ShorterThan(a)
+	words := allWords(a, 3)
+	for _, u := range words {
+		for _, v := range words {
+			want := len(u) < len(v)
+			if got := r.MustContain(u, v); got != want {
+				t.Errorf("shorter(%v, %v) = %v, want %v", u.Format(a), v.Format(a), got, want)
+			}
+		}
+	}
+}
+
+func lexLess(u, v alphabet.Word) bool {
+	n := len(u)
+	if len(v) < n {
+		n = len(v)
+	}
+	for i := 0; i < n; i++ {
+		if u[i] != v[i] {
+			return u[i] < v[i]
+		}
+	}
+	return len(u) <= len(v)
+}
+
+func TestLexLeq(t *testing.T) {
+	a := alphabet.Lower(2)
+	r := LexLeq(a)
+	words := allWords(a, 3)
+	for _, u := range words {
+		for _, v := range words {
+			want := lexLess(u, v)
+			if got := r.MustContain(u, v); got != want {
+				t.Errorf("lex<=(%v, %v) = %v, want %v", u.Format(a), v.Format(a), got, want)
+			}
+		}
+	}
+}
+
+func TestLexLeqIsTotalOrderProperty(t *testing.T) {
+	a := alphabet.Lower(2)
+	r := LexLeq(a)
+	words := allWords(a, 3)
+	for _, u := range words {
+		if !r.MustContain(u, u) {
+			t.Fatalf("not reflexive at %v", u)
+		}
+		for _, v := range words {
+			le1 := r.MustContain(u, v)
+			le2 := r.MustContain(v, u)
+			if !le1 && !le2 {
+				t.Fatalf("not total at (%v, %v)", u, v)
+			}
+			if le1 && le2 && !u.Equal(v) {
+				t.Fatalf("not antisymmetric at (%v, %v)", u, v)
+			}
+		}
+	}
+}
+
+func TestCommonPrefixAtLeast(t *testing.T) {
+	a := alphabet.Lower(2)
+	words := allWords(a, 4)
+	for _, k := range []int{0, 1, 2, 3} {
+		r := CommonPrefixAtLeast(a, k)
+		for _, u := range words {
+			for _, v := range words {
+				want := len(u) >= k && len(v) >= k
+				for i := 0; i < k && want; i++ {
+					if u[i] != v[i] {
+						want = false
+					}
+				}
+				if got := r.MustContain(u, v); got != want {
+					t.Errorf("commonprefix>=%d(%v, %v) = %v, want %v",
+						k, u.Format(a), v.Format(a), got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSameLastSymbol(t *testing.T) {
+	a := alphabet.Lower(2)
+	r := SameLastSymbol(a)
+	words := allWords(a, 3)
+	for _, u := range words {
+		for _, v := range words {
+			want := len(u) > 0 && len(v) > 0 && u[len(u)-1] == v[len(v)-1]
+			if got := r.MustContain(u, v); got != want {
+				t.Errorf("samelast(%v, %v) = %v, want %v",
+					u.Format(a), v.Format(a), got, want)
+			}
+		}
+	}
+}

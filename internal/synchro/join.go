@@ -1,0 +1,225 @@
+package synchro
+
+import (
+	"fmt"
+
+	"ecrpq/internal/alphabet"
+	"ecrpq/internal/automata"
+)
+
+// Join implements the product construction of Lemma 4.1: given relations
+// R_1, ..., R_ℓ and, for each, a mapping vars[i] of its tracks into a merged
+// track set {0, ..., arity-1}, it builds the arity-ary relation R such that
+// for every assignment f of words to merged tracks,
+//
+//	f|vars[1] ∈ R_1 ∧ ... ∧ f|vars[ℓ] ∈ R_ℓ  ⇔  f ∈ R.
+//
+// The state space is the product Q_1 × ... × Q_ℓ; acceptance requires every
+// component to accept (exactly the paper's construction). Universal
+// relations contribute no constraint and no state-space factor. Merged
+// tracks covered by no (non-universal) relation range freely over A ∪ {⊥};
+// each such track multiplies the joint letter count by |A|+1, so a guard
+// rejects joins with more than a few free tracks.
+func Join(a *alphabet.Alphabet, arity int, rels []*Relation, vars [][]int) (*Relation, error) {
+	if len(rels) != len(vars) {
+		return nil, fmt.Errorf("synchro: %d relations but %d variable maps", len(rels), len(vars))
+	}
+	covered := make([]bool, arity)
+	var active []*Relation
+	var activeVars [][]int
+	for i, r := range rels {
+		if len(vars[i]) != r.arity {
+			return nil, fmt.Errorf("synchro: relation %d has arity %d but %d variables", i, r.arity, len(vars[i]))
+		}
+		seen := make(map[int]bool, len(vars[i]))
+		for _, v := range vars[i] {
+			if v < 0 || v >= arity {
+				return nil, fmt.Errorf("synchro: relation %d refers to merged track %d out of range", i, v)
+			}
+			if seen[v] {
+				return nil, fmt.Errorf("synchro: relation %d uses merged track %d twice", i, v)
+			}
+			seen[v] = true
+			if !r.universal {
+				covered[v] = true
+			}
+		}
+		if r.alpha != a {
+			// Different alphabet object: require identical symbol sets.
+			if r.alpha.Size() != a.Size() {
+				return nil, fmt.Errorf("synchro: relation %d over a different alphabet", i)
+			}
+		}
+		if r.universal {
+			continue
+		}
+		active = append(active, r)
+		activeVars = append(activeVars, vars[i])
+	}
+	var free []int
+	for t, c := range covered {
+		if !c {
+			free = append(free, t)
+		}
+	}
+	if len(active) == 0 {
+		return Universal(a, arity), nil
+	}
+	freeChoices := 1
+	for range free {
+		freeChoices *= a.Size() + 1
+		if freeChoices > maxMaterializeLetters {
+			return nil, fmt.Errorf("synchro: join leaves %d unconstrained tracks; letter blowup too large", len(free))
+		}
+	}
+
+	ell := len(active)
+	encode := func(qs []int) string {
+		buf := make([]byte, 4*len(qs))
+		for i, q := range qs {
+			buf[4*i] = byte(q)
+			buf[4*i+1] = byte(q >> 8)
+			buf[4*i+2] = byte(q >> 16)
+			buf[4*i+3] = byte(q >> 24)
+		}
+		return string(buf)
+	}
+
+	out := automata.NewNFA[string](0)
+	idx := make(map[string]int)
+	var queue [][]int
+	getState := func(qs []int) int {
+		k := encode(qs)
+		if i, ok := idx[k]; ok {
+			return i
+		}
+		i := out.AddState()
+		idx[k] = i
+		acc := true
+		for j, q := range qs {
+			if !active[j].nfa.IsAccept(q) {
+				acc = false
+				break
+			}
+		}
+		out.SetAccept(i, acc)
+		cp := make([]int, len(qs))
+		copy(cp, qs)
+		queue = append(queue, cp)
+		return i
+	}
+
+	// All combinations of start states.
+	var starts [][]int
+	var buildStarts func(i int, cur []int)
+	buildStarts = func(i int, cur []int) {
+		if i == ell {
+			cp := make([]int, ell)
+			copy(cp, cur)
+			starts = append(starts, cp)
+			return
+		}
+		for _, q := range active[i].nfa.StartStates() {
+			cur[i] = q
+			buildStarts(i+1, cur)
+		}
+	}
+	buildStarts(0, make([]int, ell))
+	for _, s := range starts {
+		out.SetStart(getState(s), true)
+	}
+
+	// unassigned marker for merged-track symbols during the consistency join.
+	const unset = alphabet.Symbol(-2)
+
+	for qi := 0; qi < len(queue); qi++ {
+		qs := queue[qi]
+		from := idx[encode(qs)]
+		joint := make([]alphabet.Symbol, arity)
+		for i := range joint {
+			joint[i] = unset
+		}
+		next := make([]int, ell)
+		var emit func(i int)
+		emit = func(i int) {
+			if i == ell {
+				// Fill free tracks with every choice.
+				var fill func(j int)
+				fill = func(j int) {
+					if j == len(free) {
+						t := make(alphabet.Tuple, arity)
+						copy(t, joint)
+						allPad := true
+						for _, s := range t {
+							if s != alphabet.Pad {
+								allPad = false
+								break
+							}
+						}
+						if !allPad {
+							out.AddTransition(from, t.Key(), getState(next))
+						}
+						return
+					}
+					joint[free[j]] = alphabet.Pad
+					fill(j + 1)
+					for _, s := range a.Symbols() {
+						joint[free[j]] = s
+						fill(j + 1)
+					}
+					joint[free[j]] = unset
+				}
+				fill(0)
+				return
+			}
+			rel := active[i]
+			tupleTransitions(rel.nfa, qs[i], func(t alphabet.Tuple, to int) {
+				// Check consistency with the current partial joint letter.
+				var touched []int
+				ok := true
+				for k, s := range t {
+					mt := activeVars[i][k]
+					if joint[mt] == unset {
+						joint[mt] = s
+						touched = append(touched, mt)
+					} else if joint[mt] != s {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					next[i] = to
+					emit(i + 1)
+				}
+				for _, mt := range touched {
+					joint[mt] = unset
+				}
+			})
+			// Stall: component i has finished (all of its tracks are padded
+			// from here on). Its words' convolution is a strict prefix of
+			// the joint convolution, so the automaton stays in place; the
+			// final state must still be accepting for the joint word to be
+			// accepted.
+			var touched []int
+			ok := true
+			for _, mt := range activeVars[i] {
+				if joint[mt] == unset {
+					joint[mt] = alphabet.Pad
+					touched = append(touched, mt)
+				} else if joint[mt] != alphabet.Pad {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				next[i] = qs[i]
+				emit(i + 1)
+			}
+			for _, mt := range touched {
+				joint[mt] = unset
+			}
+		}
+		emit(0)
+	}
+	return &Relation{arity: arity, alpha: a, nfa: out.Trim(), name: "join"}, nil
+}

@@ -1,0 +1,313 @@
+package synchro
+
+import (
+	"fmt"
+
+	"ecrpq/internal/alphabet"
+	"ecrpq/internal/automata"
+)
+
+// Intersect returns R ∩ S (same arity required).
+func (r *Relation) Intersect(s *Relation) (*Relation, error) {
+	if r.arity != s.arity {
+		return nil, fmt.Errorf("synchro: intersect arities %d and %d", r.arity, s.arity)
+	}
+	if r.universal {
+		return s, nil
+	}
+	if s.universal {
+		return r, nil
+	}
+	return &Relation{arity: r.arity, alpha: r.alpha, nfa: r.nfa.Intersect(s.nfa).Trim()}, nil
+}
+
+// Union returns R ∪ S (same arity required).
+func (r *Relation) Union(s *Relation) (*Relation, error) {
+	if r.arity != s.arity {
+		return nil, fmt.Errorf("synchro: union arities %d and %d", r.arity, s.arity)
+	}
+	if r.universal {
+		return r, nil
+	}
+	if s.universal {
+		return s, nil
+	}
+	return &Relation{arity: r.arity, alpha: r.alpha, nfa: r.nfa.Union(s.nfa)}, nil
+}
+
+// Complement returns (A*)^k \ R. The result accepts exactly the valid
+// convolutions of tuples outside R. The construction determinizes over the
+// full tuple alphabet, so it is exponential in arity; a guard rejects
+// relations whose materialized alphabet would exceed an internal bound.
+func (r *Relation) Complement() (*Relation, error) {
+	m, err := r.materialized()
+	if err != nil {
+		return nil, err
+	}
+	if r.universal {
+		// Complement of universal is empty.
+		nfa := automata.NewNFA[string](1)
+		nfa.SetStart(0, true)
+		return &Relation{arity: r.arity, alpha: r.alpha, nfa: nfa}, nil
+	}
+	letters := make([]string, 0)
+	for _, t := range alphabet.AllTuples(r.alpha, r.arity) {
+		letters = append(letters, t.Key())
+	}
+	if len(letters) > maxMaterializeLetters {
+		return nil, fmt.Errorf("synchro: complement of arity-%d relation over %d symbols too large", r.arity, r.alpha.Size())
+	}
+	comp := m.nfa.Determinize().Complement(letters).ToNFA()
+	// Restrict to valid convolutions.
+	valid, err := validConvolutionsNFA(r.alpha, r.arity)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{arity: r.arity, alpha: r.alpha, nfa: comp.Intersect(valid).Trim()}, nil
+}
+
+// validConvolutionsNFA recognizes exactly the valid convolutions of k-tuples
+// of words: per-track padding is suffix-only and no letter is all-pad.
+// States are subsets of finished tracks, so the automaton has 2^k states.
+func validConvolutionsNFA(a *alphabet.Alphabet, k int) (*automata.NFA[string], error) {
+	if k > 16 {
+		return nil, fmt.Errorf("synchro: valid-convolution automaton for arity %d too large", k)
+	}
+	n := automata.NewNFA[string](1 << k)
+	n.SetStart(0, true)
+	for mask := 0; mask < 1<<k; mask++ {
+		n.SetAccept(mask, true)
+	}
+	for mask := 0; mask < 1<<k; mask++ {
+		for _, t := range alphabet.AllTuples(a, k) {
+			next := mask
+			ok := true
+			for track, s := range t {
+				if s == alphabet.Pad {
+					next |= 1 << track
+				} else if mask&(1<<track) != 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				n.AddTransition(mask, t.Key(), next)
+			}
+		}
+	}
+	return n, nil
+}
+
+// Permute returns the relation { (w_{perm[0]}, ..., w_{perm[k-1]}) :
+// (w_0,...,w_{k-1}) ∈ R }; that is, track i of the result carries what track
+// perm[i] of R carried. perm must be a permutation of 0..k-1.
+func (r *Relation) Permute(perm []int) *Relation {
+	if len(perm) != r.arity {
+		panic(fmt.Sprintf("synchro: permutation of length %d for arity %d", len(perm), r.arity))
+	}
+	seen := make([]bool, r.arity)
+	for _, p := range perm {
+		if p < 0 || p >= r.arity || seen[p] {
+			panic(fmt.Sprintf("synchro: invalid permutation %v", perm))
+		}
+		seen[p] = true
+	}
+	if r.universal {
+		return r
+	}
+	out := automata.NewNFA[string](r.nfa.NumStates())
+	for _, q := range r.nfa.StartStates() {
+		out.SetStart(q, true)
+	}
+	for _, q := range r.nfa.AcceptStates() {
+		out.SetAccept(q, true)
+	}
+	for q := 0; q < r.nfa.NumStates(); q++ {
+		tupleTransitions(r.nfa, q, func(t alphabet.Tuple, to int) {
+			nt := make(alphabet.Tuple, len(t))
+			for i := range nt {
+				nt[i] = t[perm[i]]
+			}
+			out.AddTransition(q, nt.Key(), to)
+		})
+	}
+	return &Relation{arity: r.arity, alpha: r.alpha, nfa: out, name: r.name}
+}
+
+// Project returns the relation over the kept tracks:
+// { (w_{keep[0]},...,w_{keep[m-1]}) : ∃ values for dropped tracks,
+// (w_0,...,w_{k-1}) ∈ R }. Letters that become all-padding on the kept
+// tracks turn into ε-transitions (the dropped tracks were strictly longer),
+// which are then eliminated.
+func (r *Relation) Project(keep []int) (*Relation, error) {
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("synchro: projection must keep at least one track")
+	}
+	for _, k := range keep {
+		if k < 0 || k >= r.arity {
+			return nil, fmt.Errorf("synchro: projection track %d out of range", k)
+		}
+	}
+	if r.universal {
+		return Universal(r.alpha, len(keep)), nil
+	}
+	out := automata.NewNFA[string](r.nfa.NumStates())
+	for _, q := range r.nfa.StartStates() {
+		out.SetStart(q, true)
+	}
+	for _, q := range r.nfa.AcceptStates() {
+		out.SetAccept(q, true)
+	}
+	for q := 0; q < r.nfa.NumStates(); q++ {
+		tupleTransitions(r.nfa, q, func(t alphabet.Tuple, to int) {
+			nt := make(alphabet.Tuple, len(keep))
+			allPad := true
+			for i, src := range keep {
+				nt[i] = t[src]
+				if t[src] != alphabet.Pad {
+					allPad = false
+				}
+			}
+			if allPad {
+				out.AddEps(q, to)
+			} else {
+				out.AddTransition(q, nt.Key(), to)
+			}
+		})
+	}
+	clean := out.RemoveEps().Trim()
+	// Sanitize: restrict to valid convolutions so that iterated first-order
+	// constructions (e.g. Compose chains) never treat pad-gapped junk words
+	// as real middle-track witnesses.
+	if len(keep) <= 8 {
+		if valid, err := validConvolutionsNFA(r.alpha, len(keep)); err == nil {
+			clean = clean.Intersect(valid).Trim()
+		}
+	}
+	return &Relation{arity: len(keep), alpha: r.alpha, nfa: clean}, nil
+}
+
+// Cylindrify inserts a new unconstrained track at position pos (0-based),
+// returning a relation of arity k+1: { (w_0,...,w_{pos-1}, x, w_pos, ...) :
+// (w_0,...,w_{k-1}) ∈ R, x ∈ A* }. The new track may carry any symbol or
+// padding on every letter; additionally the new track may extend beyond all
+// original tracks (suffix letters where only the new track is active).
+func (r *Relation) Cylindrify(pos int) (*Relation, error) {
+	if pos < 0 || pos > r.arity {
+		return nil, fmt.Errorf("synchro: cylindrification position %d out of range", pos)
+	}
+	if r.universal {
+		return Universal(r.alpha, r.arity+1), nil
+	}
+	syms := append([]alphabet.Symbol{alphabet.Pad}, r.alpha.Symbols()...)
+	out := automata.NewNFA[string](r.nfa.NumStates())
+	for _, q := range r.nfa.StartStates() {
+		out.SetStart(q, true)
+	}
+	for _, q := range r.nfa.AcceptStates() {
+		out.SetAccept(q, true)
+	}
+	for q := 0; q < r.nfa.NumStates(); q++ {
+		tupleTransitions(r.nfa, q, func(t alphabet.Tuple, to int) {
+			for _, x := range syms {
+				nt := make(alphabet.Tuple, r.arity+1)
+				copy(nt, t[:pos])
+				nt[pos] = x
+				copy(nt[pos+1:], t[pos:])
+				out.AddTransition(q, nt.Key(), to)
+			}
+		})
+	}
+	// Tail: the new track continues after all original tracks ended. Add a
+	// tail state reachable from every accepting state, looping on letters
+	// that are pad everywhere except the new track.
+	tail := out.AddState()
+	out.SetAccept(tail, true)
+	for _, s := range r.alpha.Symbols() {
+		nt := make(alphabet.Tuple, r.arity+1)
+		for i := range nt {
+			nt[i] = alphabet.Pad
+		}
+		nt[pos] = s
+		key := nt.Key()
+		for _, q := range out.AcceptStates() {
+			if q != tail {
+				out.AddTransition(q, key, tail)
+			}
+		}
+		out.AddTransition(tail, key, tail)
+	}
+	return &Relation{arity: r.arity + 1, alpha: r.alpha, nfa: out}, nil
+}
+
+// Compose returns the composition R ∘ S = { (u, w) : ∃v, (u,v) ∈ R and
+// (v,w) ∈ S } of two binary relations, using cylindrification, intersection
+// and projection (synchronous relations are closed under first-order
+// operations).
+func (r *Relation) Compose(s *Relation) (*Relation, error) {
+	if r.arity != 2 || s.arity != 2 {
+		return nil, fmt.Errorf("synchro: compose requires binary relations (got %d and %d)", r.arity, s.arity)
+	}
+	// R over tracks (u, v) → cylindrify to (u, v, w).
+	rc, err := r.Cylindrify(2)
+	if err != nil {
+		return nil, err
+	}
+	// S over tracks (v, w) → cylindrify to (u, v, w).
+	sc, err := s.Cylindrify(0)
+	if err != nil {
+		return nil, err
+	}
+	both, err := rc.Intersect(sc)
+	if err != nil {
+		return nil, err
+	}
+	return both.Project([]int{0, 2})
+}
+
+// SubsetOf reports whether r ⊆ s, by emptiness of r ∩ complement(s). Both
+// relations must have the same arity; the complement construction bounds
+// this to small arities (see Complement).
+func (r *Relation) SubsetOf(s *Relation) (bool, error) {
+	if r.arity != s.arity {
+		return false, fmt.Errorf("synchro: subset arities %d and %d", r.arity, s.arity)
+	}
+	if s.universal {
+		return true, nil
+	}
+	comp, err := s.Complement()
+	if err != nil {
+		return false, err
+	}
+	inter, err := r.Intersect(comp)
+	if err != nil {
+		return false, err
+	}
+	_, empty := inter.IsEmpty()
+	return empty, nil
+}
+
+// EquivalentTo reports whether r and s contain exactly the same tuples.
+func (r *Relation) EquivalentTo(s *Relation) (bool, error) {
+	sub, err := r.SubsetOf(s)
+	if err != nil {
+		return false, err
+	}
+	if !sub {
+		return false, nil
+	}
+	return s.SubsetOf(r)
+}
+
+// Difference returns r \ s (same arity required; subject to the Complement
+// arity bound).
+func (r *Relation) Difference(s *Relation) (*Relation, error) {
+	if r.arity != s.arity {
+		return nil, fmt.Errorf("synchro: difference arities %d and %d", r.arity, s.arity)
+	}
+	comp, err := s.Complement()
+	if err != nil {
+		return nil, err
+	}
+	return r.Intersect(comp)
+}

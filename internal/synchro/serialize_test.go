@@ -1,0 +1,111 @@
+package synchro
+
+import (
+	"testing"
+
+	"ecrpq/internal/alphabet"
+)
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	a := alphabet.Lower(2)
+	rels := []*Relation{
+		Equality(a, 2).WithName("eq2"),
+		EqualLength(a, 3).WithName("el3"),
+		PrefixOf(a),
+		HammingAtMost(a, 1),
+		insertion(a),
+	}
+	words := allWords(a, 3)
+	for _, r := range rels {
+		text := r.FormatString()
+		back, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("%s: parse: %v\n%s", r.Name(), err, text)
+		}
+		if back.Arity() != r.Arity() {
+			t.Fatalf("%s: arity %d vs %d", r.Name(), back.Arity(), r.Arity())
+		}
+		// Semantic equality on bounded words.
+		check := func(ws ...alphabet.Word) {
+			got := back.MustContain(ws...)
+			want := r.MustContain(ws...)
+			if got != want {
+				t.Fatalf("%s: round trip differs on %v: %v vs %v", r.Name(), ws, got, want)
+			}
+		}
+		if r.Arity() == 2 {
+			for _, u := range words {
+				for _, v := range words {
+					check(u, v)
+				}
+			}
+		} else {
+			for _, u := range words[:6] {
+				for _, v := range words[:6] {
+					for _, w := range words[:6] {
+						check(u, v, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFormatParseUniversal(t *testing.T) {
+	a := alphabet.Lower(2)
+	u := Universal(a, 3).WithName("top")
+	back, err := ParseString(u.FormatString())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsUniversal() || back.Arity() != 3 || back.Name() != "top" {
+		t.Errorf("universal round trip: %v", back)
+	}
+}
+
+func TestParseRelationErrors(t *testing.T) {
+	bad := []string{
+		"",                                       // no header
+		"arity 2",                                // no alphabet
+		"alphabet a",                             // no arity
+		"arity 0\nalphabet a",                    // bad arity
+		"arity 2\nalphabet a\nstart 0",           // start before states
+		"arity 2\nalphabet a\nstates -1",         // bad state count
+		"arity 2\nalphabet a\nstates 2\nstart 5", // state out of range
+		"arity 2\nalphabet a\nstates 2\n0 (a,a) 9",     // transition out of range
+		"arity 2\nalphabet a\nstates 2\n0 (a) 1",       // wrong letter arity
+		"arity 2\nalphabet a\nstates 2\n0 (a,z) 1",     // unknown symbol
+		"arity 2\nalphabet a\nstates 2\n0 a,a 1",       // missing parens
+		"arity 2\nalphabet a\nstates 2\n0 (⊥,⊥) 1",     // all-pad letter
+		"arity 2\nalphabet a",                          // no states, not universal
+		"relation x y\narity 2\nalphabet a\nuniversal", // bad relation line
+	}
+	for _, s := range bad {
+		if _, err := ParseString(s); err == nil {
+			t.Errorf("ParseString(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseAcceptsUnderscorePad(t *testing.T) {
+	src := `relation pre
+arity 2
+alphabet a b
+states 2
+start 0
+accept 0 1
+0 (a,a) 0
+0 (_,a) 1
+1 (_,a) 1
+`
+	r, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r.Alphabet()
+	u := alphabet.MustParseWord(a, "a")
+	v := alphabet.MustParseWord(a, "aa")
+	if !r.MustContain(u, v) {
+		t.Error("parsed relation should contain (a, aa)")
+	}
+}

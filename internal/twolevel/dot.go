@@ -1,0 +1,58 @@
+package twolevel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders a tree decomposition in Graphviz DOT format: one box per bag
+// listing its vertices (formatted by name, or indices when name is nil).
+func (td *TreeDecomposition) DOT(title string, name func(v int) string) string {
+	if name == nil {
+		name = func(v int) string { return fmt.Sprint(v) }
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %q {\n  node [shape=box];\n", title)
+	for i, bag := range td.Bags {
+		parts := make([]string, len(bag))
+		for j, v := range bag {
+			parts[j] = name(v)
+		}
+		fmt.Fprintf(&sb, "  b%d [label=\"{%s}\"];\n", i, strings.Join(parts, ", "))
+	}
+	for _, e := range td.TreeEdges {
+		fmt.Fprintf(&sb, "  b%d -- b%d;\n", e[0], e[1])
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// DOT renders the 2L graph: solid edges for first-level edges (labelled by
+// path-variable index), one diamond node per hyperedge connected dashed to
+// its member edges' midpoints. Vertex/edge naming functions may be nil.
+func (g *Graph) DOT(title string, vertexName func(int) string, edgeName func(int) string) string {
+	if vertexName == nil {
+		vertexName = func(v int) string { return fmt.Sprintf("v%d", v) }
+	}
+	if edgeName == nil {
+		edgeName = func(e int) string { return fmt.Sprintf("e%d", e) }
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %q {\n", title)
+	for v := 0; v < g.NumVertices; v++ {
+		fmt.Fprintf(&sb, "  v%d [label=%q];\n", v, vertexName(v))
+	}
+	for e, ep := range g.Edges {
+		// Midpoint node so hyperedges can attach to edges.
+		fmt.Fprintf(&sb, "  m%d [shape=point, label=\"\", xlabel=%q];\n", e, edgeName(e))
+		fmt.Fprintf(&sb, "  v%d -- m%d;\n  m%d -- v%d;\n", ep.U, e, e, ep.V)
+	}
+	for h, members := range g.Hyper {
+		fmt.Fprintf(&sb, "  h%d [shape=diamond, label=\"R%d\"];\n", h, h)
+		for _, e := range members {
+			fmt.Fprintf(&sb, "  h%d -- m%d [style=dashed];\n", h, e)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

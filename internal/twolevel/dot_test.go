@@ -1,0 +1,32 @@
+package twolevel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDecompositionDOT(t *testing.T) {
+	g := cycleGraph(4)
+	td := g.Decompose()
+	dot := td.DOT("cycle", func(v int) string { return "x" + string(rune('0'+v)) })
+	if !strings.Contains(dot, "graph \"cycle\"") || !strings.Contains(dot, "b0") {
+		t.Errorf("bad DOT:\n%s", dot)
+	}
+	if d := td.DOT("c", nil); !strings.Contains(d, "{") {
+		t.Error("nil namer produced no bags")
+	}
+}
+
+func TestTwoLevelDOT(t *testing.T) {
+	g := paperExample()
+	dot := g.DOT("paper", nil, nil)
+	for _, want := range []string{"v0", "m0", "h0", "diamond", "style=dashed"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	named := g.DOT("paper", func(v int) string { return "N" }, func(e int) string { return "P" })
+	if !strings.Contains(named, "\"N\"") {
+		t.Error("vertex namer unused")
+	}
+}

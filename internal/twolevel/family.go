@@ -1,0 +1,144 @@
+package twolevel
+
+import "fmt"
+
+// Family is a computably enumerable class of 2L graphs: Generate(i) returns
+// the i-th member (the paper's "c.e. class C", with cc-tameness expressed by
+// the generator being an ordinary computable function).
+type Family interface {
+	// Name identifies the family in diagnostics.
+	Name() string
+	// Generate returns the i-th member (i ≥ 0).
+	Generate(i int) *Graph
+}
+
+// WitnessKind says which disjunct of Lemma A.1 a witness realizes.
+type WitnessKind string
+
+// Witness kinds of Lemma A.1.
+const (
+	// WitnessManyEdges: a connected component of G^rel with ≥ n vertices
+	// (first-level edges) — case (i).
+	WitnessManyEdges WitnessKind = "component with n vertices"
+	// WitnessManyHyperedges: some first-level edge incident to ≥ n
+	// hyperedges — case (ii).
+	WitnessManyHyperedges WitnessKind = "vertex incident to n hyperedges"
+)
+
+// FindBigComponent implements Lemma A.1's search: enumerate the family
+// until some member's G^rel contains either a connected component with at
+// least n vertices, or a vertex (first-level edge) incident to at least n
+// hyperedges. maxIdx bounds the enumeration (the lemma guarantees success
+// for cc-tame classes with unbounded cc measures; the bound turns
+// non-termination into a reported failure).
+func FindBigComponent(f Family, n, maxIdx int) (*Graph, Component, WitnessKind, error) {
+	for i := 0; i <= maxIdx; i++ {
+		g := f.Generate(i)
+		if g == nil {
+			continue
+		}
+		comps := g.RelComponents()
+		for _, c := range comps {
+			if len(c.Edges) >= n {
+				return g, c, WitnessManyEdges, nil
+			}
+		}
+		// Count hyperedge incidence per first-level edge.
+		incidence := make(map[int]int)
+		for _, h := range g.Hyper {
+			for _, e := range h {
+				incidence[e]++
+			}
+		}
+		for e, cnt := range incidence {
+			if cnt >= n {
+				for _, c := range comps {
+					for _, ce := range c.Edges {
+						if ce == e {
+							return g, c, WitnessManyHyperedges, nil
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil, Component{}, "", fmt.Errorf(
+		"twolevel: family %s has no Lemma A.1 witness for n=%d within %d members", f.Name(), n, maxIdx)
+}
+
+// FanFamily is the family of 2L graphs with i parallel edges between two
+// vertices joined by one i-ary hyperedge (unbounded cc_vertex, cc_hedge = 1).
+type FanFamily struct{}
+
+// Name implements Family.
+func (FanFamily) Name() string { return "fan" }
+
+// Generate implements Family.
+func (FanFamily) Generate(i int) *Graph {
+	k := i + 1
+	g := &Graph{NumVertices: 2}
+	h := make([]int, k)
+	for e := 0; e < k; e++ {
+		g.Edges = append(g.Edges, Endpoints{0, 1})
+		h[e] = e
+	}
+	g.Hyper = [][]int{h}
+	return g
+}
+
+// StarFamily is the family with one edge shared by i unary hyperedges
+// (unbounded cc_hedge, cc_vertex = 1).
+type StarFamily struct{}
+
+// Name implements Family.
+func (StarFamily) Name() string { return "star" }
+
+// Generate implements Family.
+func (StarFamily) Generate(i int) *Graph {
+	g := &Graph{NumVertices: 2, Edges: []Endpoints{{0, 1}}}
+	for h := 0; h <= i; h++ {
+		g.Hyper = append(g.Hyper, []int{0})
+	}
+	return g
+}
+
+// ChainFamily is the family of i edges chained by binary hyperedges
+// (unbounded cc_vertex with hyperedges of size ≤ 2 — the Lemma 5.4(a)
+// shape).
+type ChainFamily struct{}
+
+// Name implements Family.
+func (ChainFamily) Name() string { return "chain" }
+
+// Generate implements Family.
+func (ChainFamily) Generate(i int) *Graph {
+	k := i + 1
+	g := &Graph{NumVertices: 2}
+	for e := 0; e < k; e++ {
+		g.Edges = append(g.Edges, Endpoints{0, 1})
+	}
+	for e := 0; e+1 < k; e++ {
+		g.Hyper = append(g.Hyper, []int{e, e + 1})
+	}
+	return g
+}
+
+// BoundedFamily is a family with all measures bounded (pair components on a
+// growing path) — it has no Lemma A.1 witness beyond its bound.
+type BoundedFamily struct{}
+
+// Name implements Family.
+func (BoundedFamily) Name() string { return "bounded-pairs" }
+
+// Generate implements Family.
+func (BoundedFamily) Generate(i int) *Graph {
+	k := 2 * (i + 1)
+	g := &Graph{NumVertices: k + 1}
+	for e := 0; e < k; e++ {
+		g.Edges = append(g.Edges, Endpoints{e, e + 1})
+	}
+	for e := 0; e+1 < k; e += 2 {
+		g.Hyper = append(g.Hyper, []int{e, e + 1})
+	}
+	return g
+}
