@@ -1,0 +1,37 @@
+GO ?= go
+FUZZTIME ?= 30s
+
+.PHONY: all build test race lint vet fuzz-smoke bench ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## lint runs the repo-specific analyzers (panicfree, alphabetguard,
+## statebounds, errcheck-strict). Exit 0 means the tree is clean.
+lint:
+	$(GO) run ./cmd/ecrpq-lint ./...
+
+vet:
+	$(GO) vet ./...
+
+## fuzz-smoke gives each fuzz target a short budget on top of its seeded
+## corpus under testdata/fuzz/. Crashes are minimized into those corpora.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/graphdb/
+	$(GO) test -run '^$$' -fuzz FuzzParse$$ -fuzztime $(FUZZTIME) ./internal/query/
+	$(GO) test -run '^$$' -fuzz FuzzParseUnion -fuzztime $(FUZZTIME) ./internal/query/
+	$(GO) test -run '^$$' -fuzz FuzzParseCompile -fuzztime $(FUZZTIME) ./internal/rex/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+## ci mirrors the GitHub Actions gate: build, vet, lint, tests, race tests.
+ci: build vet lint test race

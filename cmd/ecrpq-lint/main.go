@@ -1,0 +1,146 @@
+// Command ecrpq-lint is the repository's custom static-analysis suite: a
+// multichecker over the analyzers in internal/lint. It runs in two
+// modes:
+//
+//   - standalone:  ecrpq-lint [-only a,b] [packages...]
+//     loads the named packages (default ./...) from source and prints
+//     findings as file:line:col: [analyzer] message, exiting 1 if any.
+//
+//   - vettool:     go vet -vettool=$(which ecrpq-lint) ./...
+//     speaks enough of the cmd/vet unit-checker protocol (-V=full and
+//     JSON .cfg invocations) to run under the go toolchain, importing
+//     dependencies from the compiler's export data.
+//
+// Suppress an individual finding with a trailing or preceding comment:
+//
+//	//ecrpq:ignore <analyzer>[,<analyzer>] -- reason
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ecrpq/internal/lint"
+	"ecrpq/internal/lint/alphabetguard"
+	"ecrpq/internal/lint/errcheckstrict"
+	"ecrpq/internal/lint/panicfree"
+	"ecrpq/internal/lint/statebounds"
+)
+
+// analyzers is the full suite, in reporting order.
+var analyzers = []*lint.Analyzer{
+	panicfree.Analyzer,
+	alphabetguard.Analyzer,
+	statebounds.Analyzer,
+	errcheckstrict.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	// go vet probes the tool's identity with -V=full before use.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Fprintln(stdout, "ecrpq-lint version v1.0.0")
+		return 0
+	}
+	// go vet also asks which flags the tool accepts (-flags); we expose
+	// none beyond the protocol, so answer with an empty JSON list.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	}
+	// A single *.cfg argument means go vet is driving us per-package.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runVetUnit(args[0], stderr)
+	}
+
+	fs := flag.NewFlagSet("ecrpq-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: ecrpq-lint [-list] [-only a,b] [packages...]\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, doc)
+		}
+		return 0
+	}
+	selected, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	broken := 0
+	for _, pkg := range pkgs {
+		for _, perr := range pkg.Errors {
+			fmt.Fprintf(stderr, "%s: %v\n", pkg.Path, perr)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(stderr, "ecrpq-lint: %d load error(s); fix the build first\n", broken)
+		return 2
+	}
+	findings, err := lint.RunAnalyzers(pkgs, selected)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "ecrpq-lint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -only flag against the suite.
+func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
+	if only == "" {
+		return analyzers, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("ecrpq-lint: unknown analyzer %q (use -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

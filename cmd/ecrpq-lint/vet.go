@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"ecrpq/internal/lint"
+)
+
+// vetConfig mirrors the fields of the JSON configuration that cmd/vet
+// passes to a -vettool for each package unit (see
+// x/tools/go/analysis/unitchecker; we only consume what we need).
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	NonGoFiles  []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one package unit on behalf of `go vet -vettool`.
+// Findings go to stderr in file:line:col form; exit status 2 signals
+// findings to vet, 0 success. Facts are not used by this suite, so the
+// vetx output is written empty to satisfy the protocol.
+func runVetUnit(cfgFile string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "ecrpq-lint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // facts-only pass: this suite has no facts
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the compiler's export data, looked up via
+	// the PackageFile map after ImportMap canonicalization.
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tconf := types.Config{Importer: importer.ForCompiler(fset, compiler, lookup)}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	pkg := &lint.Package{
+		Path:      cfg.ImportPath,
+		Dir:       cfg.Dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	all, err := lint.RunAnalyzers([]*lint.Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	// go vet also drives test units; the suite's rules target library
+	// code, and tests legitimately panic in helpers and discard errors
+	// on intentionally-bad inputs, so _test.go findings are dropped.
+	// (The standalone loader never parses test files in the first place.)
+	var findings []lint.Finding
+	for _, f := range all {
+		if !strings.HasSuffix(f.Position.Filename, "_test.go") {
+			findings = append(findings, f)
+		}
+	}
+	for _, f := range findings {
+		fmt.Fprintf(stderr, "%s:%d:%d: %s\n", f.Position.Filename, f.Position.Line, f.Position.Column,
+			strings.TrimSpace(f.Message))
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"ecrpq/internal/invariant"
 )
 
 // Symbol identifies a letter of an Alphabet. Valid symbols are non-negative;
@@ -21,6 +23,13 @@ type Symbol int32
 // Pad is the padding symbol ⊥ used in convolutions. It is not part of any
 // alphabet; it only appears in convolution letters.
 const Pad Symbol = -1
+
+// Unset is the "no symbol chosen yet" sentinel used by joint-letter
+// search scratch buffers (product constructions fill tracks
+// incrementally). Like Pad it is never a member of an Alphabet, and it is
+// distinct from Pad so a track can be explicitly padded without looking
+// undecided.
+const Unset Symbol = -2
 
 // IsPad reports whether s is the padding symbol.
 func (s Symbol) IsPad() bool { return s == Pad }
@@ -46,19 +55,13 @@ func New(names ...string) (*Alphabet, error) {
 
 // MustNew is New, panicking on error. Intended for tests and literals.
 func MustNew(names ...string) *Alphabet {
-	a, err := New(names...)
-	if err != nil {
-		panic(err)
-	}
-	return a
+	return invariant.Must(New(names...))
 }
 
 // Lower returns the alphabet {a, b, c, ...} of the first n lowercase Latin
 // letters. It panics unless 1 <= n <= 26.
 func Lower(n int) *Alphabet {
-	if n < 1 || n > 26 {
-		panic(fmt.Sprintf("alphabet.Lower: n=%d out of range [1,26]", n))
-	}
+	invariant.Assertf(n >= 1 && n <= 26, "alphabet.Lower: n=%d out of range [1,26]", n)
 	names := make([]string, n)
 	for i := range names {
 		names[i] = string(rune('a' + i))
@@ -89,11 +92,7 @@ func (a *Alphabet) Add(name string) (Symbol, error) {
 
 // MustAdd is Add, panicking on error.
 func (a *Alphabet) MustAdd(name string) Symbol {
-	s, err := a.Add(name)
-	if err != nil {
-		panic(err)
-	}
-	return s
+	return invariant.Must(a.Add(name))
 }
 
 // Size returns the number of symbols in the alphabet.
@@ -164,11 +163,7 @@ func (a *Alphabet) Extend(extra ...string) (*Alphabet, error) {
 
 // MustExtend is Extend, panicking on error.
 func (a *Alphabet) MustExtend(extra ...string) *Alphabet {
-	b, err := a.Extend(extra...)
-	if err != nil {
-		panic(err)
-	}
-	return b
+	return invariant.Must(a.Extend(extra...))
 }
 
 // Word is a finite word over an alphabet: a sequence of symbols. The empty
@@ -211,11 +206,7 @@ func ParseWord(a *Alphabet, text string) (Word, error) {
 
 // MustParseWord is ParseWord, panicking on error.
 func MustParseWord(a *Alphabet, text string) Word {
-	w, err := ParseWord(a, text)
-	if err != nil {
-		panic(err)
-	}
-	return w
+	return invariant.Must(ParseWord(a, text))
 }
 
 // Format renders the word using the alphabet's symbol names. Single-character

@@ -1,6 +1,11 @@
 package automata
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+
+	"ecrpq/internal/invariant"
+)
 
 // DFA is a deterministic finite automaton over letters of type L. The
 // transition function may be partial: a missing transition rejects.
@@ -30,30 +35,62 @@ func (d *DFA[L]) NumStates() int { return len(d.accept) }
 // Start returns the start state.
 func (d *DFA[L]) Start() int { return d.start }
 
-// SetStart sets the start state.
-func (d *DFA[L]) SetStart(q int) { d.start = q }
+// SetStart sets the start state. The state must already exist.
+func (d *DFA[L]) SetStart(q int) {
+	invariant.Assert(q >= 0 && q < len(d.accept), "automata: SetStart with state outside the DFA")
+	d.start = q
+}
 
-// IsAccept reports whether q accepts.
-func (d *DFA[L]) IsAccept(q int) bool { return d.accept[q] }
+// IsAccept reports whether q accepts. The state must exist.
+func (d *DFA[L]) IsAccept(q int) bool {
+	invariant.Assert(q >= 0 && q < len(d.accept), "automata: IsAccept with state outside the DFA")
+	return d.accept[q]
+}
 
-// SetAccept marks q as (non-)accepting.
-func (d *DFA[L]) SetAccept(q int, v bool) { d.accept[q] = v }
+// SetAccept marks q as (non-)accepting. The state must exist.
+func (d *DFA[L]) SetAccept(q int, v bool) {
+	invariant.Assert(q >= 0 && q < len(d.accept), "automata: SetAccept with state outside the DFA")
+	d.accept[q] = v
+}
 
-// SetTransition sets δ(p, l) = q, overwriting any previous target.
+// SetTransition sets δ(p, l) = q, overwriting any previous target. Both
+// endpoints must be states returned by AddState.
 func (d *DFA[L]) SetTransition(p int, l L, q int) {
+	invariant.Assert(p >= 0 && p < len(d.trans), "automata: SetTransition source outside the DFA")
+	invariant.Assert(q >= 0 && q < len(d.accept), "automata: SetTransition target outside the DFA")
 	if d.trans[p] == nil {
 		d.trans[p] = make(map[L]int)
 	}
 	d.trans[p][l] = q
 }
 
-// Step returns δ(p, l) and whether it is defined.
+// Step returns δ(p, l) and whether it is defined. Out-of-range source
+// states step nowhere rather than panicking: a caller-supplied bad state
+// reference is a recoverable input error, not an internal invariant.
 func (d *DFA[L]) Step(p int, l L) (int, bool) {
-	if d.trans[p] == nil {
+	if p < 0 || p >= len(d.trans) || d.trans[p] == nil {
 		return -1, false
 	}
 	q, ok := d.trans[p][l]
 	return q, ok
+}
+
+// Validate checks internal consistency — the start state and every
+// transition endpoint must be states of the automaton — returning a
+// descriptive error if violated. Useful after manual construction.
+func (d *DFA[L]) Validate() error {
+	n := d.NumStates()
+	if d.start < 0 || d.start >= n {
+		return fmt.Errorf("automata: DFA start state %d out of range [0,%d)", d.start, n)
+	}
+	for p, m := range d.trans {
+		for _, q := range m {
+			if q < 0 || q >= n {
+				return fmt.Errorf("automata: DFA transition %d->%d out of range [0,%d)", p, q, n)
+			}
+		}
+	}
+	return nil
 }
 
 // Accepts reports whether the DFA accepts the word.

@@ -11,6 +11,8 @@ package automata
 import (
 	"fmt"
 	"sort"
+
+	"ecrpq/internal/invariant"
 )
 
 // NFA is a nondeterministic finite automaton with ε-transitions over letters
@@ -55,11 +57,17 @@ func (a *NFA[L]) NumTransitions() int {
 	return n
 }
 
-// SetStart marks q as (non-)initial.
-func (a *NFA[L]) SetStart(q int, v bool) { a.start[q] = v }
+// SetStart marks q as (non-)initial. The state must exist.
+func (a *NFA[L]) SetStart(q int, v bool) {
+	invariant.Assert(q >= 0 && q < len(a.start), "automata: SetStart with state outside the NFA")
+	a.start[q] = v
+}
 
-// SetAccept marks q as (non-)accepting.
-func (a *NFA[L]) SetAccept(q int, v bool) { a.accept[q] = v }
+// SetAccept marks q as (non-)accepting. The state must exist.
+func (a *NFA[L]) SetAccept(q int, v bool) {
+	invariant.Assert(q >= 0 && q < len(a.accept), "automata: SetAccept with state outside the NFA")
+	a.accept[q] = v
+}
 
 // IsStart reports whether q is initial.
 func (a *NFA[L]) IsStart(q int) bool { return a.start[q] }
@@ -90,8 +98,10 @@ func (a *NFA[L]) AcceptStates() []int {
 }
 
 // AddTransition adds the transition p --l--> q. Duplicate transitions are
-// ignored.
+// ignored. Both endpoints must be states returned by AddState.
 func (a *NFA[L]) AddTransition(p int, l L, q int) {
+	invariant.Assert(p >= 0 && p < len(a.trans), "automata: AddTransition source outside the NFA")
+	invariant.Assert(q >= 0 && q < len(a.start), "automata: AddTransition target outside the NFA")
 	m := a.trans[p]
 	if m == nil {
 		m = make(map[L][]int)
@@ -105,8 +115,11 @@ func (a *NFA[L]) AddTransition(p int, l L, q int) {
 	m[l] = append(m[l], q)
 }
 
-// AddEps adds the ε-transition p --ε--> q. Duplicates are ignored.
+// AddEps adds the ε-transition p --ε--> q. Duplicates are ignored. Both
+// endpoints must be states returned by AddState.
 func (a *NFA[L]) AddEps(p, q int) {
+	invariant.Assert(p >= 0 && p < len(a.eps), "automata: AddEps source outside the NFA")
+	invariant.Assert(q >= 0 && q < len(a.start), "automata: AddEps target outside the NFA")
 	for _, existing := range a.eps[p] {
 		if existing == q {
 			return
@@ -127,9 +140,11 @@ func (a *NFA[L]) Transitions(f func(p int, l L, q int)) {
 }
 
 // Successors returns the targets of transitions from p labelled l (excluding
-// ε). The returned slice must not be modified.
+// ε). The returned slice must not be modified. An out-of-range source has
+// no successors: a caller-supplied bad state reference is a recoverable
+// input error, not an internal invariant.
 func (a *NFA[L]) Successors(p int, l L) []int {
-	if a.trans[p] == nil {
+	if p < 0 || p >= len(a.trans) || a.trans[p] == nil {
 		return nil
 	}
 	return a.trans[p][l]

@@ -25,6 +25,7 @@ import (
 
 	"ecrpq/internal/alphabet"
 	"ecrpq/internal/graphdb"
+	"ecrpq/internal/invariant"
 	"ecrpq/internal/query"
 	"ecrpq/internal/synchro"
 )
@@ -246,7 +247,7 @@ func productSearch(
 		st := productState{relStates: combo, verts: append([]int(nil), srcs...), done: 0}
 		push(st, stepRecord{prev: -1})
 	}
-	const unset = alphabet.Symbol(-2)
+	const unset = alphabet.Unset
 	for qi := 0; qi < len(states); qi++ {
 		st := states[qi]
 		if acceptState(nfas, st) && accept(st) {
@@ -416,9 +417,7 @@ func newNFAView(r *synchro.Relation) *nfaView {
 	}
 	nfa.Transitions(func(p int, l string, q int) {
 		t, err := alphabet.TupleFromKey(l)
-		if err != nil {
-			panic(fmt.Sprintf("core: malformed relation letter: %v", err))
-		}
+		invariant.NoError(err, "core: malformed relation letter")
 		v.trans[p] = append(v.trans[p], decodedTrans{tuple: t, to: q})
 	})
 	return v

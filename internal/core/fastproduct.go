@@ -6,6 +6,7 @@ import (
 
 	"ecrpq/internal/alphabet"
 	"ecrpq/internal/graphdb"
+	"ecrpq/internal/invariant"
 )
 
 // fastProduct is an allocation-light variant of productSearch for the hot
@@ -72,13 +73,7 @@ func newFastProduct(db *graphdb.DB, c *component) *fastProduct {
 		return nil
 	}
 	nsym := db.Alphabet().Size()
-	adj := make([][]int32, db.NumVertices()*nsym)
-	for v := 0; v < db.NumVertices(); v++ {
-		for _, e := range db.Out(v) {
-			idx := v*nsym + int(e.Label)
-			adj[idx] = append(adj[idx], int32(e.To))
-		}
-	}
+	adj := buildAdjacency(db, nsym)
 	f := &fastProduct{
 		db: db, c: c, nfas: nfas, t: t,
 		vBits: vBits, qBits: qBits, radix: radix,
@@ -90,6 +85,31 @@ func newFastProduct(db *graphdb.DB, c *component) *fastProduct {
 		f.visited = make(map[uint64]struct{})
 	}
 	return f
+}
+
+// buildAdjacency flattens the database's labelled out-edges into the
+// vertex-major symbol-indexed table used by expand.
+//
+//ecrpq:bounds-checked
+func buildAdjacency(db *graphdb.DB, nsym int) [][]int32 {
+	adj := make([][]int32, db.NumVertices()*nsym)
+	for v := 0; v < db.NumVertices(); v++ {
+		for _, e := range db.Out(v) {
+			idx := v*nsym + int(e.Label)
+			invariant.Assert(idx >= 0 && idx < len(adj), "core: edge label outside the database alphabet")
+			adj[idx] = append(adj[idx], int32(e.To))
+		}
+	}
+	return adj
+}
+
+// adjAt returns the successors of vertex v along s-labelled edges.
+//
+//ecrpq:bounds-checked
+func (f *fastProduct) adjAt(v int, s alphabet.Symbol) []int32 {
+	idx := v*f.nsym + int(s)
+	invariant.Assert(idx >= 0 && idx < len(f.adj), "core: adjacency access outside the packed table")
+	return f.adj[idx]
 }
 
 func (f *fastProduct) pack(relStates []int, verts []int, done uint64) uint64 {
@@ -136,7 +156,7 @@ func (f *fastProduct) Run(srcs []int, accept func(verts []int) bool, maxStates i
 	}
 	f.queue = f.queue[:0]
 	t := f.t
-	const unset = alphabet.Symbol(-2)
+	const unset = alphabet.Unset
 
 	relStates := make([]int, len(f.nfas))
 	verts := make([]int, t)
@@ -282,7 +302,7 @@ func (f *fastProduct) expand(done uint64, verts []int, joint []alphabet.Symbol, 
 			return
 		}
 		cur := verts[i]
-		for _, to := range f.adj[cur*f.nsym+int(joint[i])] {
+		for _, to := range f.adjAt(cur, joint[i]) {
 			newVerts[i] = int(to)
 			overTracks(i + 1)
 		}

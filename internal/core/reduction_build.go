@@ -204,37 +204,33 @@ func sweepComponent(db *graphdb.DB, merged *component, t, n int, opts Options, a
 	}
 
 	results := make([][][]int, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			fp := newFastProduct(db, merged)
-			srcs := make([]int, t)
-			for idx := w; idx < total; idx += workers {
-				decode(idx, srcs)
-				dstTuples, err := componentReachSet(db, merged, fp, srcs, opts.maxStates())
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				for _, dsts := range dstTuples {
-					row := make([]int, 2*t)
-					for k := 0; k < t; k++ {
-						row[2*k] = srcs[k]
-						row[2*k+1] = dsts[k]
-					}
-					results[w] = append(results[w], row)
-				}
+	err := runWorkers(workers, func(w int, stop <-chan struct{}) error {
+		fp := newFastProduct(db, merged)
+		srcs := make([]int, t)
+		for idx := w; idx < total; idx += workers {
+			select {
+			case <-stop:
+				return nil // a sibling failed; its error wins
+			default:
 			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return 0, err
+			decode(idx, srcs)
+			dstTuples, err := componentReachSet(db, merged, fp, srcs, opts.maxStates())
+			if err != nil {
+				return err
+			}
+			for _, dsts := range dstTuples {
+				row := make([]int, 2*t)
+				for k := 0; k < t; k++ {
+					row[2*k] = srcs[k]
+					row[2*k+1] = dsts[k]
+				}
+				results[w] = append(results[w], row)
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	count := 0
 	for _, rows := range results {
@@ -246,4 +242,43 @@ func sweepComponent(db *graphdb.DB, merged *component, t, n int, opts Options, a
 		}
 	}
 	return count, nil
+}
+
+// runWorkers runs body(w, stop) on `workers` goroutines and returns the
+// first failure observed. A panicking worker — including an
+// invariant.Violation — is recovered and surfaced as an error on the
+// same channel instead of killing the process with work from its
+// siblings half-done. The stop channel closes on the first failure so
+// the surviving workers can bail out of long sweeps early; bodies should
+// poll it between work items and return nil when it fires.
+func runWorkers(workers int, body func(w int, stop <-chan struct{}) error) error {
+	stop := make(chan struct{})
+	errCh := make(chan error, workers)
+	var stopOnce sync.Once
+	fail := func(err error) {
+		errCh <- err
+		stopOnce.Do(func() { close(stop) })
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if err, ok := r.(error); ok {
+						fail(fmt.Errorf("core: worker %d panicked: %w", w, err))
+					} else {
+						fail(fmt.Errorf("core: worker %d panicked: %v", w, r))
+					}
+				}
+			}()
+			if err := body(w, stop); err != nil {
+				fail(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh // nil when the channel is empty
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ecrpq/internal/invariant"
 	"ecrpq/internal/twolevel"
 )
 
@@ -70,9 +71,7 @@ func (s *Structure) AddTuple(name string, tuple ...int) error {
 
 // MustAddTuple is AddTuple, panicking on error.
 func (s *Structure) MustAddTuple(name string, tuple ...int) {
-	if err := s.AddTuple(name, tuple...); err != nil {
-		panic(err)
-	}
+	invariant.NoError(s.AddTuple(name, tuple...), "cq: MustAddTuple")
 }
 
 // Contains reports whether the relation holds the tuple.

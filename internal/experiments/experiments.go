@@ -21,6 +21,7 @@ import (
 	"ecrpq/internal/core"
 	"ecrpq/internal/cq"
 	"ecrpq/internal/graphdb"
+	"ecrpq/internal/invariant"
 	"ecrpq/internal/query"
 	"ecrpq/internal/reductions"
 	"ecrpq/internal/synchro"
@@ -86,9 +87,7 @@ func slope(xs, ys []float64) float64 {
 
 func mustEval(db *graphdb.DB, q *query.Query, opts core.Options) *core.Result {
 	res, err := core.Evaluate(db, q, opts)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
-	}
+	invariant.NoError(err, "experiments: evaluation failed")
 	return res
 }
 
@@ -211,9 +210,7 @@ func E3(seed int64) *Table {
 		rng := rand.New(rand.NewSource(seed))
 		in := workload.PlantedINE(rng, a, n, 3, true)
 		db, q, err := reductions.BigHyperedge(in)
-		if err != nil {
-			panic(err)
-		}
+		invariant.NoError(err, "experiments: E3 BigHyperedge reduction")
 		m := twolevel.QueryMeasures(q)
 		var res *core.Result
 		d := timeIt(func() {
@@ -298,17 +295,13 @@ func E6(seed int64) *Table {
 		rng := rand.New(rand.NewSource(seed))
 		in := workload.PlantedINE(rng, a, k, 4, true)
 		db, q, err := reductions.Chain(in)
-		if err != nil {
-			panic(err)
-		}
+		invariant.NoError(err, "experiments: E6 Chain reduction")
 		var res *core.Result
 		d := timeIt(func() { res = mustEval(db, q, core.Options{Strategy: core.Generic}) })
 		var direct time.Duration
 		var ok bool
 		direct = timeIt(func() { _, ok = in.Solve() })
-		if ok != res.Sat {
-			panic("experiments: E6 reduction disagrees with direct INE")
-		}
+		invariant.Assert(ok == res.Sat, "experiments: E6 reduction disagrees with direct INE")
 		t.Rows = append(t.Rows, []string{fmt.Sprint(k), fmt.Sprint(res.Sat), ms(d), ms(direct)})
 	}
 	t.Notes = append(t.Notes,
@@ -335,9 +328,7 @@ func E7() *Table {
 			vars[i] = []int{i, i + 1}
 		}
 		j, err := synchro.Join(a, l+1, rels, vars)
-		if err != nil {
-			panic(err)
-		}
+		invariant.NoError(err, "experiments: consistency join setup")
 		st, tr := j.Size()
 		t.Rows = append(t.Rows, []string{fmt.Sprint(l), "3", fmt.Sprint(st), fmt.Sprint(tr)})
 	}
@@ -400,16 +391,12 @@ func E9(seed int64) *Table {
 			sat++
 		}
 		db1, q1, err := reductions.BigHyperedge(in)
-		if err != nil {
-			panic(err)
-		}
+		invariant.NoError(err, "experiments: BigHyperedge reduction")
 		if mustEval(db1, q1, core.Options{Strategy: core.Generic}).Sat == want {
 			agree1++
 		}
 		db2, q2, err := reductions.SharedVariable(in)
-		if err != nil {
-			panic(err)
-		}
+		invariant.NoError(err, "experiments: SharedVariable reduction")
 		if mustEval(db2, q2, core.Options{Strategy: core.Generic}).Sat == want {
 			agree2++
 		}
@@ -437,24 +424,16 @@ func E10(seed int64) *Table {
 			var cqSat bool
 			dCQ := timeIt(func() {
 				_, s, err := cq.EvalTreeDecomp(st, q)
-				if err != nil {
-					panic(err)
-				}
+				invariant.NoError(err, "experiments: E10 tree-decomposition evaluation")
 				cqSat = s
 			})
 			sub, comps, err := reductions.SubdivideCQ(st, q)
-			if err != nil {
-				panic(err)
-			}
+			invariant.NoError(err, "experiments: E10 CQ subdivision")
 			db, eq, err := reductions.CQToECRPQ(sub, comps)
-			if err != nil {
-				panic(err)
-			}
+			invariant.NoError(err, "experiments: E10 CQ-to-ECRPQ reduction")
 			var res *core.Result
 			dE := timeIt(func() { res = mustEval(db, eq, core.Options{Strategy: core.Generic}) })
-			if res.Sat != cqSat {
-				panic("experiments: E10 reduction disagrees with CQ evaluation")
-			}
+			invariant.Assert(res.Sat == cqSat, "experiments: E10 reduction disagrees with CQ evaluation")
 			t.Rows = append(t.Rows, []string{
 				fmt.Sprint(n), fmt.Sprint(k), fmt.Sprint(cqSat), fmt.Sprint(res.Sat),
 				fmt.Sprint(db.NumVertices()), ms(dCQ), ms(dE),
@@ -615,9 +594,7 @@ func AblationCQEval(seed int64) *Table {
 			t.Rows = append(t.Rows, []string{
 				fmt.Sprintf("clique k=%d", k), fmt.Sprint(n), ms(d1), ms(d2), fmt.Sprint(s1 == s2),
 			})
-			if s1 != s2 {
-				panic("experiments: CQ evaluators disagree")
-			}
+			invariant.Assert(s1 == s2, "experiments: CQ evaluators disagree")
 		}
 	}
 	// Adversarial family: chain query one step longer than a binary tree's
@@ -631,9 +608,7 @@ func AblationCQEval(seed int64) *Table {
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("tree-chain d=%d", depth), fmt.Sprint(st.Domain), ms(d1), ms(d2), fmt.Sprint(s1 == s2),
 		})
-		if s1 || s2 {
-			panic("experiments: tree-chain instance should be unsatisfiable")
-		}
+		invariant.Assert(!s1 && !s2, "experiments: tree-chain instance should be unsatisfiable")
 	}
 	return t
 }
@@ -643,9 +618,7 @@ func AblationCQEval(seed int64) *Table {
 func chainOnBinaryTree(depth int) (*cq.Structure, *cq.Query) {
 	n := 1<<(depth+1) - 1
 	st := cq.NewStructure(n)
-	if err := st.AddRelation("E", 2); err != nil {
-		panic(err)
-	}
+	invariant.NoError(st.AddRelation("E", 2), "experiments: tree-chain relation setup")
 	for v := 0; 2*v+2 < n; v++ {
 		st.MustAddTuple("E", v, 2*v+1)
 		st.MustAddTuple("E", v, 2*v+2)
@@ -758,14 +731,10 @@ func AblationBaseline(seed int64) *Table {
 		var naive, engine *core.Result
 		var err error
 		dN := timeIt(func() { naive, err = core.NaiveBounded(db, q, bound) })
-		if err != nil {
-			panic(err)
-		}
+		invariant.NoError(err, "experiments: naive baseline evaluation")
 		dE := timeIt(func() { engine = mustEval(db, q, core.Options{Strategy: core.Generic}) })
 		agree := naive.Sat == engine.Sat
-		if naive.Sat && !engine.Sat {
-			panic("experiments: baseline found a witness the engine missed")
-		}
+		invariant.Assert(!naive.Sat || engine.Sat, "experiments: baseline found a witness the engine missed")
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(n), fmt.Sprint(bound), ms(dN), ms(dE), fmt.Sprint(agree),
 		})

@@ -12,6 +12,7 @@ import (
 
 	"ecrpq/internal/alphabet"
 	"ecrpq/internal/automata"
+	"ecrpq/internal/invariant"
 )
 
 // Edge is a labelled edge to a target vertex (the source is implicit in the
@@ -60,11 +61,7 @@ func (d *DB) AddVertex(name string) (int, error) {
 
 // MustAddVertex is AddVertex, panicking on error.
 func (d *DB) MustAddVertex(name string) int {
-	v, err := d.AddVertex(name)
-	if err != nil {
-		panic(err)
-	}
-	return v
+	return invariant.Must(d.AddVertex(name))
 }
 
 // EnsureVertex returns the id of the named vertex, creating it if absent.
@@ -111,9 +108,7 @@ func (d *DB) AddEdge(u int, label alphabet.Symbol, v int) error {
 
 // MustAddEdge is AddEdge, panicking on error.
 func (d *DB) MustAddEdge(u int, label alphabet.Symbol, v int) {
-	if err := d.AddEdge(u, label, v); err != nil {
-		panic(err)
-	}
+	invariant.NoError(d.AddEdge(u, label, v), "graphdb: MustAddEdge")
 }
 
 // NumVertices returns the number of vertices.

@@ -1,0 +1,68 @@
+package invariant_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ecrpq/internal/invariant"
+)
+
+func recoverViolation(t *testing.T, f func()) *invariant.Violation {
+	t.Helper()
+	var v *invariant.Violation
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			var ok bool
+			v, ok = r.(*invariant.Violation)
+			if !ok {
+				t.Fatalf("panic payload is %T, want *invariant.Violation", r)
+			}
+		}()
+		f()
+	}()
+	return v
+}
+
+func TestAssert(t *testing.T) {
+	if v := recoverViolation(t, func() { invariant.Assert(true, "fine") }); v != nil {
+		t.Fatalf("Assert(true) panicked: %v", v)
+	}
+	v := recoverViolation(t, func() { invariant.Assert(false, "broken thing") })
+	if v == nil || !strings.Contains(v.Error(), "broken thing") {
+		t.Fatalf("Assert(false) violation = %v", v)
+	}
+}
+
+func TestAssertf(t *testing.T) {
+	v := recoverViolation(t, func() { invariant.Assertf(false, "state %d out of range", 42) })
+	if v == nil || !strings.Contains(v.Error(), "state 42 out of range") {
+		t.Fatalf("Assertf violation = %v", v)
+	}
+}
+
+func TestNoErrorAndMust(t *testing.T) {
+	base := errors.New("boom")
+	v := recoverViolation(t, func() { invariant.NoError(base, "adding edge") })
+	if v == nil || !errors.Is(v, base) {
+		t.Fatalf("NoError violation does not wrap the cause: %v", v)
+	}
+	if got := invariant.Must(7, nil); got != 7 {
+		t.Fatalf("Must(7, nil) = %d", got)
+	}
+	v = recoverViolation(t, func() { invariant.Must(0, base) })
+	if v == nil || !errors.Is(v, base) {
+		t.Fatalf("Must violation does not wrap the cause: %v", v)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	v := recoverViolation(t, func() { invariant.Unreachable("negative arity") })
+	if v == nil || !strings.Contains(v.Error(), "unreachable: negative arity") {
+		t.Fatalf("Unreachable violation = %v", v)
+	}
+}

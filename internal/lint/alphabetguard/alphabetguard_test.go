@@ -1,0 +1,12 @@
+package alphabetguard_test
+
+import (
+	"testing"
+
+	"ecrpq/internal/lint/alphabetguard"
+	"ecrpq/internal/lint/checktest"
+)
+
+func TestAlphabetguard(t *testing.T) {
+	checktest.Run(t, ".", alphabetguard.Analyzer, "violation", "clean")
+}

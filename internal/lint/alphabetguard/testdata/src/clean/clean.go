@@ -1,0 +1,31 @@
+// Package clean must produce no alphabetguard diagnostics: symbols come
+// from the alphabet itself, sentinels are the exported constants, and
+// computed conversions from alphabet-derived indices are fine.
+package clean
+
+import "ecrpq/internal/alphabet"
+
+func canonical() bool {
+	a := alphabet.MustNew("a", "b")
+	s, ok := a.Lookup("a")
+	if !ok {
+		return false
+	}
+	return a.Contains(s) && s != alphabet.Pad && s != alphabet.Unset
+}
+
+func computed(i int) alphabet.Symbol {
+	a := alphabet.Lower(3)
+	return alphabet.Symbol(i % a.Size())
+}
+
+func plainRunesElsewhere(text string) int {
+	// Rune literals not typed as Symbol are untouched.
+	n := 0
+	for _, r := range text {
+		if r == 'a' {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,152 @@
+// Package errcheckstrict implements the errcheck-strict analyzer:
+// errors returned by constructors of internal/automata, internal/query
+// and internal/synchro must never be discarded — not with a blank
+// identifier, not by using the call as a statement. A silently ignored
+// constructor error yields a half-built automaton or relation whose
+// invariant violations surface far from their cause.
+package errcheckstrict
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ecrpq/internal/lint"
+)
+
+// guardedPkgSuffixes are the packages whose constructors are protected.
+var guardedPkgSuffixes = []string{
+	"internal/automata",
+	"internal/query",
+	"internal/synchro",
+}
+
+// constructorPrefixes identify constructor-shaped functions and methods.
+var constructorPrefixes = []string{"New", "Parse", "From", "Compile", "Build", "Union", "Extend"}
+
+// Analyzer is the errcheck-strict check.
+var Analyzer = &lint.Analyzer{
+	Name: "errcheck-strict",
+	Doc: "forbid discarding errors from constructors in internal/automata, internal/query, internal/synchro\n\n" +
+		"A constructor is an error-returning function or method whose name starts with\n" +
+		"New/Parse/From/Compile/Build/Union/Extend. Assigning its error to _ or dropping the\n" +
+		"whole result is an error. Suppress with //ecrpq:ignore errcheck-strict -- <reason>.",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.AssignStmt:
+				checkAssign(pass, stmt)
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					if name, ok := guardedConstructor(pass, call); ok {
+						pass.Reportf(call.Pos(),
+							"result of constructor %s dropped: its error must be checked", name)
+					}
+				}
+			case *ast.GoStmt:
+				if name, ok := guardedConstructor(pass, stmt.Call); ok {
+					pass.Reportf(stmt.Pos(),
+						"error from constructor %s discarded by go statement", name)
+				}
+			case *ast.DeferStmt:
+				if name, ok := guardedConstructor(pass, stmt.Call); ok {
+					pass.Reportf(stmt.Pos(),
+						"error from constructor %s discarded by defer statement", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign flags `x, _ := Constructor(...)` where the blank identifier
+// lands on the error result.
+func checkAssign(pass *lint.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, ok := guardedConstructor(pass, call)
+	if !ok {
+		return
+	}
+	// The error is the last result; find the identifier bound to it.
+	if len(as.Lhs) == 0 {
+		return
+	}
+	last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	if ok && last.Name == "_" {
+		pass.Reportf(as.Pos(),
+			"error from constructor %s assigned to _: handle it or propagate it", name)
+	}
+}
+
+// guardedConstructor reports whether call invokes a constructor-shaped,
+// error-returning function declared in one of the guarded packages, and
+// returns its qualified name.
+func guardedConstructor(pass *lint.Pass, call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	guarded := false
+	for _, suffix := range guardedPkgSuffixes {
+		if strings.HasSuffix(fn.Pkg().Path(), suffix) {
+			guarded = true
+			break
+		}
+	}
+	if !guarded {
+		return "", false
+	}
+	named := false
+	for _, prefix := range constructorPrefixes {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			named = true
+			break
+		}
+	}
+	if !named {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	results := sig.Results()
+	if results.Len() == 0 {
+		return "", false
+	}
+	last := results.At(results.Len() - 1).Type()
+	if !isErrorType(last) {
+		return "", false
+	}
+	return fn.Pkg().Name() + "." + fn.Name(), true
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

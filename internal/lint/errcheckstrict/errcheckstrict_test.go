@@ -1,0 +1,12 @@
+package errcheckstrict_test
+
+import (
+	"testing"
+
+	"ecrpq/internal/lint/checktest"
+	"ecrpq/internal/lint/errcheckstrict"
+)
+
+func TestErrcheckStrict(t *testing.T) {
+	checktest.Run(t, ".", errcheckstrict.Analyzer, "violation", "clean")
+}

@@ -1,0 +1,33 @@
+// Package clean must produce no errcheck-strict diagnostics: errors are
+// handled, propagated, or the called functions are not guarded
+// constructors.
+package clean
+
+import (
+	"ecrpq/internal/alphabet"
+	"ecrpq/internal/query"
+	"ecrpq/internal/synchro"
+)
+
+func handled() (*query.Query, error) {
+	q, err := query.ParseString("alphabet a\nx -[a]-> y")
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func propagated(r, s *synchro.Relation) (*synchro.Relation, error) {
+	return r.Union(s)
+}
+
+func nonConstructor(q *query.Query) {
+	// Non-constructor results may be discarded freely.
+	_ = q.String()
+	_ = q.IsCRPQ()
+}
+
+func errorFree() *query.Builder {
+	// Constructors without an error result are out of scope.
+	return query.NewBuilder(alphabet.Lower(2))
+}

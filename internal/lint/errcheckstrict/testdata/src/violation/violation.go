@@ -1,0 +1,32 @@
+// Package violation exercises every errcheck-strict diagnostic.
+package violation
+
+import (
+	"ecrpq/internal/alphabet"
+	"ecrpq/internal/query"
+	"ecrpq/internal/synchro"
+)
+
+func blankAssign() *query.Query {
+	q, _ := query.ParseString("alphabet a\nx -[a]-> y") // want `error from constructor query.ParseString assigned to _`
+	return q
+}
+
+func droppedResult() {
+	query.ParseString("alphabet a\nx -[a]-> y") // want `result of constructor query.ParseString dropped`
+}
+
+func blankUnion(r, s *synchro.Relation) *synchro.Relation {
+	u, _ := r.Union(s) // want `error from constructor synchro.Union assigned to _`
+	return u
+}
+
+func blankExtend(a *alphabet.Alphabet) {
+	// alphabet is not a guarded package: Extend here is fine to underline
+	// the package scoping...
+	b, _ := a.Extend("z")
+	_ = b
+	// ...but synchro.FromNFA is guarded.
+	rel, _ := synchro.FromNFA(a, 1, nil) // want `error from constructor synchro.FromNFA assigned to _`
+	_ = rel
+}

@@ -1,0 +1,107 @@
+// Package lint is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass, Diagnostic)
+// plus a module-aware source loader, sufficient to run this repository's
+// custom analyzers from cmd/ecrpq-lint without any module downloads.
+//
+// The shape deliberately mirrors go/analysis so the analyzers can be
+// ported to the real framework verbatim once x/tools is vendorable:
+// an Analyzer bundles a name, doc string and a Run function; Run receives
+// a Pass carrying the parsed files, type information and a Report sink.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //ecrpq:ignore suppression comments. It must be a valid identifier.
+	Name string
+	// Doc is the help text shown by `ecrpq-lint -list`.
+	Doc string
+	// Run applies the check to a single package and reports findings via
+	// pass.Report. It returns an error only for operational failures
+	// (diagnostics are not errors).
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed non-test Go files.
+	Files []*ast.File
+	// Pkg is the type-checked package object.
+	Pkg *types.Package
+	// TypesInfo records type and object resolution for all expressions.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. Suppression comments are applied by
+	// the driver, not by analyzers.
+	Report func(Diagnostic)
+}
+
+// Reportf is a convenience wrapper formatting a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is a single finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// ignoreRE matches suppression comments:
+//
+//	//ecrpq:ignore <analyzer>[,<analyzer>...] -- reason
+//
+// placed on the flagged line or on the line immediately above it. The
+// reason is mandatory; "all" suppresses every analyzer.
+var ignoreRE = regexp.MustCompile(`^//ecrpq:ignore\s+([A-Za-z0-9_,-]+)\s+--\s+\S`)
+
+// suppressed reports whether a diagnostic from analyzer name at position
+// pos is silenced by an //ecrpq:ignore comment in file f.
+func suppressed(fset *token.FileSet, f *ast.File, name string, pos token.Pos) bool {
+	line := fset.Position(pos).Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := ignoreRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			cl := fset.Position(c.Pos()).Line
+			if cl != line && cl != line-1 {
+				continue
+			}
+			for _, n := range strings.Split(m[1], ",") {
+				if n == name || n == "all" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// HasDirective reports whether the doc comment of a declaration contains
+// the given //ecrpq:<directive> marker (e.g. "bounds-checked"). Analyzers
+// use it to recognize sanctioned accessor functions.
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	want := "//ecrpq:" + directive
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == want || strings.HasPrefix(text, want+" ") {
+			return true
+		}
+	}
+	return false
+}

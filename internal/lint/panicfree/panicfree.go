@@ -1,0 +1,104 @@
+// Package panicfree implements the panicfree analyzer: library packages
+// (the module root and everything under internal/) must not call the
+// panic builtin or log.Fatal*; irrecoverable conditions must go through
+// internal/invariant so every panic site carries an explicit invariant
+// message, and recoverable conditions must return errors.
+//
+// Commands (cmd/...), examples (examples/...) and the invariant package
+// itself are exempt, as are explicit panics that re-raise a recovered
+// value (the worker-pool recover/propagate idiom).
+package panicfree
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ecrpq/internal/lint"
+)
+
+// Analyzer is the panicfree check.
+var Analyzer = &lint.Analyzer{
+	Name: "panicfree",
+	Doc: "forbid panic/log.Fatal in library packages; route invariants through internal/invariant\n\n" +
+		"Applies to the module root package and internal/... (except internal/invariant).\n" +
+		"Suppress a finding with //ecrpq:ignore panicfree -- <reason>.",
+	Run: run,
+}
+
+// exempt reports whether the package at path may panic freely.
+func exempt(path string) bool {
+	switch {
+	case strings.HasSuffix(path, "/internal/invariant") || path == "internal/invariant":
+		return true
+	case strings.Contains(path, "/cmd/") || strings.HasPrefix(path, "cmd/"):
+		return true
+	case strings.Contains(path, "/examples/") || strings.HasPrefix(path, "examples/"):
+		return true
+	}
+	return false
+}
+
+func run(pass *lint.Pass) error {
+	if exempt(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "panic" && isBuiltin(pass, fun) && !reraisesRecover(pass, call) {
+					pass.Reportf(call.Pos(),
+						"panic is forbidden in library code: return an error or use invariant.Assert")
+				}
+			case *ast.SelectorExpr:
+				if obj := pass.TypesInfo.Uses[fun.Sel]; obj != nil && obj.Pkg() != nil &&
+					obj.Pkg().Path() == "log" && strings.HasPrefix(fun.Sel.Name, "Fatal") {
+					pass.Reportf(call.Pos(),
+						"log.%s is forbidden in library code: return an error instead", fun.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isBuiltin reports whether id resolves to the predeclared panic builtin
+// (not a shadowing local).
+func isBuiltin(pass *lint.Pass, id *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return true // unresolved: assume the builtin
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// reraisesRecover recognizes the sanctioned `panic(r)` where r was bound
+// from recover() in the same function — propagating a foreign panic after
+// cleanup is not introducing a new panic site.
+func reraisesRecover(pass *lint.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	arg, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[arg]
+	if obj == nil {
+		return false
+	}
+	// Accept identifiers conventionally named for recovered values whose
+	// type is the empty interface (recover's result type).
+	if arg.Name != "r" && arg.Name != "rec" && arg.Name != "recovered" {
+		return false
+	}
+	iface, ok := obj.Type().Underlying().(*types.Interface)
+	return ok && iface.Empty()
+}

@@ -1,0 +1,12 @@
+package panicfree_test
+
+import (
+	"testing"
+
+	"ecrpq/internal/lint/checktest"
+	"ecrpq/internal/lint/panicfree"
+)
+
+func TestPanicfree(t *testing.T) {
+	checktest.Run(t, ".", panicfree.Analyzer, "violation", "clean")
+}

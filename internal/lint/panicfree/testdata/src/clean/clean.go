@@ -1,0 +1,46 @@
+// Package clean must produce no panicfree diagnostics: invariants go
+// through internal/invariant, recovered panics may be re-raised, and a
+// local identifier shadowing panic is not the builtin.
+package clean
+
+import (
+	"errors"
+	"fmt"
+
+	"ecrpq/internal/invariant"
+)
+
+func viaInvariant(n int) {
+	invariant.Assert(n >= 0, "n must be non-negative")
+	invariant.Assertf(n < 100, "n=%d out of range", n)
+}
+
+func returnsError(n int) error {
+	if n < 0 {
+		return errors.New("negative")
+	}
+	return nil
+}
+
+func mustStyle() int {
+	return invariant.Must(42, nil)
+}
+
+func reraise(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if v, ok := r.(*invariant.Violation); ok {
+				err = v
+				return
+			}
+			panic(r) // re-raising a recovered foreign panic is sanctioned
+		}
+	}()
+	f()
+	return nil
+}
+
+func shadowed() {
+	panic := func(msg string) { fmt.Println(msg) }
+	panic("just a print")
+}

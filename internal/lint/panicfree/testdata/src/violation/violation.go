@@ -1,0 +1,30 @@
+// Package violation exercises every panicfree diagnostic.
+package violation
+
+import (
+	"errors"
+	"log"
+)
+
+func explode() {
+	panic("boom") // want `panic is forbidden in library code`
+}
+
+func explodeErr() error {
+	err := errors.New("bad input")
+	if err != nil {
+		panic(err) // want `panic is forbidden in library code`
+	}
+	return nil
+}
+
+func fatal() {
+	log.Fatal("dying")            // want `log.Fatal is forbidden in library code`
+	log.Fatalf("dying: %d", 1)    // want `log.Fatalf is forbidden in library code`
+	log.Fatalln("dying", "again") // want `log.Fatalln is forbidden in library code`
+}
+
+func suppressedSite() {
+	//ecrpq:ignore panicfree -- demonstrating the suppression syntax
+	panic("explicitly waved through")
+}

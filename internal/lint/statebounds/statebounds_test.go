@@ -1,0 +1,12 @@
+package statebounds_test
+
+import (
+	"testing"
+
+	"ecrpq/internal/lint/checktest"
+	"ecrpq/internal/lint/statebounds"
+)
+
+func TestStatebounds(t *testing.T) {
+	checktest.Run(t, ".", statebounds.Analyzer, "violation", "clean")
+}

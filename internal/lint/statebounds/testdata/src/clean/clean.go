@@ -1,0 +1,46 @@
+// Package clean must produce no statebounds diagnostics: plain indices
+// are fine, arithmetic goes through a declared bounds-checked accessor,
+// and non-state slices are not the analyzer's business.
+package clean
+
+import "ecrpq/internal/invariant"
+
+type table struct {
+	trans  [][]int
+	accept []bool
+	adj    []int32
+}
+
+// adjAt is the sanctioned accessor for packed adjacency rows.
+//
+//ecrpq:bounds-checked
+func (t *table) adjAt(v, nsym, sym int) int32 {
+	idx := v*nsym + sym
+	invariant.Assert(idx >= 0 && idx < len(t.adj), "adjacency index out of range")
+	return t.adj[idx]
+}
+
+func plainIndex(t *table, p int) []int {
+	return t.trans[p]
+}
+
+func viaAccessor(t *table, v, nsym, sym int) int32 {
+	return t.adjAt(v, nsym, sym)
+}
+
+func otherSlices(xs []int, i, j int) int {
+	// Arithmetic indexing of non-state slices is out of scope.
+	return xs[i+j]
+}
+
+func popIdiom(t *table, stack []int) bool {
+	// q is an element popped off a stack; the arithmetic computes the
+	// stack position, not the state value, so q is not tainted.
+	acc := false
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		acc = acc || t.accept[q]
+	}
+	return acc
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"ecrpq/internal/alphabet"
+	"ecrpq/internal/invariant"
 	"ecrpq/internal/synchro"
 )
 
@@ -89,11 +90,7 @@ func ParseString(s string) (*Query, error) { return Parse(strings.NewReader(s)) 
 
 // MustParseString is ParseString, panicking on error.
 func MustParseString(s string) *Query {
-	q, err := ParseString(s)
-	if err != nil {
-		panic(err)
-	}
-	return q
+	return invariant.Must(ParseString(s))
 }
 
 // parseReachClause parses  src -[X]-> dst  where X is $pathvar or a regex.

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"ecrpq/internal/alphabet"
+	"ecrpq/internal/invariant"
 	"ecrpq/internal/rex"
 	"ecrpq/internal/synchro"
 )
@@ -285,11 +286,7 @@ func (b *Builder) Build() (*Query, error) {
 
 // MustBuild is Build, panicking on error.
 func (b *Builder) MustBuild() *Query {
-	q, err := b.Build()
-	if err != nil {
-		panic(err)
-	}
-	return q
+	return invariant.Must(b.Build())
 }
 
 // SortedNodeVars returns the node variables sorted (test helper for

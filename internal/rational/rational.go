@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"ecrpq/internal/alphabet"
+	"ecrpq/internal/invariant"
 )
 
 // Transition is a transducer transition: consume In (a possibly-empty word)
@@ -68,9 +69,7 @@ func (t *Transducer) Add(from int, in, out alphabet.Word, to int) error {
 
 // MustAdd is Add, panicking on error.
 func (t *Transducer) MustAdd(from int, in, out alphabet.Word, to int) {
-	if err := t.Add(from, in, out, to); err != nil {
-		panic(err)
-	}
+	invariant.NoError(t.Add(from, in, out, to), "rational: MustAdd")
 }
 
 // WithName attaches a display name.

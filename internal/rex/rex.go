@@ -23,6 +23,7 @@ import (
 
 	"ecrpq/internal/alphabet"
 	"ecrpq/internal/automata"
+	"ecrpq/internal/invariant"
 )
 
 // Expr is a parsed regular expression.
@@ -91,11 +92,7 @@ func Parse(a *alphabet.Alphabet, src string) (*Expr, error) {
 
 // MustParse is Parse, panicking on error.
 func MustParse(a *alphabet.Alphabet, src string) *Expr {
-	e, err := Parse(a, src)
-	if err != nil {
-		panic(err)
-	}
-	return e
+	return invariant.Must(Parse(a, src))
 }
 
 type parser struct {
@@ -384,11 +381,7 @@ func CompileString(a *alphabet.Alphabet, src string) (*automata.NFA[alphabet.Sym
 
 // MustCompileString is CompileString, panicking on error.
 func MustCompileString(a *alphabet.Alphabet, src string) *automata.NFA[alphabet.Symbol] {
-	n, err := CompileString(a, src)
-	if err != nil {
-		panic(err)
-	}
-	return n
+	return invariant.Must(CompileString(a, src))
 }
 
 // Matches reports whether the word matches the expression (convenience

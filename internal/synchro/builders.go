@@ -5,6 +5,7 @@ import (
 
 	"ecrpq/internal/alphabet"
 	"ecrpq/internal/automata"
+	"ecrpq/internal/invariant"
 )
 
 // Universal returns the relation (A*)^k. It is kept symbolic; most
@@ -145,14 +146,8 @@ func editOne(a *alphabet.Alphabet) *Relation {
 	subst := HammingAtMost(a, 1)
 	ins := insertion(a)
 	del := ins.Permute([]int{1, 0})
-	r, err := subst.Union(ins)
-	if err != nil {
-		panic(err)
-	}
-	r, err = r.Union(del)
-	if err != nil {
-		panic(err)
-	}
+	r := invariant.Must(subst.Union(ins))
+	r = invariant.Must(r.Union(del))
 	return r.WithName("edit<=1")
 }
 

@@ -130,7 +130,7 @@ func Join(a *alphabet.Alphabet, arity int, rels []*Relation, vars [][]int) (*Rel
 	}
 
 	// unassigned marker for merged-track symbols during the consistency join.
-	const unset = alphabet.Symbol(-2)
+	const unset = alphabet.Unset
 
 	for qi := 0; qi < len(queue); qi++ {
 		qs := queue[qi]

@@ -5,6 +5,7 @@ import (
 
 	"ecrpq/internal/alphabet"
 	"ecrpq/internal/automata"
+	"ecrpq/internal/invariant"
 )
 
 // Intersect returns R ∩ S (same arity required).
@@ -102,14 +103,11 @@ func validConvolutionsNFA(a *alphabet.Alphabet, k int) (*automata.NFA[string], e
 // (w_0,...,w_{k-1}) ∈ R }; that is, track i of the result carries what track
 // perm[i] of R carried. perm must be a permutation of 0..k-1.
 func (r *Relation) Permute(perm []int) *Relation {
-	if len(perm) != r.arity {
-		panic(fmt.Sprintf("synchro: permutation of length %d for arity %d", len(perm), r.arity))
-	}
+	invariant.Assertf(len(perm) == r.arity,
+		"synchro: permutation of length %d for arity %d", len(perm), r.arity)
 	seen := make([]bool, r.arity)
 	for _, p := range perm {
-		if p < 0 || p >= r.arity || seen[p] {
-			panic(fmt.Sprintf("synchro: invalid permutation %v", perm))
-		}
+		invariant.Assertf(p >= 0 && p < r.arity && !seen[p], "synchro: invalid permutation %v", perm)
 		seen[p] = true
 	}
 	if r.universal {

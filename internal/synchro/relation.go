@@ -16,6 +16,7 @@ import (
 
 	"ecrpq/internal/alphabet"
 	"ecrpq/internal/automata"
+	"ecrpq/internal/invariant"
 )
 
 // Relation is a k-ary synchronous relation over an alphabet.
@@ -81,11 +82,7 @@ func FromNFA(a *alphabet.Alphabet, arity int, nfa *automata.NFA[string]) (*Relat
 
 // MustFromNFA is FromNFA, panicking on error.
 func MustFromNFA(a *alphabet.Alphabet, arity int, nfa *automata.NFA[string]) *Relation {
-	r, err := FromNFA(a, arity, nfa)
-	if err != nil {
-		panic(err)
-	}
-	return r
+	return invariant.Must(FromNFA(a, arity, nfa))
 }
 
 // Arity returns the number of tracks of the relation.
@@ -176,11 +173,7 @@ func (r *Relation) Contains(words ...alphabet.Word) (bool, error) {
 
 // MustContain is Contains, panicking on error.
 func (r *Relation) MustContain(words ...alphabet.Word) bool {
-	ok, err := r.Contains(words...)
-	if err != nil {
-		panic(err)
-	}
-	return ok
+	return invariant.Must(r.Contains(words...))
 }
 
 // IsEmpty reports whether the relation contains no tuple. When non-empty it
@@ -322,9 +315,7 @@ func (r *Relation) String() string {
 func tupleTransitions(nfa *automata.NFA[string], q int, f func(t alphabet.Tuple, to int)) {
 	nfa.OutLetters(q, func(l string) {
 		t, err := alphabet.TupleFromKey(l)
-		if err != nil {
-			panic(fmt.Sprintf("synchro: malformed letter key: %v", err))
-		}
+		invariant.NoError(err, "synchro: malformed letter key")
 		for _, to := range nfa.Successors(q, l) {
 			f(t, to)
 		}

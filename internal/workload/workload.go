@@ -17,6 +17,7 @@ import (
 	"ecrpq/internal/automata"
 	"ecrpq/internal/cq"
 	"ecrpq/internal/graphdb"
+	"ecrpq/internal/invariant"
 	"ecrpq/internal/query"
 	"ecrpq/internal/reductions"
 	"ecrpq/internal/synchro"
@@ -63,9 +64,7 @@ func LineDB(a *alphabet.Alphabet, n int) *graphdb.DB {
 // GridDB generates an r×c grid: right edges labelled with symbol 0, down
 // edges with symbol 1 (requires |A| ≥ 2).
 func GridDB(a *alphabet.Alphabet, r, c int) *graphdb.DB {
-	if a.Size() < 2 {
-		panic("workload: GridDB needs at least 2 symbols")
-	}
+	invariant.Assert(a.Size() >= 2, "workload: GridDB needs at least 2 symbols")
 	db := graphdb.New(a)
 	for i := 0; i < r*c; i++ {
 		db.MustAddVertex("")
@@ -214,9 +213,7 @@ func CRPQPathQuery(a *alphabet.Alphabet, k int) *query.Query {
 // which a k-clique is planted when plant is true.
 func CliqueCQ(rng *rand.Rand, k, n, e int, plant bool) (*cq.Structure, *cq.Query) {
 	s := cq.NewStructure(n)
-	if err := s.AddRelation("E", 2); err != nil {
-		panic(err)
-	}
+	invariant.NoError(s.AddRelation("E", 2), "workload: CliqueCQ relation setup")
 	addSym := func(u, v int) {
 		s.MustAddTuple("E", u, v)
 		s.MustAddTuple("E", v, u)
