@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint vet fuzz-smoke bench ci
+.PHONY: all build test race lint vet fuzz-smoke bench server-test ci
 
 all: build test
 
@@ -33,5 +33,10 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+## server-test exercises the ecrpqd packages (HTTP endpoints, plan cache,
+## cancellation) under the race detector.
+server-test:
+	$(GO) test -race ./internal/server/... ./internal/plancache/ ./internal/core/ ./internal/query/
+
 ## ci mirrors the GitHub Actions gate: build, vet, lint, tests, race tests.
-ci: build vet lint test race
+ci: build vet lint test race server-test

@@ -23,10 +23,13 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 
@@ -184,10 +187,19 @@ func (s *shell) evaluate(q *ecrpq.Query) {
 		fmt.Fprintln(s.out, "error: no database loaded (.db <file>)")
 		return
 	}
+	// Ctrl-C aborts the running evaluation (via context cancellation in
+	// the engine's search loops) and returns to the prompt; outside an
+	// evaluation it keeps its usual kill-the-process meaning.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	opts := ecrpq.Options{Strategy: s.strategy}
 	if len(q.Free) > 0 {
-		answers, err := ecrpq.Answers(s.db, q, opts)
+		answers, err := ecrpq.AnswersContext(ctx, s.db, q, opts)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(s.out, "interrupted")
+				return
+			}
 			fmt.Fprintln(s.out, "error:", err)
 			return
 		}
@@ -201,8 +213,12 @@ func (s *shell) evaluate(q *ecrpq.Query) {
 		}
 		return
 	}
-	res, err := ecrpq.Evaluate(s.db, q, opts)
+	res, err := ecrpq.EvaluateContext(ctx, s.db, q, opts)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(s.out, "interrupted")
+			return
+		}
 		fmt.Fprintln(s.out, "error:", err)
 		return
 	}

@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	ecrpq -db graph.txt -query query.txt [-strategy auto|generic|reduction] [-witness]
+//	ecrpq -db graph.txt -query query.txt [-strategy auto|generic|reduction]
+//	      [-witness] [-timeout 30s]
 //
 // The database format is one labelled edge per line after an alphabet
 // header; the query format is the DSL of internal/query (see README.md).
@@ -11,11 +12,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"ecrpq"
 )
@@ -26,12 +30,17 @@ func main() {
 	strategy := flag.String("strategy", "auto", "evaluation strategy: auto, generic, reduction")
 	witness := flag.Bool("witness", false, "print the witness assignment and paths")
 	relFiles := flag.String("rel", "", "comma-separated custom relation files (synchro text format); atom names resolve against these before built-ins")
+	timeout := flag.Duration("timeout", 0, "abort evaluation after this long (0 = no limit)")
 	flag.Parse()
 	if *dbPath == "" || *queryPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: ecrpq -db <file> -query <file> [-strategy auto|generic|reduction] [-witness] [-rel r1.txt,r2.txt]")
 		os.Exit(2)
 	}
-	if err := run(*dbPath, *queryPath, *strategy, *witness, *relFiles); err != nil {
+	if err := run(*dbPath, *queryPath, *strategy, *witness, *relFiles, *timeout); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "ecrpq: evaluation exceeded the", *timeout, "timeout")
+			os.Exit(3)
+		}
 		fmt.Fprintln(os.Stderr, "ecrpq:", err)
 		os.Exit(1)
 	}
@@ -60,7 +69,7 @@ func loadRelations(relFiles string) (map[string]*ecrpq.Relation, error) {
 	return registry, nil
 }
 
-func run(dbPath, queryPath, strategy string, witness bool, relFiles string) error {
+func run(dbPath, queryPath, strategy string, witness bool, relFiles string, timeout time.Duration) error {
 	dbFile, err := os.Open(dbPath)
 	if err != nil {
 		return err
@@ -95,8 +104,15 @@ func run(dbPath, queryPath, strategy string, witness bool, relFiles string) erro
 		return fmt.Errorf("unknown strategy %q", strategy)
 	}
 
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
 	if len(q.Free) > 0 {
-		answers, err := ecrpq.Answers(db, q, opts)
+		answers, err := ecrpq.AnswersContext(ctx, db, q, opts)
 		if err != nil {
 			return err
 		}
@@ -111,7 +127,7 @@ func run(dbPath, queryPath, strategy string, witness bool, relFiles string) erro
 		return nil
 	}
 
-	res, err := ecrpq.Evaluate(db, q, opts)
+	res, err := ecrpq.EvaluateContext(ctx, db, q, opts)
 	if err != nil {
 		return err
 	}

@@ -25,7 +25,7 @@ func TestRunBoolean(t *testing.T) {
 	db := writeTemp(t, "db.txt", testDB)
 	q := writeTemp(t, "q.txt", "alphabet a b\nx -[ab]-> y\n")
 	for _, strat := range []string{"auto", "generic", "reduction"} {
-		if err := run(db, q, strat, true, ""); err != nil {
+		if err := run(db, q, strat, true, "", 0); err != nil {
 			t.Errorf("strategy %s: %v", strat, err)
 		}
 	}
@@ -34,7 +34,7 @@ func TestRunBoolean(t *testing.T) {
 func TestRunAnswers(t *testing.T) {
 	db := writeTemp(t, "db.txt", testDB)
 	q := writeTemp(t, "q.txt", "alphabet a b\nfree x\nx -[a]-> y\n")
-	if err := run(db, q, "auto", false, ""); err != nil {
+	if err := run(db, q, "auto", false, "", 0); err != nil {
 		t.Errorf("answers: %v", err)
 	}
 }
@@ -42,21 +42,21 @@ func TestRunAnswers(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	db := writeTemp(t, "db.txt", testDB)
 	q := writeTemp(t, "q.txt", "alphabet a b\nx -[ab]-> y\n")
-	if err := run("/nonexistent", q, "auto", false, ""); err == nil {
+	if err := run("/nonexistent", q, "auto", false, "", 0); err == nil {
 		t.Error("missing db should error")
 	}
-	if err := run(db, "/nonexistent", "auto", false, ""); err == nil {
+	if err := run(db, "/nonexistent", "auto", false, "", 0); err == nil {
 		t.Error("missing query should error")
 	}
-	if err := run(db, q, "bogus", false, ""); err == nil {
+	if err := run(db, q, "bogus", false, "", 0); err == nil {
 		t.Error("unknown strategy should error")
 	}
 	badQ := writeTemp(t, "bad.txt", "not a query")
-	if err := run(db, badQ, "auto", false, ""); err == nil {
+	if err := run(db, badQ, "auto", false, "", 0); err == nil {
 		t.Error("malformed query should error")
 	}
 	badDB := writeTemp(t, "baddb.txt", "junk")
-	if err := run(badDB, q, "auto", false, ""); err == nil {
+	if err := run(badDB, q, "auto", false, "", 0); err == nil {
 		t.Error("malformed db should error")
 	}
 }
@@ -78,14 +78,14 @@ x -[$p1]-> y
 x -[$p2]-> y
 rel myeq(p1, p2)
 `)
-	if err := run(db, q, "auto", true, rel); err != nil {
+	if err := run(db, q, "auto", true, rel, 0); err != nil {
 		t.Errorf("custom relation: %v", err)
 	}
-	if err := run(db, q, "auto", false, "/nonexistent.txt"); err == nil {
+	if err := run(db, q, "auto", false, "/nonexistent.txt", 0); err == nil {
 		t.Error("missing relation file should error")
 	}
 	badRel := writeTemp(t, "bad.txt", "garbage")
-	if err := run(db, q, "auto", false, badRel); err == nil {
+	if err := run(db, q, "auto", false, badRel, 0); err == nil {
 		t.Error("malformed relation file should error")
 	}
 	// Relation without a name line gets name "rel"... actually Parse
@@ -95,7 +95,7 @@ rel myeq(p1, p2)
 alphabet a b
 universal
 `)
-	if err := run(db, q, "auto", false, noName); err == nil {
+	if err := run(db, q, "auto", false, noName, 0); err == nil {
 		t.Error("unnamed relation should error")
 	}
 }

@@ -1,0 +1,135 @@
+// Command ecrpqd is the resident ECRPQ query server: it holds named graph
+// databases in memory, caches compiled query plans and Lemma 4.3
+// materializations across requests, bounds concurrent evaluation with a
+// worker pool, and enforces per-request deadlines that cancel evaluation
+// work in flight.
+//
+// Usage:
+//
+//	ecrpqd [-addr :8377] [-workers N] [-queue N] [-timeout 30s]
+//	       [-max-timeout 5m] [-cache-budget 268435456] [-db name=file ...]
+//
+// Endpoints (see internal/server):
+//
+//	POST   /v1/dbs/{name}   register or replace a database (body: graphdb text)
+//	DELETE /v1/dbs/{name}   drop a database
+//	GET    /v1/dbs          list databases
+//	POST   /v1/query        evaluate a query ({"db","query","strategy","timeout_ms"})
+//	POST   /v1/measures     structural measures of a query
+//	GET    /healthz         liveness / drain state
+//	GET    /debug/vars      expvar metrics including the "ecrpqd" registry
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, drains in-flight
+// queries, and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ecrpq/internal/graphdb"
+	"ecrpq/internal/server"
+)
+
+// dbFlags collects repeated -db name=file arguments.
+type dbFlags []string
+
+func (d *dbFlags) String() string     { return strings.Join(*d, ",") }
+func (d *dbFlags) Set(v string) error { *d = append(*d, v); return nil }
+
+func main() {
+	addr := flag.String("addr", ":8377", "listen address")
+	workers := flag.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth beyond busy workers")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-query timeout")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "upper bound on requested timeouts")
+	cacheBudget := flag.Int64("cache-budget", 0, "plan cache byte budget (0 = default 256 MiB)")
+	maxStates := flag.Int("max-product-states", 0, "cap on product-search states per component (0 = default)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
+	var dbs dbFlags
+	flag.Var(&dbs, "db", "preload a database as name=file (repeatable)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "ecrpqd ", log.LstdFlags|log.LUTC)
+	if err := run(*addr, server.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		CacheBudgetBytes: *cacheBudget,
+		MaxProductStates: *maxStates,
+		Logger:           logger,
+	}, dbs, *drainTimeout, logger); err != nil {
+		fmt.Fprintln(os.Stderr, "ecrpqd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg server.Config, dbs []string, drainTimeout time.Duration, logger *log.Logger) error {
+	srv := server.New(cfg)
+	srv.Metrics().Publish("ecrpqd")
+
+	for _, spec := range dbs {
+		name, file, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("-db wants name=file, got %q", spec)
+		}
+		if err := preload(srv, name, file); err != nil {
+			return fmt.Errorf("preloading %s: %w", spec, err)
+		}
+		logger.Printf("event=preload name=%s file=%s", name, file)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("event=listen addr=%s", addr)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		logger.Printf("event=signal sig=%s", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		logger.Printf("event=http_shutdown err=%q", err)
+	}
+	return srv.Shutdown(ctx)
+}
+
+// preload registers a database file before the listener starts.
+func preload(srv *server.Server, name, file string) error {
+	f, err := os.Open(file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	db, err := graphdb.Parse(f)
+	if err != nil {
+		return err
+	}
+	return srv.RegisterDB(name, db)
+}

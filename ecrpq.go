@@ -32,6 +32,7 @@
 package ecrpq
 
 import (
+	"context"
 	"io"
 
 	"ecrpq/internal/alphabet"
@@ -125,6 +126,37 @@ func Answers(db *DB, q *Query, opts Options) ([][]int, error) {
 	return core.Answers(db, q, opts)
 }
 
+// EvaluateContext is Evaluate with cancellation: the Lemma 4.2 product
+// search and the Lemma 4.3 materialization sweep poll ctx periodically and
+// abort with ctx.Err() when it is cancelled or its deadline passes.
+func EvaluateContext(ctx context.Context, db *DB, q *Query, opts Options) (*Result, error) {
+	return core.EvaluateContext(ctx, db, q, opts)
+}
+
+// AnswersContext is Answers with cancellation.
+func AnswersContext(ctx context.Context, db *DB, q *Query, opts Options) ([][]int, error) {
+	return core.AnswersContext(ctx, db, q, opts)
+}
+
+// Prepared is a query compiled once for repeated evaluation; see
+// core.Prepare. Prepared values are immutable and safe for concurrent use.
+type Prepared = core.Prepared
+
+// Materialization is the cached db-dependent half of a Reduction plan.
+type Materialization = core.Materialization
+
+// Prepare compiles a query for repeated evaluation (validation,
+// decomposition, strategy resolution and component merging happen once).
+func Prepare(q *Query, opts Options) (*Prepared, error) { return core.Prepare(q, opts) }
+
+// CanonicalQuery returns the canonical text of a query: syntactically
+// equal queries (up to atom order and relation naming) share it.
+func CanonicalQuery(q *Query) string { return query.Canonical(q) }
+
+// QueryHash returns the SHA-256 hex digest of CanonicalQuery(q) — the
+// plan-cache key used by ecrpqd.
+func QueryHash(q *Query) string { return query.Hash(q) }
+
 // VerifyWitness checks that a satisfying Result genuinely certifies
 // D ⊨ q.
 func VerifyWitness(db *DB, q *Query, res *Result) error {
@@ -215,6 +247,16 @@ func EvaluateUnion(db *DB, u *UnionQuery, opts Options) (*UnionResult, error) {
 // AnswersUnion computes the union of the disjuncts' answer sets.
 func AnswersUnion(db *DB, u *UnionQuery, opts Options) ([][]int, error) {
 	return core.AnswersUnion(db, u, opts)
+}
+
+// EvaluateUnionContext is EvaluateUnion with cancellation.
+func EvaluateUnionContext(ctx context.Context, db *DB, u *UnionQuery, opts Options) (*UnionResult, error) {
+	return core.EvaluateUnionContext(ctx, db, u, opts)
+}
+
+// AnswersUnionContext is AnswersUnion with cancellation.
+func AnswersUnionContext(ctx context.Context, db *DB, u *UnionQuery, opts Options) ([][]int, error) {
+	return core.AnswersUnionContext(ctx, db, u, opts)
 }
 
 // Plan describes how a query would be evaluated (strategy, components,

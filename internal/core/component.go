@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -203,7 +204,9 @@ type stepRecord struct {
 // by breadth-first search: guess a joint convolution letter consistent with
 // every relation NFA (components that have exhausted their words stall), and
 // advance one database pointer per non-padded track along a matching edge.
+// ctx is polled every cancelCheckInterval states.
 func productSearch(
+	ctx context.Context,
 	db *graphdb.DB,
 	c *component,
 	srcs []int,
@@ -249,6 +252,11 @@ func productSearch(
 	}
 	const unset = alphabet.Unset
 	for qi := 0; qi < len(states); qi++ {
+		if qi%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return -1, nil, nil, err
+			}
+		}
 		st := states[qi]
 		if acceptState(nfas, st) && accept(st) {
 			return qi, states, parents, nil
@@ -461,9 +469,9 @@ func reconstructPaths(c *component, srcs []int, states []productState, parents [
 // returns such paths. The existence check runs on the packed fast product
 // when possible; witness reconstruction re-runs the recording search only on
 // success.
-func checkComponent(db *graphdb.DB, c *component, srcs, dsts []int, maxStates int) ([]graphdb.Path, bool, error) {
+func checkComponent(ctx context.Context, db *graphdb.DB, c *component, srcs, dsts []int, maxStates int) ([]graphdb.Path, bool, error) {
 	if fp := newFastProduct(db, c); fp != nil {
-		found, err := fp.Run(srcs, func(verts []int) bool {
+		found, err := fp.Run(ctx, srcs, func(verts []int) bool {
 			for i, v := range verts {
 				if v != dsts[i] {
 					return false
@@ -478,7 +486,7 @@ func checkComponent(db *graphdb.DB, c *component, srcs, dsts []int, maxStates in
 			return nil, false, nil
 		}
 	}
-	goal, states, parents, err := productSearch(db, c, srcs, func(st productState) bool {
+	goal, states, parents, err := productSearch(ctx, db, c, srcs, func(st productState) bool {
 		for i, v := range st.verts {
 			if v != dsts[i] {
 				return false
@@ -500,11 +508,11 @@ func checkComponent(db *graphdb.DB, c *component, srcs, dsts []int, maxStates in
 // materializing the Lemma 4.3 relations R'. When fp is non-nil it is used
 // (and reused across calls, e.g. over a source sweep); pass nil to fall back
 // to the general search.
-func componentReachSet(db *graphdb.DB, c *component, fp *fastProduct, srcs []int, maxStates int) ([][]int, error) {
+func componentReachSet(ctx context.Context, db *graphdb.DB, c *component, fp *fastProduct, srcs []int, maxStates int) ([][]int, error) {
 	seen := make(map[string]bool)
 	var out [][]int
 	if fp != nil {
-		_, err := fp.Run(srcs, func(verts []int) bool {
+		_, err := fp.Run(ctx, srcs, func(verts []int) bool {
 			k := key4(verts)
 			if !seen[k] {
 				seen[k] = true
@@ -517,7 +525,7 @@ func componentReachSet(db *graphdb.DB, c *component, fp *fastProduct, srcs []int
 		}
 		return out, nil
 	}
-	_, _, _, err := productSearch(db, c, srcs, func(st productState) bool {
+	_, _, _, err := productSearch(ctx, db, c, srcs, func(st productState) bool {
 		k := key4(st.verts)
 		if !seen[k] {
 			seen[k] = true

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -111,6 +112,14 @@ type Stats struct {
 // queries with free variables it decides existential satisfiability (use
 // Answers for the answer set).
 func Evaluate(db *graphdb.DB, q *query.Query, opts Options) (*Result, error) {
+	return EvaluateContext(context.Background(), db, q, opts)
+}
+
+// EvaluateContext is Evaluate with cancellation: the product-space search
+// (Lemma 4.2) and the materialization sweep (Lemma 4.3) poll ctx
+// periodically and abort with ctx.Err() when it is cancelled or its
+// deadline passes.
+func EvaluateContext(ctx context.Context, db *graphdb.DB, q *query.Query, opts Options) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -118,11 +127,11 @@ func Evaluate(db *graphdb.DB, q *query.Query, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: query alphabet size %d ≠ database alphabet size %d",
 			q.Alphabet().Size(), db.Alphabet().Size())
 	}
-	return evaluatePinned(db, q, nil, opts)
+	return evaluatePinned(ctx, db, q, nil, opts)
 }
 
 // evaluatePinned evaluates with some node variables pre-assigned.
-func evaluatePinned(db *graphdb.DB, q *query.Query, pinned map[string]int, opts Options) (*Result, error) {
+func evaluatePinned(ctx context.Context, db *graphdb.DB, q *query.Query, pinned map[string]int, opts Options) (*Result, error) {
 	comps, frees, err := decompose(q)
 	if err != nil {
 		return nil, err
@@ -140,9 +149,9 @@ func evaluatePinned(db *graphdb.DB, q *query.Query, pinned map[string]int, opts 
 	var res *Result
 	switch strat {
 	case Generic:
-		res, err = evalGeneric(db, q, comps, frees, pinned, opts)
+		res, err = evalGeneric(ctx, db, q, comps, frees, pinned, opts)
 	case Reduction:
-		res, err = evalReduction(db, q, comps, frees, pinned, opts)
+		res, err = evalReduction(ctx, db, q, comps, frees, pinned, opts)
 	default:
 		return nil, fmt.Errorf("core: unknown strategy %v", opts.Strategy)
 	}
@@ -161,13 +170,18 @@ func evaluatePinned(db *graphdb.DB, q *query.Query, pinned map[string]int, opts 
 // and the answer set is computed on the conjunctive query directly;
 // otherwise each candidate tuple is pinned and decided separately.
 func Answers(db *graphdb.DB, q *query.Query, opts Options) ([][]int, error) {
+	return AnswersContext(context.Background(), db, q, opts)
+}
+
+// AnswersContext is Answers with cancellation (see EvaluateContext).
+func AnswersContext(ctx context.Context, db *graphdb.DB, q *query.Query, opts Options) ([][]int, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	if len(q.Free) == 0 {
 		return nil, fmt.Errorf("core: Answers on a Boolean query; use Evaluate")
 	}
-	if out, ok, err := answersReduction(db, q, opts); err != nil {
+	if out, ok, err := answersReduction(ctx, db, q, opts); err != nil {
 		return nil, err
 	} else if ok {
 		return out, nil
@@ -178,7 +192,7 @@ func Answers(db *graphdb.DB, q *query.Query, opts Options) ([][]int, error) {
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == len(q.Free) {
-			res, err := evaluatePinned(db, q, pinned, opts)
+			res, err := evaluatePinned(ctx, db, q, pinned, opts)
 			if err != nil {
 				return err
 			}
@@ -263,7 +277,7 @@ func anyPath(db *graphdb.DB, u, v int) (graphdb.Path, bool) {
 
 // evalGeneric backtracks over node variables and checks each component's
 // product as soon as all of its node variables are assigned.
-func evalGeneric(db *graphdb.DB, q *query.Query, comps []component, frees []freeTrack, pinned map[string]int, opts Options) (*Result, error) {
+func evalGeneric(ctx context.Context, db *graphdb.DB, q *query.Query, comps []component, frees []freeTrack, pinned map[string]int, opts Options) (*Result, error) {
 	stats := Stats{}
 	workComps := comps
 	if opts.EagerMerge {
@@ -361,7 +375,7 @@ func evalGeneric(db *graphdb.DB, q *query.Query, comps []component, frees []free
 				srcs[k] = assign[tr.srcVar]
 				dsts[k] = assign[tr.dstVar]
 			}
-			paths, ok, err := checkComponent(db, c, srcs, dsts, opts.maxStates())
+			paths, ok, err := checkComponent(ctx, db, c, srcs, dsts, opts.maxStates())
 			stats.ProductChecks++
 			if err != nil {
 				searchErr = err
@@ -393,6 +407,12 @@ func evalGeneric(db *graphdb.DB, q *query.Query, comps []component, frees []free
 	rec = func(i int) bool {
 		if searchErr != nil {
 			return false
+		}
+		if stats.NodeAssignments%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				searchErr = err
+				return false
+			}
 		}
 		if i == len(order) {
 			return true
@@ -442,11 +462,19 @@ func evalGeneric(db *graphdb.DB, q *query.Query, comps []component, frees []free
 // component plus binary reachability atoms for free tracks, and evaluate it
 // with the tree-decomposition dynamic program. The Gaifman graph of that CQ
 // is exactly G^node of the (normalized) abstraction.
-func evalReduction(db *graphdb.DB, q *query.Query, comps []component, frees []freeTrack, pinned map[string]int, opts Options) (*Result, error) {
-	st, cqq, stats, err := buildReduction(db, q, comps, frees, pinned, opts)
+func evalReduction(ctx context.Context, db *graphdb.DB, q *query.Query, comps []component, frees []freeTrack, pinned map[string]int, opts Options) (*Result, error) {
+	st, cqq, stats, err := buildReduction(ctx, db, q, comps, frees, pinned, opts)
 	if err != nil {
 		return nil, err
 	}
+	return evalReductionMaterialized(ctx, db, q, comps, frees, pinned, opts, st, cqq, stats)
+}
+
+// evalReductionMaterialized runs the CQ evaluation and witness recovery of
+// the reduction strategy on an already-materialized Lemma 4.3 instance.
+// Split from evalReduction so a cached materialization (core.Prepared /
+// internal/plancache) can skip straight past the R' sweep.
+func evalReductionMaterialized(ctx context.Context, db *graphdb.DB, q *query.Query, comps []component, frees []freeTrack, pinned map[string]int, opts Options, st *cq.Structure, cqq *cq.Query, stats Stats) (*Result, error) {
 	if db.NumVertices() == 0 {
 		// Empty database: satisfiable only if the query has no atoms at all.
 		sat := len(cqq.Atoms) == 0 && len(q.Reach) == 0
@@ -483,7 +511,7 @@ func evalReduction(db *graphdb.DB, q *query.Query, comps []component, frees []fr
 			srcs[k] = res.Nodes[tr.srcVar]
 			dsts[k] = res.Nodes[tr.dstVar]
 		}
-		paths, ok, err := checkComponent(db, c, srcs, dsts, opts.maxStates())
+		paths, ok, err := checkComponent(ctx, db, c, srcs, dsts, opts.maxStates())
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -142,10 +143,18 @@ func (f *fastProduct) unpack(key uint64, relStates []int, verts []int) (done uin
 	return key >> shift
 }
 
+// cancelCheckInterval is how many product states are processed between
+// context-cancellation polls. Polling ctx.Err() costs an atomic load, so
+// the searches amortize it over a batch of states; the interval bounds
+// cancellation latency to the time spent expanding that many states.
+const cancelCheckInterval = 1024
+
 // Run explores from the given sources and calls accept on every accepting
 // state's vertex tuple; accept returning true stops the search early (and
-// Run returns true). maxStates caps exploration (0 = unlimited).
-func (f *fastProduct) Run(srcs []int, accept func(verts []int) bool, maxStates int) (bool, error) {
+// Run returns true). maxStates caps exploration (0 = unlimited). The
+// search polls ctx every cancelCheckInterval states and returns ctx.Err()
+// on cancellation.
+func (f *fastProduct) Run(ctx context.Context, srcs []int, accept func(verts []int) bool, maxStates int) (bool, error) {
 	if f.bitset != nil {
 		// Incremental clear: exactly the previous run's states are set.
 		for _, k := range f.queue {
@@ -195,6 +204,11 @@ func (f *fastProduct) Run(srcs []int, accept func(verts []int) bool, maxStates i
 	buildStarts(0)
 
 	for qi := 0; qi < len(f.queue); qi++ {
+		if qi%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+		}
 		key := f.queue[qi]
 		done := f.unpack(key, relStates, verts)
 		allAcc := true

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -79,7 +80,7 @@ func TestFastProductAgreesWithGeneral(t *testing.T) {
 			t.Log("fast product unexpectedly unavailable")
 			return false
 		}
-		fastFound, err := fp.Run(srcs, func(verts []int) bool {
+		fastFound, err := fp.Run(context.Background(), srcs, func(verts []int) bool {
 			for i, v := range verts {
 				if v != dsts[i] {
 					return false
@@ -90,7 +91,7 @@ func TestFastProductAgreesWithGeneral(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		goal, _, _, err := productSearch(db, c, srcs, func(st productState) bool {
+		goal, _, _, err := productSearch(context.Background(), db, c, srcs, func(st productState) bool {
 			for i, v := range st.verts {
 				if v != dsts[i] {
 					return false
@@ -127,7 +128,7 @@ func TestFastProductReuseAcrossRuns(t *testing.T) {
 	tn := len(c.tracks)
 	collect := func(f *fastProduct, srcs []int) map[string]bool {
 		out := make(map[string]bool)
-		_, err := f.Run(srcs, func(verts []int) bool {
+		_, err := f.Run(context.Background(), srcs, func(verts []int) bool {
 			out[key4(verts)] = true
 			return false
 		}, 0)
@@ -193,7 +194,7 @@ func TestCheckComponentBudgetViaFastPath(t *testing.T) {
 	}
 	u, _ := db.Lookup("u")
 	z, _ := db.Lookup("z")
-	if _, _, err := checkComponent(db, &comps[0], []int{u, u}, []int{z, z}, 1); err == nil {
+	if _, _, err := checkComponent(context.Background(), db, &comps[0], []int{u, u}, []int{z, z}, 1); err == nil {
 		t.Error("budget 1 should error")
 	}
 }

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"ecrpq/internal/cq"
+	"ecrpq/internal/graphdb"
+	"ecrpq/internal/query"
+	"ecrpq/internal/twolevel"
+)
+
+// Prepared is a query compiled for repeated evaluation: validation,
+// component decomposition, strategy resolution, the Lemma 4.1 component
+// merges, and the structural measures are all done once at Prepare time
+// and reused by every EvaluateContext call. Prepared values are immutable
+// after construction and safe for concurrent use — this is what
+// internal/plancache stores for the query server.
+type Prepared struct {
+	q        *query.Query
+	opts     Options
+	strat    Strategy // resolved: never Auto
+	comps    []component
+	frees    []freeTrack
+	merged   []component // Lemma 4.1 single-relation views, one per component
+	mergedSt int         // total merged NFA states
+	measures twolevel.Measures
+	memBytes int
+}
+
+// Prepare compiles the query under the given options. The strategy is
+// resolved immediately (Auto picks Reduction exactly when every component
+// has at most opts.MaxReductionTracks tracks, as in Evaluate).
+func Prepare(q *query.Query, opts Options) (*Prepared, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	comps, frees, err := decompose(q)
+	if err != nil {
+		return nil, err
+	}
+	strat := opts.Strategy
+	if strat == Auto {
+		strat = Reduction
+		for _, c := range comps {
+			if len(c.tracks) > opts.maxReductionTracks() {
+				strat = Generic
+				break
+			}
+		}
+	}
+	if strat != Generic && strat != Reduction {
+		return nil, fmt.Errorf("core: unknown strategy %v", opts.Strategy)
+	}
+	merged, mergedStates, err := mergedViews(q, comps)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{
+		q:        q,
+		opts:     opts,
+		strat:    strat,
+		comps:    comps,
+		frees:    frees,
+		merged:   merged,
+		mergedSt: mergedStates,
+		measures: twolevel.QueryMeasures(q),
+	}
+	p.memBytes = p.estimateBytes()
+	return p, nil
+}
+
+// Strategy returns the resolved evaluation strategy.
+func (p *Prepared) Strategy() Strategy { return p.strat }
+
+// Measures returns the query's structural measures (computed at Prepare
+// time).
+func (p *Prepared) Measures() twolevel.Measures { return p.measures }
+
+// Query returns the compiled query.
+func (p *Prepared) Query() *query.Query { return p.q }
+
+// MemBytes approximates the retained size of the compiled plan, for cache
+// byte budgeting. It counts the merged relation NFAs (the dominant term)
+// plus fixed per-component overhead; it is an estimate, not an accounting.
+func (p *Prepared) MemBytes() int { return p.memBytes }
+
+// relTransitionBytes approximates the footprint of one NFA transition in
+// the decoded nfaView representation (tuple slice + indices).
+const relTransitionBytes = 48
+
+func (p *Prepared) estimateBytes() int {
+	total := 256 // struct + slice headers
+	count := func(cs []component) {
+		for i := range cs {
+			total += 128 + 64*len(cs[i].tracks)
+			for _, r := range cs[i].rels {
+				states, trans := r.Size()
+				total += 32*states + relTransitionBytes*trans
+			}
+		}
+	}
+	count(p.comps)
+	count(p.merged)
+	return total
+}
+
+// Materialization is the db-dependent half of a reduction-strategy plan:
+// the Lemma 4.3 relational structure (the materialized R' relations) and
+// conjunctive query for one (query, database) pair. It is immutable after
+// Materialize and safe for concurrent EvaluateContext use; cache it keyed
+// by the database generation and drop it when the database is replaced.
+type Materialization struct {
+	st       *cq.Structure
+	cqq      *cq.Query
+	stats    Stats
+	memBytes int
+}
+
+// MemBytes approximates the retained size of the materialized instance.
+func (m *Materialization) MemBytes() int { return m.memBytes }
+
+// Tuples returns the number of materialized CQ tuples (the R' rows).
+func (m *Materialization) Tuples() int { return m.stats.CQTuples }
+
+// Materialize runs the Lemma 4.3 R' sweep for this plan against the
+// database. It is only meaningful for the Reduction strategy; calling it
+// on a Generic plan is an error. ctx cancels the sweep.
+func (p *Prepared) Materialize(ctx context.Context, db *graphdb.DB) (*Materialization, error) {
+	if p.strat != Reduction {
+		return nil, fmt.Errorf("core: Materialize on a %v-strategy plan", p.strat)
+	}
+	if err := p.checkDB(db); err != nil {
+		return nil, err
+	}
+	st, cqq, stats, err := buildReductionMerged(ctx, db, p.q, p.comps, p.merged, p.mergedSt, p.frees, nil, p.opts)
+	if err != nil {
+		return nil, err
+	}
+	m := &Materialization{st: st, cqq: cqq, stats: stats}
+	// Tuples dominate: one []int row of total arity ints per tuple, map
+	// overhead included in the per-tuple constant.
+	arity := 2
+	for _, c := range p.comps {
+		if a := 2 * len(c.tracks); a > arity {
+			arity = a
+		}
+	}
+	m.memBytes = 512 + stats.CQTuples*(24+8*arity)
+	return m, nil
+}
+
+func (p *Prepared) checkDB(db *graphdb.DB) error {
+	if db.Alphabet().Size() != p.q.Alphabet().Size() {
+		return fmt.Errorf("core: query alphabet size %d ≠ database alphabet size %d",
+			p.q.Alphabet().Size(), db.Alphabet().Size())
+	}
+	return nil
+}
+
+// EvaluateContext evaluates the prepared query on the database. For a
+// Reduction plan, mat supplies a cached Materialization for this database
+// (pass nil to materialize on the fly); Generic plans ignore mat. The
+// result is identical to core.EvaluateContext with the same options.
+func (p *Prepared) EvaluateContext(ctx context.Context, db *graphdb.DB, mat *Materialization) (*Result, error) {
+	if err := p.checkDB(db); err != nil {
+		return nil, err
+	}
+	var res *Result
+	var err error
+	switch p.strat {
+	case Generic:
+		res, err = evalGeneric(ctx, db, p.q, p.comps, p.frees, nil, p.opts)
+	case Reduction:
+		if mat == nil {
+			mat, err = p.Materialize(ctx, db)
+			if err != nil {
+				return nil, err
+			}
+		}
+		res, err = evalReductionMaterialized(ctx, db, p.q, p.comps, p.frees, nil, p.opts, mat.st, mat.cqq, mat.stats)
+	default:
+		err = fmt.Errorf("core: unknown strategy %v", p.strat)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.StrategyUsed = p.strat
+	res.Stats.Components = len(p.comps)
+	res.Stats.FreeTracks = len(p.frees)
+	return res, nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -15,8 +16,46 @@ import (
 // per merged component (plus a plain-reachability relation for free tracks
 // and singleton relations for pinned variables), and the conjunctive query
 // whose Gaifman graph is G^node of the normalized abstraction.
-func buildReduction(db *graphdb.DB, q *query.Query, comps []component, frees []freeTrack, pinned map[string]int, opts Options) (*cq.Structure, *cq.Query, Stats, error) {
-	stats := Stats{}
+func buildReduction(ctx context.Context, db *graphdb.DB, q *query.Query, comps []component, frees []freeTrack, pinned map[string]int, opts Options) (*cq.Structure, *cq.Query, Stats, error) {
+	merged, mergedStates, err := mergedViews(q, comps)
+	if err != nil {
+		return nil, nil, Stats{}, err
+	}
+	return buildReductionMerged(ctx, db, q, comps, merged, mergedStates, frees, pinned, opts)
+}
+
+// mergedViews applies Lemma 4.1 to every component: each is joined into a
+// single-relation view covering all of its tracks. Returns the views and
+// the total merged NFA state count. Prepared plans compute this once and
+// reuse it across materializations.
+func mergedViews(q *query.Query, comps []component) ([]component, int, error) {
+	merged := make([]component, len(comps))
+	states := 0
+	for ci := range comps {
+		c := &comps[ci]
+		rel, err := mergeComponent(q.Alphabet(), c)
+		if err != nil {
+			return nil, 0, err
+		}
+		st, _ := rel.Size()
+		states += st
+		allTracks := make([]int, len(c.tracks))
+		for k := range allTracks {
+			allTracks[k] = k
+		}
+		merged[ci] = component{
+			tracks:    c.tracks,
+			nodeVars:  c.nodeVars,
+			rels:      []*synchro.Relation{rel},
+			relTracks: [][]int{allTracks},
+		}
+	}
+	return merged, states, nil
+}
+
+// buildReductionMerged is buildReduction on pre-merged component views.
+func buildReductionMerged(ctx context.Context, db *graphdb.DB, q *query.Query, comps, merged []component, mergedStates int, frees []freeTrack, pinned map[string]int, opts Options) (*cq.Structure, *cq.Query, Stats, error) {
+	stats := Stats{MergedStatesTotal: mergedStates}
 	n := db.NumVertices()
 	st := cq.NewStructure(maxInt(n, 1))
 	cqq := &cq.Query{}
@@ -43,30 +82,13 @@ func buildReduction(db *graphdb.DB, q *query.Query, comps []component, frees []f
 	// Components: materialize R' by sweeping all source tuples.
 	for ci := range comps {
 		c := &comps[ci]
-		rel, err := mergeComponent(q.Alphabet(), c)
-		if err != nil {
-			return nil, nil, stats, err
-		}
-		mst, _ := rel.Size()
-		stats.MergedStatesTotal += mst
-		allTracks := make([]int, len(c.tracks))
-		for k := range allTracks {
-			allTracks[k] = k
-		}
-		merged := component{
-			tracks:    c.tracks,
-			nodeVars:  c.nodeVars,
-			rels:      []*synchro.Relation{rel},
-			relTracks: [][]int{allTracks},
-		}
-
 		t := len(c.tracks)
 		name := fmt.Sprintf("__comp%d", ci)
 		if err := st.AddRelation(name, 2*t); err != nil {
 			return nil, nil, stats, err
 		}
 		if n > 0 {
-			added, err := sweepComponent(db, &merged, t, n, opts, func(tuple []int) error {
+			added, err := sweepComponent(ctx, db, &merged[ci], t, n, opts, func(tuple []int) error {
 				return st.AddTuple(name, tuple...)
 			})
 			if err != nil {
@@ -102,7 +124,7 @@ func buildReduction(db *graphdb.DB, q *query.Query, comps []component, frees []f
 // reports ok=false when the strategy resolution chooses the generic
 // algorithm (large components), in which case the caller falls back to
 // per-tuple pinning.
-func answersReduction(db *graphdb.DB, q *query.Query, opts Options) ([][]int, bool, error) {
+func answersReduction(ctx context.Context, db *graphdb.DB, q *query.Query, opts Options) ([][]int, bool, error) {
 	comps, frees, err := decompose(q)
 	if err != nil {
 		return nil, false, err
@@ -123,7 +145,7 @@ func answersReduction(db *graphdb.DB, q *query.Query, opts Options) ([][]int, bo
 	if db.NumVertices() == 0 {
 		return nil, true, nil
 	}
-	st, cqq, _, err := buildReduction(db, q, comps, frees, nil, opts)
+	st, cqq, _, err := buildReduction(ctx, db, q, comps, frees, nil, opts)
 	if err != nil {
 		return nil, false, err
 	}
@@ -159,8 +181,10 @@ const maxSweepSources = 1 << 32
 // (u1, v1, ..., ut, vt) rows to add. The sweep is sharded across
 // opts.workers() goroutines, each with its own product-search scratch
 // space; rows are merged on the calling goroutine, so add needs no locking.
-// Returns the number of rows produced.
-func sweepComponent(db *graphdb.DB, merged *component, t, n int, opts Options, add func([]int) error) (int, error) {
+// Returns the number of rows produced. ctx is polled between source
+// tuples (and inside each product search), so cancellation interrupts the
+// sweep promptly even when a single source's search is cheap.
+func sweepComponent(ctx context.Context, db *graphdb.DB, merged *component, t, n int, opts Options, add func([]int) error) (int, error) {
 	total := 1
 	for i := 0; i < t; i++ {
 		if total > maxSweepSources/n {
@@ -184,8 +208,11 @@ func sweepComponent(db *graphdb.DB, merged *component, t, n int, opts Options, a
 		row := make([]int, 2*t)
 		count := 0
 		for idx := 0; idx < total; idx++ {
+			if err := ctx.Err(); err != nil {
+				return count, err
+			}
 			decode(idx, srcs)
-			dstTuples, err := componentReachSet(db, merged, fp, srcs, opts.maxStates())
+			dstTuples, err := componentReachSet(ctx, db, merged, fp, srcs, opts.maxStates())
 			if err != nil {
 				return count, err
 			}
@@ -211,10 +238,12 @@ func sweepComponent(db *graphdb.DB, merged *component, t, n int, opts Options, a
 			select {
 			case <-stop:
 				return nil // a sibling failed; its error wins
+			case <-ctx.Done():
+				return ctx.Err()
 			default:
 			}
 			decode(idx, srcs)
-			dstTuples, err := componentReachSet(db, merged, fp, srcs, opts.maxStates())
+			dstTuples, err := componentReachSet(ctx, db, merged, fp, srcs, opts.maxStates())
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"ecrpq/internal/graphdb"
@@ -19,11 +20,17 @@ type UnionResult struct {
 // some disjunct is. The paper's characterization extends verbatim to unions
 // — every measure of the union's class is the max over disjuncts.
 func EvaluateUnion(db *graphdb.DB, u *query.UnionQuery, opts Options) (*UnionResult, error) {
+	return EvaluateUnionContext(context.Background(), db, u, opts)
+}
+
+// EvaluateUnionContext is EvaluateUnion with cancellation (see
+// EvaluateContext).
+func EvaluateUnionContext(ctx context.Context, db *graphdb.DB, u *query.UnionQuery, opts Options) (*UnionResult, error) {
 	if err := u.Validate(); err != nil {
 		return nil, err
 	}
 	for i, q := range u.Disjuncts {
-		res, err := Evaluate(db, q, opts)
+		res, err := EvaluateContext(ctx, db, q, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -37,13 +44,19 @@ func EvaluateUnion(db *graphdb.DB, u *query.UnionQuery, opts Options) (*UnionRes
 // AnswersUnion computes the answer set of a UECRPQ with free variables: the
 // union of the disjuncts' answer sets, deduplicated and sorted.
 func AnswersUnion(db *graphdb.DB, u *query.UnionQuery, opts Options) ([][]int, error) {
+	return AnswersUnionContext(context.Background(), db, u, opts)
+}
+
+// AnswersUnionContext is AnswersUnion with cancellation (see
+// EvaluateContext).
+func AnswersUnionContext(ctx context.Context, db *graphdb.DB, u *query.UnionQuery, opts Options) ([][]int, error) {
 	if err := u.Validate(); err != nil {
 		return nil, err
 	}
 	seen := make(map[string]bool)
 	var out [][]int
 	for _, q := range u.Disjuncts {
-		ans, err := Answers(db, q, opts)
+		ans, err := AnswersContext(ctx, db, q, opts)
 		if err != nil {
 			return nil, err
 		}

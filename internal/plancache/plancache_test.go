@@ -1,0 +1,180 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func key(i int, gen uint64) Key {
+	return Key{QueryHash: fmt.Sprintf("q%04d", i), Strategy: "reduction", DBGen: gen}
+}
+
+func TestHitMissCounters(t *testing.T) {
+	c := New(1 << 20)
+	if _, ok := c.Get(key(1, 1)); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(key(1, 1), "plan", 100)
+	if v, ok := c.Get(key(1, 1)); !ok || v.(string) != "plan" {
+		t.Fatalf("expected hit with value, got %v %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("counters: hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", got)
+	}
+	if st.Entries != 1 || st.Bytes != 100 {
+		t.Fatalf("occupancy: entries=%d bytes=%d", st.Entries, st.Bytes)
+	}
+}
+
+func TestReplaceUpdatesSize(t *testing.T) {
+	c := New(1 << 20)
+	k := key(7, 0)
+	c.Put(k, "small", 100)
+	c.Put(k, "large", 300)
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != 300 {
+		t.Fatalf("after replace: entries=%d bytes=%d, want 1/300", st.Entries, st.Bytes)
+	}
+	if v, _ := c.Get(k); v.(string) != "large" {
+		t.Fatalf("got %v after replace", v)
+	}
+}
+
+// TestByteBudgetEviction fills one shard past its budget and checks that
+// the least-recently-used entries are the ones dropped.
+func TestByteBudgetEviction(t *testing.T) {
+	// Total budget 16 KiB → 1 KiB per shard. All keys map to some shard;
+	// use a single key prefix with many entries so at least one shard
+	// overflows deterministically: every entry is 512 B, so any shard
+	// holding 3+ entries must have evicted down to 2.
+	c := New(16 << 10)
+	n := 64
+	for i := 0; i < n; i++ {
+		c.Put(key(i, 1), i, 512)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions after inserting %d×512B into a 16KiB cache", n)
+	}
+	if st.Bytes > st.Budget {
+		t.Fatalf("cache over budget: %d > %d", st.Bytes, st.Budget)
+	}
+	// Recently-inserted keys are warmer than old ones: the very last
+	// insert must survive (its shard evicts from the tail).
+	if _, ok := c.Get(key(n-1, 1)); !ok {
+		t.Fatal("most recent insert was evicted")
+	}
+}
+
+func TestLRUOrderWithinShard(t *testing.T) {
+	// Budget of 2 entries per shard (1 KiB shard budget, 400 B entries).
+	c := New(16 << 10)
+	var ks []Key
+	// Find three keys in the same shard.
+	s0 := c.shardFor(key(0, 1))
+	for i := 0; len(ks) < 3; i++ {
+		if c.shardFor(key(i, 1)) == s0 {
+			ks = append(ks, key(i, 1))
+		}
+	}
+	c.Put(ks[0], 0, 400)
+	c.Put(ks[1], 1, 400)
+	// Touch ks[0] so ks[1] is now coldest.
+	if _, ok := c.Get(ks[0]); !ok {
+		t.Fatal("ks[0] missing")
+	}
+	c.Put(ks[2], 2, 400) // overflows: 1200 > 1024 → evict ks[1]
+	if _, ok := c.Get(ks[1]); ok {
+		t.Fatal("coldest entry survived eviction")
+	}
+	for _, k := range []Key{ks[0], ks[2]} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("warm entry %v evicted", k)
+		}
+	}
+}
+
+func TestOversizeRejected(t *testing.T) {
+	c := New(16 << 10) // 1 KiB per shard
+	c.Put(key(1, 1), "huge", 10<<10)
+	if c.Len() != 0 {
+		t.Fatal("oversize entry was cached")
+	}
+	if st := c.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected=%d, want 1", st.Rejected)
+	}
+}
+
+func TestInvalidateGeneration(t *testing.T) {
+	c := New(1 << 20)
+	for i := 0; i < 10; i++ {
+		c.Put(key(i, 1), i, 100)
+		c.Put(key(i, 2), i, 100)
+		c.Put(key(i, 0), i, 100) // db-independent plans
+	}
+	dropped := c.InvalidateGeneration(1)
+	if dropped != 10 {
+		t.Fatalf("dropped %d, want 10", dropped)
+	}
+	if c.Len() != 20 {
+		t.Fatalf("len=%d after invalidation, want 20", c.Len())
+	}
+	if _, ok := c.Get(key(3, 1)); ok {
+		t.Fatal("gen-1 entry survived invalidation")
+	}
+	if _, ok := c.Get(key(3, 0)); !ok {
+		t.Fatal("gen-0 plan was wrongly invalidated")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := New(1 << 20)
+	c.Put(key(1, 1), "x", 10)
+	c.Delete(key(1, 1))
+	c.Delete(key(2, 2)) // absent: no-op
+	if c.Len() != 0 {
+		t.Fatal("delete left entries behind")
+	}
+	if st := c.Stats(); st.Bytes != 0 {
+		t.Fatalf("bytes=%d after delete, want 0", st.Bytes)
+	}
+}
+
+// TestConcurrentAccess hammers the cache from many goroutines; run under
+// -race this validates the locking discipline.
+func TestConcurrentAccess(t *testing.T) {
+	c := New(64 << 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := key(i%37, uint64(g%3))
+				switch i % 4 {
+				case 0:
+					c.Put(k, i, 200)
+				case 1:
+					c.Get(k)
+				case 2:
+					c.Stats()
+				case 3:
+					if i%50 == 0 {
+						c.InvalidateGeneration(uint64(g % 3))
+					} else {
+						c.Get(k)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes > st.Budget {
+		t.Fatalf("over budget after concurrent churn: %d > %d", st.Bytes, st.Budget)
+	}
+}

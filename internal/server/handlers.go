@@ -1,0 +1,374 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"ecrpq/internal/core"
+	"ecrpq/internal/graphdb"
+	"ecrpq/internal/plancache"
+	"ecrpq/internal/query"
+)
+
+// maxBodyBytes bounds request bodies (databases and queries are text).
+const maxBodyBytes = 64 << 20
+
+// queryRequest is the POST /v1/query body.
+type queryRequest struct {
+	// DB names a registered database.
+	DB string `json:"db"`
+	// Query is the query text in the internal/query DSL.
+	Query string `json:"query"`
+	// Strategy is auto (default), generic, or reduction.
+	Strategy string `json:"strategy"`
+	// TimeoutMs overrides the server's default per-request timeout,
+	// clamped to the configured maximum.
+	TimeoutMs int64 `json:"timeout_ms"`
+}
+
+// queryResponse is the POST /v1/query success body.
+type queryResponse struct {
+	Sat       bool              `json:"sat"`
+	Strategy  string            `json:"strategy"`
+	Cache     string            `json:"cache"` // hit | partial | miss | bypass
+	QueryHash string            `json:"query_hash"`
+	Nodes     map[string]string `json:"nodes,omitempty"`
+	Paths     map[string]string `json:"paths,omitempty"`
+	Answers   [][]string        `json:"answers,omitempty"`
+	Free      []string          `json:"free,omitempty"`
+	Stats     core.Stats        `json:"stats"`
+	ElapsedMs float64           `json:"elapsed_ms"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// The header is already out; nothing more useful to do than note it.
+		_ = err
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// handleRegisterDB loads the request body as a graph database and installs
+// it under the path name, replacing (and cache-invalidating) any previous
+// registration of that name.
+func (s *Server) handleRegisterDB(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	name := r.PathValue("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "database name required")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	db, err := graphdb.ParseString(string(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	entry, replacedGen, replaced := s.dbs.register(name, db)
+	invalidated := 0
+	if replaced {
+		invalidated = s.cache.InvalidateGeneration(replacedGen)
+	}
+	s.cfg.Logger.Printf("event=register_db name=%s gen=%d vertices=%d replaced=%t cache_invalidated=%d",
+		name, entry.gen, db.NumVertices(), replaced, invalidated)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":       name,
+		"generation": entry.gen,
+		"vertices":   db.NumVertices(),
+		"alphabet":   db.Alphabet().Size(),
+		"replaced":   replaced,
+	})
+}
+
+// handleDropDB removes a database and its cached materializations.
+func (s *Server) handleDropDB(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	gen, ok := s.dbs.drop(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no database %q", name))
+		return
+	}
+	invalidated := s.cache.InvalidateGeneration(gen)
+	s.cfg.Logger.Printf("event=drop_db name=%s gen=%d cache_invalidated=%d", name, gen, invalidated)
+	writeJSON(w, http.StatusOK, map[string]any{"dropped": name, "generation": gen})
+}
+
+// handleListDBs lists the registered databases.
+func (s *Server) handleListDBs(w http.ResponseWriter, r *http.Request) {
+	type row struct {
+		Name         string    `json:"name"`
+		Generation   uint64    `json:"generation"`
+		Vertices     int       `json:"vertices"`
+		RegisteredAt time.Time `json:"registered_at"`
+	}
+	entries := s.dbs.list()
+	rows := make([]row, len(entries))
+	for i, e := range entries {
+		rows[i] = row{Name: e.name, Generation: e.gen, Vertices: e.db.NumVertices(), RegisteredAt: e.registeredAt}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"databases": rows})
+}
+
+// handleMeasures parses a query and reports its structural measures and
+// regime classification without evaluating it. Body: {"query": "..."} or
+// raw query text.
+func (s *Server) handleMeasures(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	text := string(body)
+	var req struct {
+		Query string `json:"query"`
+	}
+	if json.Unmarshal(body, &req) == nil && req.Query != "" {
+		text = req.Query
+	}
+	if strings.TrimSpace(text) == "" {
+		writeError(w, http.StatusBadRequest, "empty query")
+		return
+	}
+	q, err := query.ParseString(text)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	p, err := core.Prepare(q, s.coreOptions(core.Auto))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	m := p.Measures()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"query_hash":      query.Hash(q),
+		"auto_strategy":   p.Strategy().String(),
+		"cc_vertex":       m.CCVertex,
+		"cc_hedge":        m.CCHedge,
+		"treewidth_lower": m.TreewidthLower,
+		"treewidth_upper": m.TreewidthUpper,
+		"treewidth_exact": m.TreewidthExact,
+	})
+}
+
+// handleQuery is the evaluation endpoint: parse, admit, evaluate with
+// plan-cache reuse under a per-request deadline.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req queryRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	strat, stratName, err := parseStrategy(req.Strategy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	q, err := query.ParseString(req.Query)
+	if err != nil {
+		// Parser errors carry the offending line ("query: line N: ...").
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	entry, ok := s.dbs.get(req.DB)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no database %q (register with POST /v1/dbs/{name})", req.DB))
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	s.mQueries.Inc()
+	s.inflight.Add(1)
+	s.mInflight.Inc()
+	defer func() {
+		s.inflight.Add(-1)
+		s.mInflight.Dec()
+	}()
+
+	type outcome struct {
+		resp *queryResponse
+		err  error
+	}
+	done := make(chan outcome, 1)
+	admitted := s.pool.trySubmit(func() {
+		resp, err := s.evaluate(ctx, entry, q, strat, stratName)
+		done <- outcome{resp, err}
+	})
+	if !admitted {
+		s.mRejected.Inc()
+		writeError(w, http.StatusTooManyRequests, "server at capacity, try again later")
+		return
+	}
+
+	select {
+	case out := <-done:
+		if out.err != nil {
+			if errors.Is(out.err, context.DeadlineExceeded) {
+				s.mTimeouts.Inc()
+				writeError(w, http.StatusGatewayTimeout,
+					fmt.Sprintf("query exceeded its %s deadline", timeout))
+				return
+			}
+			if errors.Is(out.err, context.Canceled) {
+				writeError(w, statusClientClosedRequest, "request cancelled")
+				return
+			}
+			s.mErrors.Inc()
+			writeError(w, http.StatusUnprocessableEntity, out.err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, out.resp)
+	case <-ctx.Done():
+		// The worker observes the same ctx and will abandon the evaluation;
+		// the buffered done channel lets it exit without a receiver.
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.mTimeouts.Inc()
+			writeError(w, http.StatusGatewayTimeout,
+				fmt.Sprintf("query exceeded its %s deadline", timeout))
+			return
+		}
+		writeError(w, statusClientClosedRequest, "request cancelled")
+	}
+}
+
+// statusClientClosedRequest is nginx's convention for a client that went
+// away before the response was ready.
+const statusClientClosedRequest = 499
+
+// evaluate runs on a pool worker: plan-cache lookup/population, then
+// evaluation under ctx.
+func (s *Server) evaluate(ctx context.Context, entry *dbEntry, q *query.Query, strat core.Strategy, stratName string) (*queryResponse, error) {
+	start := time.Now()
+	hash := query.Hash(q)
+	opts := s.coreOptions(strat)
+
+	// Free-variable queries return answer sets, which are not cached (the
+	// answer enumerator does not go through Prepared yet); everything else
+	// reuses compiled plans and materializations.
+	if len(q.Free) > 0 {
+		answers, err := core.AnswersContext(ctx, entry.db, q, opts)
+		if err != nil {
+			return nil, err
+		}
+		named := make([][]string, len(answers))
+		for i, tup := range answers {
+			row := make([]string, len(tup))
+			for j, v := range tup {
+				row[j] = entry.db.VertexName(v)
+			}
+			named[i] = row
+		}
+		s.mEvalLatency.Observe(time.Since(start))
+		return &queryResponse{
+			Sat:       len(answers) > 0,
+			Strategy:  stratName,
+			Cache:     "bypass",
+			QueryHash: hash,
+			Answers:   named,
+			Free:      q.Free,
+			ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
+		}, nil
+	}
+
+	planKey := plancache.Key{QueryHash: hash, Strategy: stratName, DBGen: 0}
+	cacheState := "hit"
+	var prepared *core.Prepared
+	if v, ok := s.cache.Get(planKey); ok {
+		prepared = v.(*core.Prepared)
+	} else {
+		cacheState = "miss"
+		p, err := core.Prepare(q, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(planKey, p, p.MemBytes())
+		prepared = p
+	}
+
+	var mat *core.Materialization
+	if prepared.Strategy() == core.Reduction {
+		matKey := plancache.Key{QueryHash: hash, Strategy: stratName, DBGen: entry.gen}
+		if v, ok := s.cache.Get(matKey); ok {
+			mat = v.(*core.Materialization)
+		} else {
+			if cacheState == "hit" {
+				cacheState = "partial"
+			}
+			m, err := prepared.Materialize(ctx, entry.db)
+			if err != nil {
+				return nil, err
+			}
+			s.cache.Put(matKey, m, m.MemBytes())
+			mat = m
+		}
+	}
+	if cacheState == "hit" {
+		s.mCacheHits.Inc()
+	} else {
+		s.mCacheMisses.Inc()
+	}
+
+	res, err := prepared.EvaluateContext(ctx, entry.db, mat)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	s.mEvalLatency.Observe(elapsed)
+	if c, ok := s.mStrategy[res.Stats.StrategyUsed.String()]; ok {
+		c.Inc()
+	}
+
+	resp := &queryResponse{
+		Sat:       res.Sat,
+		Strategy:  res.Stats.StrategyUsed.String(),
+		Cache:     cacheState,
+		QueryHash: hash,
+		Stats:     res.Stats,
+		ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+	}
+	if res.Sat {
+		resp.Nodes = make(map[string]string, len(res.Nodes))
+		for v, vertex := range res.Nodes {
+			resp.Nodes[v] = entry.db.VertexName(vertex)
+		}
+		resp.Paths = make(map[string]string, len(res.Paths))
+		for p, path := range res.Paths {
+			resp.Paths[p] = path.Format(entry.db)
+		}
+	}
+	return resp, nil
+}

@@ -1,0 +1,66 @@
+package server
+
+import "sync"
+
+// workerPool is the admission-control stage: a fixed set of worker
+// goroutines consuming a bounded queue. Evaluation work is CPU-bound, so
+// capping workers at ~GOMAXPROCS keeps the daemon responsive under
+// saturation, and the bounded queue turns overload into fast 429s
+// instead of unbounded memory growth and collapsing tail latency.
+type workerPool struct {
+	mu     sync.RWMutex
+	closed bool
+	queue  chan func()
+	wg     sync.WaitGroup
+}
+
+// newWorkerPool starts `workers` goroutines behind a queue of the given
+// depth (0 = rendezvous: a job is admitted only when a worker is idle).
+func newWorkerPool(workers, depth int) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	p := &workerPool{queue: make(chan func(), depth)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for job := range p.queue {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// trySubmit enqueues job without blocking. It returns false when the
+// queue is full or the pool is closed — the caller converts that into an
+// HTTP 429 (overload) or 503 (draining).
+func (p *workerPool) trySubmit(job func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.queue <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// close stops admission, lets the workers drain every queued job, and
+// waits for them to exit.
+func (p *workerPool) close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"ecrpq/internal/graphdb"
+)
+
+// dbEntry is one registered database. Entries are immutable once
+// published: replacing a name installs a fresh entry with a new
+// generation, so in-flight queries keep evaluating against the snapshot
+// they resolved and the plan cache keys materializations by generation.
+type dbEntry struct {
+	name         string
+	db           *graphdb.DB
+	gen          uint64
+	registeredAt time.Time
+}
+
+// dbRegistry is the named-database table: concurrent register / replace /
+// drop / lookup under an RWMutex, with a monotonically increasing
+// generation counter shared by all names (a generation therefore
+// identifies one registration event globally, which is what plan-cache
+// invalidation wants).
+type dbRegistry struct {
+	mu      sync.RWMutex
+	entries map[string]*dbEntry
+	nextGen uint64
+}
+
+func newDBRegistry() *dbRegistry {
+	return &dbRegistry{entries: make(map[string]*dbEntry)}
+}
+
+// register installs db under name, replacing any existing entry. It
+// returns the new entry and, when a previous entry was replaced, its
+// generation (for cache invalidation).
+func (r *dbRegistry) register(name string, db *graphdb.DB) (entry *dbEntry, replacedGen uint64, replaced bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.entries[name]; ok {
+		replacedGen, replaced = old.gen, true
+	}
+	r.nextGen++
+	entry = &dbEntry{name: name, db: db, gen: r.nextGen, registeredAt: time.Now()}
+	r.entries[name] = entry
+	return entry, replacedGen, replaced
+}
+
+// get returns the current entry for name.
+func (r *dbRegistry) get(name string) (*dbEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// drop removes name, returning the dropped generation.
+func (r *dbRegistry) drop(name string) (gen uint64, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return 0, false
+	}
+	delete(r.entries, name)
+	return e.gen, true
+}
+
+// list returns the current entries sorted by name.
+func (r *dbRegistry) list() []*dbEntry {
+	r.mu.RLock()
+	out := make([]*dbEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// size returns the number of registered databases.
+func (r *dbRegistry) size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}

@@ -1,0 +1,311 @@
+// Package server implements ecrpqd, the resident ECRPQ query daemon: a
+// stdlib-only HTTP server wrapping the core evaluation engine with a
+// named-database registry, a plan cache (compiled plans and Lemma 4.3
+// materializations reused across requests), admission control via a
+// bounded worker pool, per-request deadlines that actually cancel
+// evaluation work, graceful shutdown, invariant-aware panic recovery,
+// and expvar-backed observability.
+//
+// Endpoints:
+//
+//	POST   /v1/dbs/{name}   register or replace a database (body: graphdb text)
+//	DELETE /v1/dbs/{name}   drop a database
+//	GET    /v1/dbs          list registered databases
+//	POST   /v1/query        evaluate a query (JSON body, see queryRequest)
+//	GET    /v1/measures     structural measures + regimes of a query
+//	GET    /healthz         liveness and drain state
+//	GET    /debug/vars      expvar JSON including the "ecrpqd" registry
+package server
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"ecrpq/internal/core"
+	"ecrpq/internal/graphdb"
+	"ecrpq/internal/invariant"
+	"ecrpq/internal/plancache"
+	"ecrpq/internal/server/metrics"
+)
+
+// Config tunes the daemon. The zero value is usable: every field has a
+// production-shaped default applied by New.
+type Config struct {
+	// Workers is the evaluation worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue beyond the busy workers
+	// (default 64, negative = no queue at all); a full queue turns
+	// requests into 429s.
+	QueueDepth int
+	// DefaultTimeout applies when a query request names none (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any requested timeout (default 5m).
+	MaxTimeout time.Duration
+	// CacheBudgetBytes is the plan-cache byte budget (default
+	// plancache.DefaultBudget).
+	CacheBudgetBytes int64
+	// MaxProductStates caps each component product search, as
+	// core.Options.MaxProductStates (default: core's default).
+	MaxProductStates int
+	// Parallelism is the per-evaluation Lemma 4.3 sweep parallelism, as
+	// core.Options.Parallelism (default: GOMAXPROCS).
+	Parallelism int
+	// Logger receives structured (key=value) request and lifecycle lines
+	// (default: stderr; use log.New(io.Discard, "", 0) to silence).
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.CacheBudgetBytes == 0 {
+		c.CacheBudgetBytes = plancache.DefaultBudget
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = -1 // core: GOMAXPROCS
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(os.Stderr, "ecrpqd ", log.LstdFlags|log.LUTC)
+	}
+	return c
+}
+
+// Server is the ecrpqd daemon: an http.Handler plus the resident state
+// (database registry, plan cache, worker pool, metrics).
+type Server struct {
+	cfg      Config
+	dbs      *dbRegistry
+	cache    *plancache.Cache
+	pool     *workerPool
+	mux      *http.ServeMux
+	reg      *metrics.Registry
+	started  time.Time
+	draining atomic.Bool
+	inflight atomic.Int64
+
+	// Metrics (all owned by reg; cached here to avoid name lookups on the
+	// hot path).
+	mQueries     *metrics.Counter
+	mErrors      *metrics.Counter
+	mTimeouts    *metrics.Counter
+	mRejected    *metrics.Counter
+	mPanics      *metrics.Counter
+	mInflight    *metrics.Gauge
+	mLatency     *metrics.Histogram
+	mEvalLatency *metrics.Histogram
+	mStrategy    map[string]*metrics.Counter
+	mCacheHits   *metrics.Counter
+	mCacheMisses *metrics.Counter
+}
+
+// New returns a ready-to-serve daemon. Callers own the HTTP listener
+// lifecycle; the Server is an http.Handler.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		dbs:     newDBRegistry(),
+		cache:   plancache.New(cfg.CacheBudgetBytes),
+		pool:    newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		mux:     http.NewServeMux(),
+		reg:     metrics.NewRegistry(),
+		started: time.Now(),
+	}
+	s.mQueries = s.reg.Counter("queries_total")
+	s.mErrors = s.reg.Counter("query_errors_total")
+	s.mTimeouts = s.reg.Counter("query_timeouts_total")
+	s.mRejected = s.reg.Counter("admission_rejected_total")
+	s.mPanics = s.reg.Counter("panics_recovered_total")
+	s.mInflight = s.reg.Gauge("inflight")
+	s.mLatency = s.reg.Histogram("request_seconds", nil)
+	s.mEvalLatency = s.reg.Histogram("eval_seconds", nil)
+	s.mStrategy = map[string]*metrics.Counter{
+		"generic":   s.reg.Counter("eval_generic_total"),
+		"reduction": s.reg.Counter("eval_reduction_total"),
+	}
+	s.mCacheHits = s.reg.Counter("plan_cache_request_hits_total")
+	s.mCacheMisses = s.reg.Counter("plan_cache_request_misses_total")
+	s.reg.Func("plan_cache", func() string {
+		st := s.cache.Stats()
+		return fmt.Sprintf(`{"hits":%d,"misses":%d,"evictions":%d,"rejected":%d,"entries":%d,"bytes":%d,"budget":%d,"hit_rate":%.4f}`,
+			st.Hits, st.Misses, st.Evictions, st.Rejected, st.Entries, st.Bytes, st.Budget, st.HitRate())
+	})
+	s.reg.Func("databases", func() string { return fmt.Sprintf("%d", s.dbs.size()) })
+	s.reg.Func("uptime_seconds", func() string {
+		return fmt.Sprintf("%.0f", time.Since(s.started).Seconds())
+	})
+
+	s.mux.HandleFunc("POST /v1/dbs/{name}", s.wrap(s.handleRegisterDB))
+	s.mux.HandleFunc("DELETE /v1/dbs/{name}", s.wrap(s.handleDropDB))
+	s.mux.HandleFunc("GET /v1/dbs", s.wrap(s.handleListDBs))
+	s.mux.HandleFunc("POST /v1/query", s.wrap(s.handleQuery))
+	s.mux.HandleFunc("GET /v1/measures", s.wrap(s.handleMeasures))
+	s.mux.HandleFunc("POST /v1/measures", s.wrap(s.handleMeasures))
+	s.mux.HandleFunc("GET /healthz", s.wrap(s.handleHealthz))
+	s.mux.HandleFunc("GET /debug/vars", s.wrap(s.handleDebugVars))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics returns the server's metrics registry (for publishing as a
+// process-global expvar).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// RegisterDB installs db under name programmatically (used for preloading
+// at startup and by tests), with the same replace-and-invalidate semantics
+// as POST /v1/dbs/{name}.
+func (s *Server) RegisterDB(name string, db *graphdb.DB) error {
+	if name == "" {
+		return fmt.Errorf("server: database name required")
+	}
+	entry, replacedGen, replaced := s.dbs.register(name, db)
+	if replaced {
+		s.cache.InvalidateGeneration(replacedGen)
+	}
+	s.cfg.Logger.Printf("event=register_db name=%s gen=%d vertices=%d replaced=%t",
+		name, entry.gen, db.NumVertices(), replaced)
+	return nil
+}
+
+// CacheStats snapshots the plan cache counters.
+func (s *Server) CacheStats() plancache.Stats { return s.cache.Stats() }
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown drains the daemon: new query and registration requests are
+// refused with 503, in-flight requests run to completion (bounded by
+// ctx), and the worker pool is stopped. The HTTP listener should be shut
+// down first (http.Server.Shutdown) or concurrently; Shutdown is
+// idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server: shutdown abandoned %d in-flight request(s): %w",
+				s.inflight.Load(), ctx.Err())
+		case <-tick.C:
+		}
+	}
+	s.pool.close()
+	s.cfg.Logger.Printf("event=shutdown drained=true")
+	return nil
+}
+
+// statusWriter captures the response code for request logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// wrap is the common middleware: panic recovery (invariant violations
+// become 500s; anything else is a genuine bug and re-raised), request
+// metrics, and structured logging.
+func (s *Server) wrap(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if rec := recover(); rec != nil {
+				var viol *invariant.Violation
+				if err, ok := rec.(error); ok && errors.As(err, &viol) {
+					s.mPanics.Inc()
+					s.cfg.Logger.Printf("event=panic_recovered method=%s path=%s violation=%q",
+						r.Method, r.URL.Path, viol.Error())
+					writeError(sw, http.StatusInternalServerError, "internal invariant violation: "+viol.Msg)
+				} else {
+					// Not an invariant violation: a genuine bug. Crash
+					// loudly rather than serve corrupted state.
+					panic(rec)
+				}
+			}
+			s.mLatency.Observe(time.Since(start))
+			s.cfg.Logger.Printf("event=request method=%s path=%s status=%d dur_ms=%.2f",
+				r.Method, r.URL.Path, sw.status, float64(time.Since(start).Microseconds())/1000)
+		}()
+		h(sw, r)
+	}
+}
+
+// handleHealthz reports liveness; a draining server answers 503 so load
+// balancers stop routing to it while in-flight work completes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"databases":      s.dbs.size(),
+		"inflight":       s.inflight.Load(),
+	})
+}
+
+// handleDebugVars renders the standard expvar variables plus this
+// server's registry under "ecrpqd". Rendering locally (instead of
+// expvar.Handler) keeps test servers from fighting over process-global
+// names.
+func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n%q: %s", "ecrpqd", s.reg.String())
+	expvar.Do(func(kv expvar.KeyValue) {
+		if kv.Key == "ecrpqd" {
+			return // published registry: already rendered above
+		}
+		fmt.Fprintf(w, ",\n%q: %s", kv.Key, kv.Value.String())
+	})
+	fmt.Fprint(w, "\n}\n")
+}
+
+// coreOptions builds the evaluation options for one request.
+func (s *Server) coreOptions(strategy core.Strategy) core.Options {
+	return core.Options{
+		Strategy:         strategy,
+		MaxProductStates: s.cfg.MaxProductStates,
+		Parallelism:      s.cfg.Parallelism,
+	}
+}
+
+// parseStrategy maps the request string to a core.Strategy.
+func parseStrategy(name string) (core.Strategy, string, error) {
+	switch name {
+	case "", "auto":
+		return core.Auto, "auto", nil
+	case "generic":
+		return core.Generic, "generic", nil
+	case "reduction":
+		return core.Reduction, "reduction", nil
+	}
+	return 0, "", fmt.Errorf("unknown strategy %q (want auto, generic or reduction)", name)
+}

@@ -1,0 +1,495 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ecrpq/internal/invariant"
+)
+
+// denseDBText renders a dense deterministic database in the graphdb text
+// format: n vertices, one a- and one b-edge out of each. At n=60 a 2-track
+// equality query takes ~1s to materialize — the knob the timeout and
+// shutdown tests turn.
+func denseDBText(n int) string {
+	var sb strings.Builder
+	sb.WriteString("alphabet a b\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "v%d a v%d\n", i, (i*7+1)%n)
+		fmt.Fprintf(&sb, "v%d b v%d\n", i, (i*7+2)%n)
+	}
+	return sb.String()
+}
+
+// slowQuery is a single 2-track equality component: on a dense database
+// its Lemma 4.3 materialization sweeps all n² source pairs.
+const slowQuery = "alphabet a b\nx -[$p1]-> y\nx -[$p2]-> y\nrel eq(p1, p2)\n"
+
+// quickQuery is a plain one-edge reachability query.
+const quickQuery = "alphabet a b\nx -[ab]-> y\n"
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(io.Discard, "", 0)
+	}
+	return New(cfg)
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path string, body any) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	var buf bytes.Buffer
+	switch b := body.(type) {
+	case nil:
+	case string:
+		buf.WriteString(b)
+	default:
+		if err := json.NewEncoder(&buf).Encode(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var out map[string]any
+	if rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("%s %s: non-JSON response %q", method, path, rec.Body.String())
+		}
+	}
+	return rec, out
+}
+
+func registerDB(t *testing.T, s *Server, name, text string) {
+	t.Helper()
+	rec, _ := doJSON(t, s, "POST", "/v1/dbs/"+name, text)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("register %s: %d %s", name, rec.Code, rec.Body.String())
+	}
+}
+
+func TestRegisterAndQuery(t *testing.T) {
+	s := newTestServer(t, Config{})
+	registerDB(t, s, "g", "alphabet a b\nu a v\nv b w\n")
+	rec, out := doJSON(t, s, "POST", "/v1/query", map[string]any{"db": "g", "query": quickQuery})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query: %d %s", rec.Code, rec.Body.String())
+	}
+	if out["sat"] != true {
+		t.Fatalf("sat=%v, want true", out["sat"])
+	}
+	nodes, _ := out["nodes"].(map[string]any)
+	if nodes["x"] != "u" || nodes["y"] != "w" {
+		t.Errorf("witness nodes %v, want x=u y=w", nodes)
+	}
+}
+
+func TestQueryMissThenHit(t *testing.T) {
+	s := newTestServer(t, Config{})
+	registerDB(t, s, "g", denseDBText(20))
+	req := map[string]any{"db": "g", "query": slowQuery, "strategy": "reduction"}
+
+	rec, cold := doJSON(t, s, "POST", "/v1/query", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cold query: %d %s", rec.Code, rec.Body.String())
+	}
+	if cold["cache"] != "miss" {
+		t.Fatalf("first query cache=%v, want miss", cold["cache"])
+	}
+	st := s.CacheStats()
+	if st.Entries != 2 { // compiled plan + materialization
+		t.Fatalf("entries=%d after cold query, want 2", st.Entries)
+	}
+
+	rec, warm := doJSON(t, s, "POST", "/v1/query", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warm query: %d %s", rec.Code, rec.Body.String())
+	}
+	if warm["cache"] != "hit" {
+		t.Fatalf("second query cache=%v, want hit", warm["cache"])
+	}
+	if got := s.CacheStats().Hits - st.Hits; got < 2 { // plan + materialization lookups
+		t.Errorf("cache hits grew by %d, want ≥ 2", got)
+	}
+	if warm["sat"] != cold["sat"] {
+		t.Errorf("warm sat=%v differs from cold sat=%v", warm["sat"], cold["sat"])
+	}
+	if s.Metrics() == nil {
+		t.Error("metrics registry missing")
+	}
+}
+
+// TestWarmLatencyLower is the latency half of the plan-cache acceptance:
+// the cached materialization must make the second identical query strictly
+// faster than the first on an instance where materialization dominates.
+func TestWarmLatencyLower(t *testing.T) {
+	s := newTestServer(t, Config{})
+	registerDB(t, s, "g", denseDBText(40))
+	req := map[string]any{"db": "g", "query": slowQuery, "strategy": "reduction"}
+	_, cold := doJSON(t, s, "POST", "/v1/query", req)
+	_, warm := doJSON(t, s, "POST", "/v1/query", req)
+	coldMs, _ := cold["elapsed_ms"].(float64)
+	warmMs, _ := warm["elapsed_ms"].(float64)
+	if coldMs <= 0 {
+		t.Fatalf("cold elapsed_ms=%v", cold["elapsed_ms"])
+	}
+	if warmMs >= coldMs {
+		t.Errorf("warm query (%vms) not faster than cold (%vms)", warmMs, coldMs)
+	}
+}
+
+func TestMalformedQuery400(t *testing.T) {
+	s := newTestServer(t, Config{})
+	registerDB(t, s, "g", "alphabet a b\nu a v\n")
+	rec, out := doJSON(t, s, "POST", "/v1/query",
+		map[string]any{"db": "g", "query": "alphabet a b\nthis is not a clause\n"})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("code=%d, want 400", rec.Code)
+	}
+	msg, _ := out["error"].(string)
+	if !strings.Contains(msg, "line 2") {
+		t.Errorf("error %q does not carry the parser position", msg)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	s := newTestServer(t, Config{})
+	registerDB(t, s, "g", "alphabet a b\nu a v\n")
+	cases := []struct {
+		name string
+		body any
+		code int
+	}{
+		{"unknown db", map[string]any{"db": "nope", "query": quickQuery}, http.StatusNotFound},
+		{"bad strategy", map[string]any{"db": "g", "query": quickQuery, "strategy": "psychic"}, http.StatusBadRequest},
+		{"bad json", "{not json", http.StatusBadRequest},
+		{"alphabet mismatch", map[string]any{"db": "g", "query": "alphabet a b c\nx -[ab]-> y\n"}, http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		rec, _ := doJSON(t, s, "POST", "/v1/query", c.body)
+		if rec.Code != c.code {
+			t.Errorf("%s: code=%d, want %d (%s)", c.name, rec.Code, c.code, rec.Body.String())
+		}
+	}
+}
+
+func TestFreeVariableAnswers(t *testing.T) {
+	s := newTestServer(t, Config{})
+	registerDB(t, s, "g", "alphabet a b\nu a v\nu a w\n")
+	rec, out := doJSON(t, s, "POST", "/v1/query",
+		map[string]any{"db": "g", "query": "alphabet a b\nfree y\nx -[a]-> y\n"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query: %d %s", rec.Code, rec.Body.String())
+	}
+	answers, _ := out["answers"].([]any)
+	if len(answers) != 2 {
+		t.Fatalf("answers=%v, want 2 tuples", out["answers"])
+	}
+	if out["cache"] != "bypass" {
+		t.Errorf("cache=%v for answer query, want bypass", out["cache"])
+	}
+}
+
+// TestTimeout504 is the deadline acceptance: a 50ms-timeout query against
+// an instance that needs ~1s must come back 504 within twice the deadline.
+func TestTimeout504(t *testing.T) {
+	s := newTestServer(t, Config{})
+	registerDB(t, s, "g", denseDBText(60))
+	start := time.Now()
+	rec, _ := doJSON(t, s, "POST", "/v1/query",
+		map[string]any{"db": "g", "query": slowQuery, "strategy": "reduction", "timeout_ms": 50})
+	elapsed := time.Since(start)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("code=%d after %v, want 504 (%s)", rec.Code, elapsed, rec.Body.String())
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Errorf("504 took %v, want within 2× the 50ms deadline", elapsed)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+	registerDB(t, s, "g", denseDBText(12))
+	var wg sync.WaitGroup
+	errs := make(chan string, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := quickQuery
+			if i%2 == 0 {
+				q = slowQuery
+			}
+			rec, out := doJSON(t, s, "POST", "/v1/query", map[string]any{"db": "g", "query": q})
+			if rec.Code != http.StatusOK {
+				errs <- fmt.Sprintf("worker %d: %d %s", i, rec.Code, rec.Body.String())
+				return
+			}
+			if out["sat"] != true {
+				errs <- fmt.Sprintf("worker %d: sat=%v", i, out["sat"])
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if st := s.CacheStats(); st.Hits == 0 {
+		t.Error("no cache hits across 32 identical-query requests")
+	}
+}
+
+// TestAdmissionControl saturates a 1-worker, 0-depth pool and checks the
+// overflow request is turned away with 429.
+func TestAdmissionControl(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: -1})
+	registerDB(t, s, "g", denseDBText(60))
+	release := make(chan struct{})
+	blocked := make(chan struct{})
+	// With a rendezvous queue the submit only lands once the worker
+	// goroutine is parked on the channel; retry until it is.
+	occupied := false
+	for i := 0; i < 1000 && !occupied; i++ {
+		occupied = s.pool.trySubmit(func() { close(blocked); <-release })
+		if !occupied {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if !occupied {
+		t.Fatal("could not occupy the only worker")
+	}
+	<-blocked
+	rec, _ := doJSON(t, s, "POST", "/v1/query",
+		map[string]any{"db": "g", "query": quickQuery, "timeout_ms": 1000})
+	close(release)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("code=%d with a saturated pool, want 429 (%s)", rec.Code, rec.Body.String())
+	}
+}
+
+// TestGracefulShutdown starts a query, begins draining while it is in
+// flight, and checks (a) new work is refused with 503, (b) the in-flight
+// query still completes with 200, (c) Shutdown returns only after it has.
+func TestGracefulShutdown(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	registerDB(t, s, "g", denseDBText(30))
+
+	type result struct {
+		code int
+		body string
+	}
+	inFlight := make(chan result, 1)
+	go func() {
+		rec, _ := doJSON(t, s, "POST", "/v1/query",
+			map[string]any{"db": "g", "query": slowQuery, "strategy": "reduction", "timeout_ms": 10000})
+		inFlight <- result{rec.Code, rec.Body.String()}
+	}()
+	for s.inflight.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	rec, _ := doJSON(t, s, "POST", "/v1/query", map[string]any{"db": "g", "query": quickQuery})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("query during drain: code=%d, want 503", rec.Code)
+	}
+	if rec, _ := doJSON(t, s, "GET", "/healthz", nil); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("healthz during drain: code=%d, want 503", rec.Code)
+	}
+
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case r := <-inFlight:
+		if r.code != http.StatusOK {
+			t.Errorf("in-flight query finished %d (%s), want 200", r.code, r.body)
+		}
+	default:
+		t.Error("Shutdown returned before the in-flight request finished")
+	}
+}
+
+func TestRegisterReplaceInvalidatesCache(t *testing.T) {
+	s := newTestServer(t, Config{})
+	registerDB(t, s, "g", denseDBText(12))
+	req := map[string]any{"db": "g", "query": slowQuery, "strategy": "reduction"}
+	doJSON(t, s, "POST", "/v1/query", req)
+	if st := s.CacheStats(); st.Entries != 2 {
+		t.Fatalf("entries=%d, want 2", st.Entries)
+	}
+	// Replacing the database must drop its materialization but keep the
+	// db-independent compiled plan.
+	registerDB(t, s, "g", denseDBText(14))
+	if st := s.CacheStats(); st.Entries != 1 {
+		t.Fatalf("entries=%d after replace, want 1 (compiled plan only)", st.Entries)
+	}
+	rec, out := doJSON(t, s, "POST", "/v1/query", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query after replace: %d", rec.Code)
+	}
+	if out["cache"] != "partial" {
+		t.Errorf("cache=%v after replace, want partial (plan hit, materialization rebuilt)", out["cache"])
+	}
+}
+
+func TestDropAndList(t *testing.T) {
+	s := newTestServer(t, Config{})
+	registerDB(t, s, "g1", "alphabet a\nu a v\n")
+	registerDB(t, s, "g2", "alphabet a\nu a v\n")
+	rec, out := doJSON(t, s, "GET", "/v1/dbs", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatal(rec.Code)
+	}
+	if dbs, _ := out["databases"].([]any); len(dbs) != 2 {
+		t.Fatalf("databases=%v, want 2", out["databases"])
+	}
+	if rec, _ := doJSON(t, s, "DELETE", "/v1/dbs/g1", nil); rec.Code != http.StatusOK {
+		t.Fatal(rec.Code)
+	}
+	if rec, _ := doJSON(t, s, "DELETE", "/v1/dbs/g1", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("double drop: code=%d, want 404", rec.Code)
+	}
+}
+
+func TestMeasuresEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec, out := doJSON(t, s, "POST", "/v1/measures", map[string]any{"query": slowQuery})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("measures: %d %s", rec.Code, rec.Body.String())
+	}
+	if out["cc_vertex"].(float64) != 2 {
+		t.Errorf("cc_vertex=%v, want 2 for the 2-track equality query", out["cc_vertex"])
+	}
+	if out["query_hash"] == "" {
+		t.Error("missing query_hash")
+	}
+	if rec, _ := doJSON(t, s, "POST", "/v1/measures", map[string]any{"query": "junk"}); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad query: code=%d, want 400", rec.Code)
+	}
+}
+
+func TestDebugVars(t *testing.T) {
+	s := newTestServer(t, Config{})
+	registerDB(t, s, "g", "alphabet a\nu a v\n")
+	doJSON(t, s, "POST", "/v1/query", map[string]any{"db": "g", "query": "alphabet a\nx -[a]-> y\n"})
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	var vars map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	ecrpqd, _ := vars["ecrpqd"].(map[string]any)
+	if ecrpqd["queries_total"].(float64) != 1 {
+		t.Errorf("queries_total=%v, want 1", ecrpqd["queries_total"])
+	}
+	if _, ok := ecrpqd["plan_cache"].(map[string]any); !ok {
+		t.Errorf("plan_cache snapshot missing: %v", ecrpqd["plan_cache"])
+	}
+}
+
+// TestInvariantViolationBecomes500 checks the recovery middleware: an
+// invariant violation inside a handler is converted to a 500 without
+// killing the server, and the panic counter increments.
+func TestInvariantViolationBecomes500(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.wrap(func(w http.ResponseWriter, r *http.Request) {
+		invariant.Assertf(false, "test violation %d", 42)
+	})
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("code=%d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "test violation 42") {
+		t.Errorf("body %q does not name the violation", rec.Body.String())
+	}
+	if s.mPanics.Value() != 1 {
+		t.Errorf("panics_recovered=%d, want 1", s.mPanics.Value())
+	}
+	// A second request must still be served: the daemon survived.
+	if rec, _ := doJSON(t, s, "GET", "/healthz", nil); rec.Code != http.StatusOK {
+		t.Errorf("healthz after violation: %d", rec.Code)
+	}
+}
+
+// TestForeignPanicReRaised checks that non-invariant panics are NOT
+// swallowed by the middleware.
+func TestForeignPanicReRaised(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.wrap(func(w http.ResponseWriter, r *http.Request) {
+		panic("not an invariant violation")
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign panic was swallowed")
+		}
+	}()
+	h(httptest.NewRecorder(), httptest.NewRequest("GET", "/boom", nil))
+}
+
+// BenchmarkQueryColdVsWarm quantifies the plan cache: b.Run("cold") evicts
+// between iterations, b.Run("warm") reuses the cached plan and
+// materialization (EXPERIMENTS.md records representative numbers).
+func BenchmarkQueryColdVsWarm(b *testing.B) {
+	mk := func() *Server {
+		s := New(Config{Logger: log.New(io.Discard, "", 0)})
+		req := httptest.NewRequest("POST", "/v1/dbs/g", strings.NewReader(denseDBText(30)))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("register: %d", rec.Code)
+		}
+		return s
+	}
+	body := func() *strings.Reader {
+		return strings.NewReader(`{"db":"g","query":"alphabet a b\nx -[$p1]-> y\nx -[$p2]-> y\nrel eq(p1, p2)\n","strategy":"reduction"}`)
+	}
+	run := func(b *testing.B, s *Server, evict bool) {
+		for i := 0; i < b.N; i++ {
+			if evict {
+				st := s.CacheStats()
+				_ = st
+				s.cache.InvalidateGeneration(1) // drop the materialization
+			}
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/query", body()))
+			if rec.Code != http.StatusOK {
+				b.Fatalf("query: %d %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		s := mk()
+		b.ResetTimer()
+		run(b, s, true)
+	})
+	b.Run("warm", func(b *testing.B) {
+		s := mk()
+		// Prime the cache once.
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/query", body()))
+		b.ResetTimer()
+		run(b, s, false)
+	})
+}
