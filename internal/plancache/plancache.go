@@ -126,7 +126,11 @@ func (c *Cache) Get(k Key) (any, bool) {
 	s := c.shardFor(k)
 	s.mu.Lock()
 	e, ok := s.items[k]
+	var val any
 	if ok {
+		// Copy under the lock: Put on an existing key mutates e.val, so
+		// reading it after unlock would race with a concurrent replace.
+		val = e.val
 		s.moveToFront(e)
 	}
 	s.mu.Unlock()
@@ -135,7 +139,7 @@ func (c *Cache) Get(k Key) (any, bool) {
 		return nil, false
 	}
 	c.hits.Add(1)
-	return e.val, true
+	return val, true
 }
 
 // Put stores v under k with the given size estimate, evicting cold

@@ -178,3 +178,27 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("over budget after concurrent churn: %d > %d", st.Bytes, st.Budget)
 	}
 }
+
+// TestConcurrentReplaceOneKey races Put-replace against Get on a single
+// key: under -race this catches any read of an entry's value outside the
+// shard lock (Put mutates the value in place for an existing key).
+func TestConcurrentReplaceOneKey(t *testing.T) {
+	c := New(64 << 10)
+	k := key(1, 0)
+	c.Put(k, 0, 100)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if g%2 == 0 {
+					c.Put(k, i, 100)
+				} else if v, ok := c.Get(k); ok {
+					_ = v.(int)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -61,6 +61,26 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
 }
 
+// readBody reads the whole request body, enforcing maxBodyBytes via
+// http.MaxBytesReader so an oversized body is a 413 error rather than a
+// silent truncation (a truncated database landing on a line boundary
+// would otherwise parse as a smaller, wrong graph). On failure the error
+// response has already been written and ok is false.
+func readBody(w http.ResponseWriter, r *http.Request) (body []byte, ok bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds the %d-byte limit", maxBodyBytes))
+			return nil, false
+		}
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return nil, false
+	}
+	return body, true
+}
+
 // handleRegisterDB loads the request body as a graph database and installs
 // it under the path name, replacing (and cache-invalidating) any previous
 // registration of that name.
@@ -74,9 +94,8 @@ func (s *Server) handleRegisterDB(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "database name required")
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+	body, ok := readBody(w, r)
+	if !ok {
 		return
 	}
 	db, err := graphdb.ParseString(string(body))
@@ -133,9 +152,8 @@ func (s *Server) handleListDBs(w http.ResponseWriter, r *http.Request) {
 // regime classification without evaluating it. Body: {"query": "..."} or
 // raw query text.
 func (s *Server) handleMeasures(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+	body, ok := readBody(w, r)
+	if !ok {
 		return
 	}
 	text := string(body)
@@ -179,8 +197,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req queryRequest
-	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds the %d-byte limit", maxBodyBytes))
+			return
+		}
 		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
 		return
 	}
@@ -304,24 +328,46 @@ func (s *Server) evaluate(ctx context.Context, entry *dbEntry, q *query.Query, s
 		}, nil
 	}
 
-	planKey := plancache.Key{QueryHash: hash, Strategy: stratName, DBGen: 0}
+	// Plans and materializations are keyed by the *resolved* strategy, so
+	// the same query requested via "auto" and via the strategy auto picks
+	// shares one plan and one Lemma 4.3 materialization (resolution
+	// depends only on the query, so this is sound). The auto→resolved
+	// mapping is itself memoized under the "auto" pseudo-strategy; a warm
+	// auto request therefore still skips Prepare.
+	planKeyFor := func(name string) plancache.Key {
+		return plancache.Key{QueryHash: hash, Strategy: name, DBGen: 0}
+	}
+	resolved := stratName
+	resolvedKnown := strat != core.Auto
+	if !resolvedKnown {
+		if v, ok := s.cache.Get(planKeyFor("auto")); ok {
+			resolved, resolvedKnown = v.(string), true
+		}
+	}
 	cacheState := "hit"
 	var prepared *core.Prepared
-	if v, ok := s.cache.Get(planKey); ok {
-		prepared = v.(*core.Prepared)
-	} else {
+	if resolvedKnown {
+		if v, ok := s.cache.Get(planKeyFor(resolved)); ok {
+			prepared = v.(*core.Prepared)
+		}
+	}
+	if prepared == nil {
 		cacheState = "miss"
 		p, err := core.Prepare(q, opts)
 		if err != nil {
 			return nil, err
 		}
-		s.cache.Put(planKey, p, p.MemBytes())
 		prepared = p
+		resolved = p.Strategy().String()
+		s.cache.Put(planKeyFor(resolved), p, p.MemBytes())
+		if strat == core.Auto {
+			s.cache.Put(planKeyFor("auto"), resolved, len(hash)+len(resolved))
+		}
 	}
 
 	var mat *core.Materialization
 	if prepared.Strategy() == core.Reduction {
-		matKey := plancache.Key{QueryHash: hash, Strategy: stratName, DBGen: entry.gen}
+		matKey := plancache.Key{QueryHash: hash, Strategy: resolved, DBGen: entry.gen}
 		if v, ok := s.cache.Get(matKey); ok {
 			mat = v.(*core.Materialization)
 		} else {

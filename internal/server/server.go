@@ -280,8 +280,11 @@ func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	fmt.Fprintf(w, "{\n%q: %s", "ecrpqd", s.reg.String())
 	expvar.Do(func(kv expvar.KeyValue) {
-		if kv.Key == "ecrpqd" {
-			return // published registry: already rendered above
+		if kv.Value == expvar.Var(s.reg) {
+			// This server's registry, whatever name it was published
+			// under: already rendered above, a second copy would make
+			// the JSON invalid (duplicate keys).
+			return
 		}
 		fmt.Fprintf(w, ",\n%q: %s", kv.Key, kv.Value.String())
 	})

@@ -353,6 +353,98 @@ func TestRegisterReplaceInvalidatesCache(t *testing.T) {
 	}
 }
 
+// TestAutoSharesResolvedPlan checks that plan-cache keys are normalized
+// to the resolved strategy: the same query requested via "auto" and via
+// the strategy auto resolves to must share one compiled plan and one
+// materialization instead of caching duplicates.
+func TestAutoSharesResolvedPlan(t *testing.T) {
+	s := newTestServer(t, Config{})
+	registerDB(t, s, "g", denseDBText(12))
+	explicit := map[string]any{"db": "g", "query": slowQuery, "strategy": "reduction"}
+	auto := map[string]any{"db": "g", "query": slowQuery, "strategy": "auto"}
+
+	doJSON(t, s, "POST", "/v1/query", explicit)
+	if st := s.CacheStats(); st.Entries != 2 {
+		t.Fatalf("entries=%d after explicit query, want 2 (plan + materialization)", st.Entries)
+	}
+	// The first auto request resolves the strategy (one Prepare) and
+	// memoizes the resolution; it must reuse the explicit request's
+	// materialization rather than store a second one.
+	doJSON(t, s, "POST", "/v1/query", auto)
+	if st := s.CacheStats(); st.Entries != 3 {
+		t.Fatalf("entries=%d after auto query, want 3 (plan + materialization + auto memo)", st.Entries)
+	}
+	rec, out := doJSON(t, s, "POST", "/v1/query", auto)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warm auto query: %d %s", rec.Code, rec.Body.String())
+	}
+	if out["cache"] != "hit" {
+		t.Errorf("warm auto query cache=%v, want hit", out["cache"])
+	}
+	if out["strategy"] != "reduction" {
+		t.Errorf("warm auto query strategy=%v, want reduction", out["strategy"])
+	}
+	// And the explicit spelling stays warm too — same underlying entries.
+	if _, out := doJSON(t, s, "POST", "/v1/query", explicit); out["cache"] != "hit" {
+		t.Errorf("explicit query after auto cache=%v, want hit", out["cache"])
+	}
+	if st := s.CacheStats(); st.Entries != 3 {
+		t.Errorf("entries=%d after warm queries, want 3 still", st.Entries)
+	}
+}
+
+// TestBodyTooLarge413 checks that oversized request bodies are refused
+// with 413 instead of being silently truncated (a truncated database
+// could parse successfully as a smaller, wrong graph).
+func TestBodyTooLarge413(t *testing.T) {
+	s := newTestServer(t, Config{})
+	registerDB(t, s, "g", "alphabet a\nu a v\n")
+	huge := bytes.NewReader(make([]byte, maxBodyBytes+1))
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/dbs/big", huge))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized register: code=%d, want 413", rec.Code)
+	}
+
+	// The query body must be a valid JSON prefix so the decoder reads all
+	// the way to the byte cap instead of failing on a syntax error first.
+	var qbuf bytes.Buffer
+	qbuf.WriteString(`{"db":"g","query":"`)
+	qbuf.Write(bytes.Repeat([]byte{'a'}, maxBodyBytes))
+	qbuf.WriteString(`"}`)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/query", &qbuf))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized query: code=%d, want 413", rec.Code)
+	}
+
+	huge.Seek(0, io.SeekStart)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/measures", huge))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized measures: code=%d, want 413", rec.Code)
+	}
+}
+
+// TestDebugVarsPublishedName checks that /debug/vars does not render this
+// server's registry twice when it is published under a name other than
+// "ecrpqd" (the skip is by identity, not by name).
+func TestDebugVarsPublishedName(t *testing.T) {
+	s := newTestServer(t, Config{})
+	s.Metrics().Publish("ecrpqd_test_alt_name")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	body := rec.Body.String()
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	if n := strings.Count(body, `"plan_cache"`); n != 1 {
+		t.Errorf("registry rendered %d times, want exactly once\n%s", n, body)
+	}
+}
+
 func TestDropAndList(t *testing.T) {
 	s := newTestServer(t, Config{})
 	registerDB(t, s, "g1", "alphabet a\nu a v\n")
