@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint vet fuzz-smoke bench server-test ci
+.PHONY: all build test race lint vet fuzz-smoke bench server-test chaos ci
 
 all: build test
 
@@ -29,6 +29,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParse$$ -fuzztime $(FUZZTIME) ./internal/query/
 	$(GO) test -run '^$$' -fuzz FuzzParseUnion -fuzztime $(FUZZTIME) ./internal/query/
 	$(GO) test -run '^$$' -fuzz FuzzParseCompile -fuzztime $(FUZZTIME) ./internal/rex/
+	$(GO) test -run '^$$' -fuzz FuzzSnapshotRoundTrip -fuzztime $(FUZZTIME) ./internal/persist/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -38,5 +39,13 @@ bench:
 server-test:
 	$(GO) test -race ./internal/server/... ./internal/plancache/ ./internal/core/ ./internal/query/
 
-## ci mirrors the GitHub Actions gate: build, vet, lint, tests, race tests.
-ci: build vet lint test race server-test
+## chaos rebuilds the fault-injection build (-tags faultinject) and runs
+## the deterministic chaos suite under the race detector: injected
+## persist/cache/pool/core faults must surface as typed errors with no
+## corruption and no goroutine leaks.
+chaos:
+	$(GO) test -race -tags faultinject ./internal/faultinject/ ./internal/persist/ ./internal/server/... ./internal/client/
+
+## ci mirrors the GitHub Actions gate: build, vet, lint, tests, race
+## tests, chaos suite.
+ci: build vet lint test race server-test chaos

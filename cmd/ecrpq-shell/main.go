@@ -1,22 +1,31 @@
 // Command ecrpq-shell is an interactive shell for exploring graph databases
-// with ECRPQ queries.
+// with ECRPQ queries, either in-process or against a running ecrpqd.
 //
 // Usage:
 //
 //	ecrpq-shell [-db graph.txt]
+//	ecrpq-shell -remote http://127.0.0.1:8377
 //
 // Commands (one per line):
 //
 //	.help                 show this help
-//	.db <file>            load a database file
+//	.db <file>            load a database file (local mode)
 //	.rel <file>           load a custom relation file (synchro format)
 //	.strategy <name>      auto | generic | reduction
 //	.query                start a query block; finish with .go (or .explain)
 //	.go                   evaluate the current query block
-//	.explain              print the plan of the current query block
+//	.explain              print the plan of the current query block (local only)
 //	.measures             print measures + regimes of the current query block
-//	.sat                  database-independent satisfiability of the block
+//	.sat                  database-independent satisfiability (local only)
+//	.register <name> <f>  remote: register file f as database <name>
+//	.use <name>           remote: target queries at database <name>
+//	.dbs                  remote: list the daemon's databases
+//	.drop <name>          remote: drop a database
 //	.quit                 exit
+//
+// In remote mode requests go through the fault-tolerant internal/client
+// (backoff with jitter, Retry-After, circuit breaker), so a daemon that is
+// restarting or shedding load is retried instead of surfacing every blip.
 //
 // Anything else inside a query block is accumulated as query DSL text.
 package main
@@ -34,14 +43,29 @@ import (
 	"strings"
 
 	"ecrpq"
+	"ecrpq/internal/client"
 	"ecrpq/internal/twolevel"
 )
 
 func main() {
 	dbPath := flag.String("db", "", "initial database file")
+	remote := flag.String("remote", "", "ecrpqd base URL (e.g. http://127.0.0.1:8377); empty = in-process")
 	flag.Parse()
 	sh := newShell(os.Stdout)
+	if *remote != "" {
+		sh.remote = client.New(client.Config{BaseURL: *remote})
+		h, err := sh.remote.Health(context.Background())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecrpq-shell:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(sh.out, "connected to %s: %d database(s)\n", *remote, h.Databases)
+	}
 	if *dbPath != "" {
+		if sh.remote != nil {
+			fmt.Fprintln(os.Stderr, "ecrpq-shell: -db is local-mode only (use .register in remote mode)")
+			os.Exit(1)
+		}
 		if err := sh.loadDB(*dbPath); err != nil {
 			fmt.Fprintln(os.Stderr, "ecrpq-shell:", err)
 			os.Exit(1)
@@ -58,6 +82,10 @@ type shell struct {
 	registry map[string]*ecrpq.Relation
 	inQuery  bool
 	queryBuf strings.Builder
+
+	// Remote mode: non-nil client plus the .use-selected database name.
+	remote   *client.Client
+	remoteDB string
 }
 
 func newShell(out io.Writer) *shell {
@@ -92,12 +120,70 @@ func (s *shell) handle(line string) bool {
 	case ".quit", ".exit":
 		return true
 	case ".db":
+		if s.remote != nil {
+			fmt.Fprintln(s.out, "error: .db is local-mode only; use .register <name> <file> in remote mode")
+			return false
+		}
 		if len(fields) != 2 {
 			fmt.Fprintln(s.out, "usage: .db <file>")
 			return false
 		}
 		if err := s.loadDB(fields[1]); err != nil {
 			fmt.Fprintln(s.out, "error:", err)
+		}
+	case ".register":
+		if s.remote == nil {
+			fmt.Fprintln(s.out, "error: .register needs remote mode (-remote URL)")
+			return false
+		}
+		if len(fields) != 3 {
+			fmt.Fprintln(s.out, "usage: .register <name> <file>")
+			return false
+		}
+		if err := s.remoteRegister(fields[1], fields[2]); err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+		}
+	case ".use":
+		if s.remote == nil {
+			fmt.Fprintln(s.out, "error: .use needs remote mode (-remote URL)")
+			return false
+		}
+		if len(fields) != 2 {
+			fmt.Fprintln(s.out, "usage: .use <name>")
+			return false
+		}
+		s.remoteDB = fields[1]
+		fmt.Fprintln(s.out, "using database:", s.remoteDB)
+	case ".dbs":
+		if s.remote == nil {
+			fmt.Fprintln(s.out, "error: .dbs needs remote mode (-remote URL)")
+			return false
+		}
+		infos, err := s.remote.ListDBs(context.Background())
+		if err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			return false
+		}
+		for _, d := range infos {
+			fmt.Fprintf(s.out, "  %s  gen=%d vertices=%d\n", d.Name, d.Generation, d.Vertices)
+		}
+		fmt.Fprintf(s.out, "%d database(s)\n", len(infos))
+	case ".drop":
+		if s.remote == nil {
+			fmt.Fprintln(s.out, "error: .drop needs remote mode (-remote URL)")
+			return false
+		}
+		if len(fields) != 2 {
+			fmt.Fprintln(s.out, "usage: .drop <name>")
+			return false
+		}
+		if err := s.remote.DropDB(context.Background(), fields[1]); err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			return false
+		}
+		fmt.Fprintln(s.out, "dropped:", fields[1])
+		if s.remoteDB == fields[1] {
+			s.remoteDB = ""
 		}
 	case ".rel":
 		if len(fields) != 2 {
@@ -129,8 +215,16 @@ func (s *shell) handle(line string) bool {
 		s.queryBuf.Reset()
 		fmt.Fprintln(s.out, "enter query DSL; finish with .go, .explain, .measures or .sat")
 	case ".go":
+		if s.remote != nil {
+			s.remoteGo()
+			return false
+		}
 		s.withQuery(func(q *ecrpq.Query) { s.evaluate(q) })
 	case ".explain":
+		if s.remote != nil {
+			fmt.Fprintln(s.out, "error: .explain is local-mode only (plans are server-side in remote mode)")
+			return false
+		}
 		s.withQuery(func(q *ecrpq.Query) {
 			plan, err := ecrpq.Explain(q, ecrpq.Options{Strategy: s.strategy})
 			if err != nil {
@@ -140,6 +234,10 @@ func (s *shell) handle(line string) bool {
 			fmt.Fprint(s.out, plan.String())
 		})
 	case ".measures":
+		if s.remote != nil {
+			s.remoteMeasures()
+			return false
+		}
 		s.withQuery(func(q *ecrpq.Query) {
 			m := ecrpq.QueryMeasures(q)
 			fmt.Fprintf(s.out, "cc_vertex=%d cc_hedge=%d tw=[%d,%d]\n",
@@ -148,6 +246,10 @@ func (s *shell) handle(line string) bool {
 			fmt.Fprintf(s.out, "bounded family regimes: eval %s; p-eval %s\n", ec, pc)
 		})
 	case ".sat":
+		if s.remote != nil {
+			fmt.Fprintln(s.out, "error: .sat is local-mode only")
+			return false
+		}
 		s.withQuery(func(q *ecrpq.Query) {
 			db, res, sat, err := ecrpq.Satisfiable(q)
 			if err != nil {
@@ -180,6 +282,102 @@ func (s *shell) withQuery(fn func(*ecrpq.Query)) {
 		return
 	}
 	fn(q)
+}
+
+// takeQuery consumes the current query block as raw DSL text (remote mode
+// ships the text; the daemon parses it with its own relation registry).
+func (s *shell) takeQuery() (string, bool) {
+	if !s.inQuery {
+		fmt.Fprintln(s.out, "error: no query block; start with .query")
+		return "", false
+	}
+	s.inQuery = false
+	return s.queryBuf.String(), true
+}
+
+// remoteGo evaluates the current query block on the daemon. Ctrl-C cancels
+// the request (the server aborts the evaluation server-side).
+func (s *shell) remoteGo() {
+	text, ok := s.takeQuery()
+	if !ok {
+		return
+	}
+	if s.remoteDB == "" {
+		fmt.Fprintln(s.out, "error: no database selected (.use <name>)")
+		return
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	resp, err := s.remote.Query(ctx, client.QueryRequest{
+		DB: s.remoteDB, Query: text, Strategy: s.strategy.String(),
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(s.out, "interrupted")
+			return
+		}
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	if len(resp.Free) > 0 {
+		fmt.Fprintf(s.out, "%d answer(s)\n", len(resp.Answers))
+		for _, row := range resp.Answers {
+			fmt.Fprintln(s.out, " ", "("+strings.Join(row, ", ")+")")
+		}
+		return
+	}
+	fmt.Fprintf(s.out, "satisfiable: %t (strategy: %s, cache: %s, %.2fms)\n",
+		resp.Sat, resp.Strategy, resp.Cache, resp.ElapsedMs)
+	if resp.Sat {
+		var pvs []string
+		for p := range resp.Paths {
+			pvs = append(pvs, p)
+		}
+		sort.Strings(pvs)
+		for _, p := range pvs {
+			fmt.Fprintf(s.out, "  %s: %s\n", p, resp.Paths[p])
+		}
+	}
+}
+
+// remoteMeasures asks the daemon for the block's structural measures.
+func (s *shell) remoteMeasures() {
+	text, ok := s.takeQuery()
+	if !ok {
+		return
+	}
+	m, err := s.remote.Measures(context.Background(), text)
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(s.out, "  %s=%v\n", k, m[k])
+	}
+}
+
+// remoteRegister uploads a database file under name.
+func (s *shell) remoteRegister(name, path string) error {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	res, err := s.remote.RegisterDB(context.Background(), name, string(text))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "registered %s: gen=%d vertices=%d replaced=%t\n",
+		res.Name, res.Generation, res.Vertices, res.Replaced)
+	if s.remoteDB == "" {
+		s.remoteDB = name
+		fmt.Fprintln(s.out, "using database:", name)
+	}
+	return nil
 }
 
 func (s *shell) evaluate(q *ecrpq.Query) {
@@ -270,13 +468,18 @@ func (s *shell) loadRel(path string) error {
 }
 
 const helpText = `commands:
-  .db <file>        load a database
+  .db <file>        load a database (local mode)
   .rel <file>       load a custom relation (synchro text format)
   .strategy <name>  auto | generic | reduction
   .query            start a query block (DSL lines follow)
   .go               evaluate the block against the database
-  .explain          print the evaluation plan of the block
+  .explain          print the evaluation plan of the block (local only)
   .measures         print structural measures + theorem regimes
-  .sat              database-independent satisfiability of the block
+  .sat              database-independent satisfiability (local only)
+remote mode (-remote URL):
+  .register <name> <file>  upload a database file under <name>
+  .use <name>              target queries at database <name>
+  .dbs                     list the daemon's databases
+  .drop <name>             drop a database
   .quit             exit
 `

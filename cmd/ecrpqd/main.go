@@ -8,6 +8,16 @@
 //
 //	ecrpqd [-addr :8377] [-workers N] [-queue N] [-timeout 30s]
 //	       [-max-timeout 5m] [-cache-budget 268435456] [-db name=file ...]
+//	       [-data-dir DIR] [-check]
+//
+// With -data-dir the registry is crash-safe: every register/replace/drop
+// is made durable (checksummed snapshot + journal record, fsynced) before
+// it is acknowledged, and on startup the journal is replayed so databases
+// survive a kill -9 with their generations intact.
+//
+// With -check the binary acts as a health probe instead of a server: it
+// asks a running daemon at -addr for /healthz and /v1/dbs via the
+// retrying client and exits 0 (healthy) or 1.
 //
 // Endpoints (see internal/server):
 //
@@ -36,7 +46,9 @@ import (
 	"syscall"
 	"time"
 
+	"ecrpq/internal/client"
 	"ecrpq/internal/graphdb"
+	"ecrpq/internal/persist"
 	"ecrpq/internal/server"
 )
 
@@ -55,11 +67,20 @@ func main() {
 	cacheBudget := flag.Int64("cache-budget", 0, "plan cache byte budget (0 = default 256 MiB)")
 	maxStates := flag.Int("max-product-states", 0, "cap on product-search states per component (0 = default)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
+	dataDir := flag.String("data-dir", "", "directory for crash-safe registry persistence (empty = in-memory only)")
+	check := flag.Bool("check", false, "probe a running daemon at -addr and exit 0/1 instead of serving")
 	var dbs dbFlags
 	flag.Var(&dbs, "db", "preload a database as name=file (repeatable)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "ecrpqd ", log.LstdFlags|log.LUTC)
+	if *check {
+		if err := runCheck(*addr); err != nil {
+			fmt.Fprintln(os.Stderr, "ecrpqd: check:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*addr, server.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
@@ -68,15 +89,67 @@ func main() {
 		CacheBudgetBytes: *cacheBudget,
 		MaxProductStates: *maxStates,
 		Logger:           logger,
-	}, dbs, *drainTimeout, logger); err != nil {
+	}, dbs, *dataDir, *drainTimeout, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "ecrpqd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg server.Config, dbs []string, drainTimeout time.Duration, logger *log.Logger) error {
+// probeURL turns a listen address into a client base URL: ":8377" and
+// "0.0.0.0:8377" mean loopback from the probe's point of view.
+func probeURL(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	if host, port, ok := strings.Cut(addr, ":"); ok && (host == "0.0.0.0" || host == "[::]") {
+		return "http://127.0.0.1:" + port
+	}
+	return "http://" + addr
+}
+
+// runCheck is the -check health probe: healthy means /healthz answers ok
+// (retried with backoff, so a daemon mid-restart gets a grace period) and
+// the database list is readable.
+func runCheck(addr string) error {
+	c := client.New(client.Config{
+		BaseURL:     probeURL(addr),
+		MaxRetries:  3,
+		BaseDelay:   200 * time.Millisecond,
+		RetryBudget: 5 * time.Second,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	h, err := c.Health(ctx)
+	if err != nil {
+		return err
+	}
+	if h.Status != "ok" {
+		return fmt.Errorf("daemon status is %q", h.Status)
+	}
+	if _, err := c.ListDBs(ctx); err != nil {
+		return fmt.Errorf("listing databases: %w", err)
+	}
+	fmt.Printf("ok: %d database(s), up %.0fs\n", h.Databases, h.UptimeSeconds)
+	return nil
+}
+
+func run(addr string, cfg server.Config, dbs []string, dataDir string, drainTimeout time.Duration, logger *log.Logger) error {
 	srv := server.New(cfg)
 	srv.Metrics().Publish("ecrpqd")
+
+	if dataDir != "" {
+		st, err := persist.Open(dataDir)
+		if err != nil {
+			return fmt.Errorf("opening data dir %s: %w", dataDir, err)
+		}
+		defer st.Close()
+		restored, err := srv.AttachStore(st)
+		if err != nil {
+			return fmt.Errorf("attaching store: %w", err)
+		}
+		logger.Printf("event=persist_open dir=%s restored=%d max_gen=%d warnings=%d",
+			dataDir, restored, st.MaxGen(), len(st.Warnings()))
+	}
 
 	for _, spec := range dbs {
 		name, file, ok := strings.Cut(spec, "=")

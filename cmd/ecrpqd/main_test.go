@@ -1,0 +1,193 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ecrpq/internal/client"
+)
+
+// buildDaemon compiles the ecrpqd binary once per test run.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ecrpqd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building ecrpqd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freeAddr reserves a loopback port by listening and immediately closing.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startDaemon launches the binary and waits until it answers /healthz.
+func startDaemon(t *testing.T, bin, addr, dataDir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", addr, "-data-dir", dataDir)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting daemon: %v", err)
+	}
+	c := client.New(client.Config{BaseURL: "http://" + addr, MaxRetries: 20, BaseDelay: 50 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if _, err := c.Health(ctx); err != nil {
+		_ = cmd.Process.Kill()
+		t.Fatalf("daemon never became healthy: %v", err)
+	}
+	return cmd
+}
+
+func dbText(n int) string {
+	var sb strings.Builder
+	sb.WriteString("alphabet a b\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "v%d a v%d\n", i, (i+1)%n)
+	}
+	return sb.String()
+}
+
+const testQuery = "alphabet a b\nx -[a]-> y\n"
+
+// TestKillAndRestart is the end-to-end crash-safety acceptance test:
+// register three databases, SIGKILL the daemon mid-workload, restart it on
+// the same data directory, and require all three to answer queries with
+// their pre-crash generations.
+func TestKillAndRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildDaemon(t)
+	addr := freeAddr(t)
+	dataDir := t.TempDir()
+
+	daemon := startDaemon(t, bin, addr, dataDir)
+	c := client.New(client.Config{BaseURL: "http://" + addr})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	names := []string{"alpha", "beta", "hot"}
+	gens := make(map[string]uint64)
+	for i, name := range names {
+		res, err := c.RegisterDB(ctx, name, dbText(8+i))
+		if err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+		gens[name] = res.Generation
+	}
+
+	// Background workload on "hot" so the kill lands mid-traffic. Errors
+	// are expected once the process dies; the workload only generates load.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := client.New(client.Config{BaseURL: "http://" + addr, MaxRetries: 0, BreakerThreshold: -1})
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				qctx, qcancel := context.WithTimeout(context.Background(), time.Second)
+				_, _ = w.Query(qctx, client.QueryRequest{DB: "hot", Query: testQuery})
+				qcancel()
+			}
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+
+	// kill -9: no drain, no cleanup — the journal and snapshots must
+	// already be durable.
+	if err := daemon.Process.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	_ = daemon.Wait()
+	close(stop)
+	wg.Wait()
+
+	daemon2 := startDaemon(t, bin, addr, dataDir)
+	defer func() {
+		_ = daemon2.Process.Kill()
+		_, _ = daemon2.Process.Wait()
+	}()
+
+	infos, err := c.ListDBs(ctx)
+	if err != nil {
+		t.Fatalf("listing after restart: %v", err)
+	}
+	if len(infos) != len(names) {
+		t.Fatalf("restart lists %d databases, want %d: %+v", len(infos), len(names), infos)
+	}
+	listed := make(map[string]uint64, len(infos))
+	for _, d := range infos {
+		listed[d.Name] = d.Generation
+	}
+	var maxPreCrash uint64
+	for name, gen := range gens {
+		if listed[name] != gen {
+			t.Errorf("%s restored with generation %d, want pre-crash %d", name, listed[name], gen)
+		}
+		if gen > maxPreCrash {
+			maxPreCrash = gen
+		}
+		resp, err := c.Query(ctx, client.QueryRequest{DB: name, Query: testQuery})
+		if err != nil {
+			t.Errorf("query %s after restart: %v", name, err)
+		} else if !resp.Sat {
+			t.Errorf("query %s after restart: sat=false", name)
+		}
+	}
+
+	// Generation monotonicity across the crash.
+	res, err := c.RegisterDB(ctx, "post", dbText(5))
+	if err != nil {
+		t.Fatalf("register after restart: %v", err)
+	}
+	if res.Generation <= maxPreCrash {
+		t.Errorf("post-restart generation %d not greater than pre-crash max %d",
+			res.Generation, maxPreCrash)
+	}
+
+	// The -check probe agrees the daemon is healthy.
+	out, err := exec.Command(bin, "-addr", addr, "-check").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-check failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "ok:") {
+		t.Errorf("-check output %q does not report ok", out)
+	}
+}
+
+// TestCheckAgainstDeadAddr: -check must exit non-zero when nothing is
+// listening.
+func TestCheckAgainstDeadAddr(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildDaemon(t)
+	addr := freeAddr(t) // reserved then released: nothing listens here
+	cmd := exec.Command(bin, "-addr", addr, "-check")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("-check succeeded against a dead address\n%s", out)
+	}
+}

@@ -1,0 +1,80 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned without touching the network while the
+// breaker is open (or while a half-open probe is already in flight).
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// breaker is a consecutive-failure circuit breaker: `threshold` 5xx-class
+// failures in a row trip it open, every call then fails fast until
+// `cooldown` has elapsed, after which exactly one probe request is let
+// through (half-open). The probe's outcome closes the breaker or re-opens
+// it for another cooldown.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    int // breakerClosed | breakerOpen | breakerHalfOpen
+	consec   int
+	openedAt time.Time
+	probing  bool
+}
+
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// allow reports whether a request may proceed now.
+func (b *breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return ErrCircuitOpen
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	case breakerHalfOpen:
+		if b.probing {
+			return ErrCircuitOpen
+		}
+		b.probing = true
+		return nil
+	default:
+		return nil
+	}
+}
+
+// onSuccess records a non-5xx response: any 2xx–4xx means the server is
+// alive and making decisions, which is what the breaker protects.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.consec = 0
+	b.probing = false
+}
+
+// onFailure records a transport error or 5xx-class response.
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec++
+	if b.state == breakerHalfOpen || b.consec >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		b.consec = 0
+	}
+}

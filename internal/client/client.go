@@ -1,0 +1,397 @@
+// Package client is the fault-tolerant HTTP client for ecrpqd, used by
+// ecrpq-shell's remote mode and the ecrpqd -check probe. It wraps the
+// daemon's JSON API with:
+//
+//   - exponential backoff with full jitter on transient failures
+//     (transport errors, 429, 502, 503, 504), honoring Retry-After;
+//   - a strict idempotency rule: only requests that are safe to repeat
+//     (health, list, query, measures, drop) are retried — registration is
+//     not, because each attempt allocates a generation and invalidates
+//     cached materializations;
+//   - a total retry budget (wall-clock cap across all attempts of one
+//     call) on top of the per-call context deadline;
+//   - a consecutive-failure circuit breaker with a half-open probe, so a
+//     down server costs one failed request per cooldown instead of a
+//     retry storm.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config tunes a Client. The zero value of every field gets a sensible
+// default from New; only BaseURL is required.
+type Config struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8377".
+	BaseURL string
+	// HTTPClient is the transport (default: http.Client with a 2-minute
+	// overall timeout; per-call contexts bound individual requests).
+	HTTPClient *http.Client
+	// MaxRetries is the number of re-attempts after the first try
+	// (default 4).
+	MaxRetries int
+	// BaseDelay seeds the exponential backoff (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep (default 5s).
+	MaxDelay time.Duration
+	// RetryBudget caps the total time spent sleeping between retries of
+	// one call (default 30s).
+	RetryBudget time.Duration
+	// BreakerThreshold is how many consecutive 5xx-class failures trip the
+	// circuit breaker (default 5; negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before letting a
+	// half-open probe through (default 10s).
+	BreakerCooldown time.Duration
+}
+
+// StatusError is a non-2xx daemon response, carrying the HTTP status, the
+// server's error message, and any Retry-After hint.
+type StatusError struct {
+	Code       int
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Code, e.Msg)
+}
+
+// Temporary reports whether the status is a transient condition worth
+// retrying (overload, drain, or an upstream timeout).
+func (e *StatusError) Temporary() bool {
+	switch e.Code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// Client is a fault-tolerant ecrpqd API client. Safe for concurrent use.
+type Client struct {
+	base    string
+	http    *http.Client
+	cfg     Config
+	breaker *breaker
+
+	// Injectable for deterministic tests.
+	rnd   func() float64
+	sleep func(ctx context.Context, d time.Duration) error
+	now   func() time.Time
+
+	mu      sync.Mutex
+	retries uint64 // total retry attempts performed (observability)
+}
+
+// New returns a client for the daemon at cfg.BaseURL.
+func New(cfg Config) *Client {
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 2 * time.Minute}
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.BaseDelay <= 0 {
+		cfg.BaseDelay = 100 * time.Millisecond
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 5 * time.Second
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 30 * time.Second
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 10 * time.Second
+	}
+	now := time.Now
+	c := &Client{
+		base: strings.TrimRight(cfg.BaseURL, "/"),
+		http: cfg.HTTPClient,
+		cfg:  cfg,
+		rnd:  rand.Float64,
+		now:  now,
+		sleep: func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		},
+	}
+	if cfg.BreakerThreshold > 0 {
+		c.breaker = &breaker{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown, now: now}
+	}
+	return c
+}
+
+// Retries returns the total number of retry attempts this client has made
+// (first attempts excluded).
+func (c *Client) Retries() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retries
+}
+
+// backoffDelay computes the attempt'th retry sleep: full jitter over an
+// exponentially growing window, capped at MaxDelay ("Full Jitter" from the
+// AWS architecture blog — the variant that best de-correlates synchronized
+// retry storms).
+func (c *Client) backoffDelay(attempt int) time.Duration {
+	window := c.cfg.BaseDelay << uint(attempt)
+	if window > c.cfg.MaxDelay || window <= 0 {
+		window = c.cfg.MaxDelay
+	}
+	return time.Duration(c.rnd() * float64(window))
+}
+
+// parseRetryAfter reads a Retry-After header (delta-seconds or HTTP-date).
+func parseRetryAfter(h string, now time.Time) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(strings.TrimSpace(h)); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// do performs one API call with the retry/breaker policy. body is re-sent
+// from the byte slice on every attempt; out (when non-nil) receives the
+// decoded 2xx JSON body.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, idempotent bool, out any) error {
+	var slept time.Duration
+	for attempt := 0; ; attempt++ {
+		if c.breaker != nil {
+			if err := c.breaker.allow(); err != nil {
+				return err
+			}
+		}
+		statusErr, transportErr := c.once(ctx, method, path, body, out)
+		if transportErr == nil && statusErr == nil {
+			if c.breaker != nil {
+				c.breaker.onSuccess()
+			}
+			return nil
+		}
+		var retryAfter time.Duration
+		var err error
+		if transportErr != nil {
+			if c.breaker != nil {
+				c.breaker.onFailure()
+			}
+			err = transportErr
+		} else {
+			if c.breaker != nil {
+				if statusErr.Code >= 500 {
+					c.breaker.onFailure()
+				} else {
+					c.breaker.onSuccess()
+				}
+			}
+			err = statusErr
+			retryAfter = statusErr.RetryAfter
+		}
+		retryable := idempotent && attempt < c.cfg.MaxRetries &&
+			(transportErr != nil || statusErr.Temporary())
+		if !retryable || ctx.Err() != nil {
+			return err
+		}
+		delay := c.backoffDelay(attempt)
+		if retryAfter > delay {
+			delay = retryAfter
+		}
+		if slept+delay > c.cfg.RetryBudget {
+			return fmt.Errorf("client: retry budget %s exhausted after %d attempt(s): %w",
+				c.cfg.RetryBudget, attempt+1, err)
+		}
+		if err := c.sleep(ctx, delay); err != nil {
+			return err
+		}
+		slept += delay
+		c.mu.Lock()
+		c.retries++
+		c.mu.Unlock()
+	}
+}
+
+// once performs a single HTTP attempt. Exactly one of the returns is
+// non-nil on failure; (nil, nil) is success with out populated.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (*StatusError, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, fmt.Errorf("client: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("client: reading response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		msg := strings.TrimSpace(string(raw))
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &StatusError{
+			Code:       resp.StatusCode,
+			Msg:        msg,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"), c.now()),
+		}, nil
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return nil, fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return nil, nil
+}
+
+// --- API surface ---
+
+// Health is the GET /healthz body.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Databases     int     `json:"databases"`
+	Inflight      int64   `json:"inflight"`
+}
+
+// Health probes the daemon's liveness. Retried: a starting-up or draining
+// daemon answers eventually/elsewhere.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var h Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, true, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// DBInfo is one row of GET /v1/dbs.
+type DBInfo struct {
+	Name         string    `json:"name"`
+	Generation   uint64    `json:"generation"`
+	Vertices     int       `json:"vertices"`
+	RegisteredAt time.Time `json:"registered_at"`
+}
+
+// ListDBs lists the registered databases. Retried (read-only).
+func (c *Client) ListDBs(ctx context.Context) ([]DBInfo, error) {
+	var out struct {
+		Databases []DBInfo `json:"databases"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/dbs", nil, true, &out); err != nil {
+		return nil, err
+	}
+	return out.Databases, nil
+}
+
+// RegisterResult is the POST /v1/dbs/{name} response.
+type RegisterResult struct {
+	Name       string `json:"name"`
+	Generation uint64 `json:"generation"`
+	Vertices   int    `json:"vertices"`
+	Replaced   bool   `json:"replaced"`
+}
+
+// RegisterDB registers or replaces a database from its text format. NOT
+// retried: each attempt allocates a fresh generation and invalidates
+// cached materializations, so blind re-sends are the caller's decision.
+func (c *Client) RegisterDB(ctx context.Context, name, text string) (*RegisterResult, error) {
+	var out RegisterResult
+	if err := c.do(ctx, http.MethodPost, "/v1/dbs/"+url.PathEscape(name), []byte(text), false, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DropDB removes a database. Retried: DELETE is idempotent (a retry that
+// lands after a success gets a 404, which the caller can treat as done).
+func (c *Client) DropDB(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/dbs/"+url.PathEscape(name), nil, true, nil)
+}
+
+// QueryRequest is the POST /v1/query body.
+type QueryRequest struct {
+	DB        string `json:"db"`
+	Query     string `json:"query"`
+	Strategy  string `json:"strategy,omitempty"`
+	TimeoutMs int64  `json:"timeout_ms,omitempty"`
+}
+
+// QueryResponse mirrors the daemon's success body. Stats stays raw JSON so
+// the client does not depend on the engine's stats shape.
+type QueryResponse struct {
+	Sat       bool              `json:"sat"`
+	Strategy  string            `json:"strategy"`
+	Cache     string            `json:"cache"`
+	QueryHash string            `json:"query_hash"`
+	Nodes     map[string]string `json:"nodes,omitempty"`
+	Paths     map[string]string `json:"paths,omitempty"`
+	Answers   [][]string        `json:"answers,omitempty"`
+	Free      []string          `json:"free,omitempty"`
+	Stats     json.RawMessage   `json:"stats"`
+	ElapsedMs float64           `json:"elapsed_ms"`
+}
+
+// Query evaluates a query. Retried: evaluation is read-only, so repeating
+// a timed-out or shed request is safe.
+func (c *Client) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding query: %w", err)
+	}
+	var out QueryResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/query", body, true, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Measures reports a query's structural measures. Retried (read-only).
+func (c *Client) Measures(ctx context.Context, queryText string) (map[string]any, error) {
+	body, err := json.Marshal(map[string]string{"query": queryText})
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding measures request: %w", err)
+	}
+	var out map[string]any
+	if err := c.do(ctx, http.MethodPost, "/v1/measures", body, true, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,239 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testClient returns a client against url whose sleeps are recorded
+// instead of performed and whose jitter is pinned to the top of the
+// window (rnd = 1 - ε behaves like rnd ≈ 1 for assertions).
+func testClient(url string, cfg Config) (*Client, *[]time.Duration) {
+	cfg.BaseURL = url
+	c := New(cfg)
+	var slept []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return ctx.Err()
+	}
+	c.rnd = func() float64 { return 0.999 }
+	return c, &slept
+}
+
+// flakyHandler fails `failures` times with `code` before succeeding.
+func flakyHandler(failures int32, code int, header http.Header) (*atomic.Int32, http.HandlerFunc) {
+	var calls atomic.Int32
+	return &calls, func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n <= failures {
+			for k, vs := range header {
+				for _, v := range vs {
+					w.Header().Add(k, v)
+				}
+			}
+			w.WriteHeader(code)
+			w.Write([]byte(`{"error":"transient"}`))
+			return
+		}
+		w.Write([]byte(`{"status":"ok","databases":3}`))
+	}
+}
+
+func TestRetryThenSuccess(t *testing.T) {
+	calls, h := flakyHandler(2, http.StatusServiceUnavailable, nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	c, slept := testClient(srv.URL, Config{MaxRetries: 4, BaseDelay: 100 * time.Millisecond})
+	health, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if health.Databases != 3 {
+		t.Errorf("databases=%d, want 3", health.Databases)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want 3 (2 failures + success)", calls.Load())
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*slept))
+	}
+	// Full jitter with rnd≈1: windows are ~100ms then ~200ms.
+	if (*slept)[0] > 100*time.Millisecond || (*slept)[1] > 200*time.Millisecond ||
+		(*slept)[1] <= (*slept)[0] {
+		t.Errorf("backoff not exponential: %v", *slept)
+	}
+	if c.Retries() != 2 {
+		t.Errorf("Retries()=%d, want 2", c.Retries())
+	}
+}
+
+func TestRetryAfterHonored(t *testing.T) {
+	hdr := http.Header{}
+	hdr.Set("Retry-After", "3")
+	_, h := flakyHandler(1, http.StatusTooManyRequests, hdr)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	c, slept := testClient(srv.URL, Config{BaseDelay: time.Millisecond})
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if len(*slept) != 1 || (*slept)[0] < 3*time.Second {
+		t.Errorf("Retry-After: 3 not honored: slept %v", *slept)
+	}
+}
+
+func TestNonIdempotentNotRetried(t *testing.T) {
+	calls, h := flakyHandler(100, http.StatusServiceUnavailable, nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	c, slept := testClient(srv.URL, Config{MaxRetries: 5})
+	_, err := c.RegisterDB(context.Background(), "g", "alphabet a\nu a v\n")
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("err=%v, want StatusError 503", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("register was attempted %d times, want exactly 1", calls.Load())
+	}
+	if len(*slept) != 0 {
+		t.Errorf("register slept %v, want no backoff at all", *slept)
+	}
+}
+
+func TestPermanentErrorNotRetried(t *testing.T) {
+	calls, h := flakyHandler(100, http.StatusNotFound, nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	c, _ := testClient(srv.URL, Config{MaxRetries: 5})
+	_, err := c.ListDBs(context.Background())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("err=%v, want StatusError 404", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("404 retried: %d calls", calls.Load())
+	}
+}
+
+func TestRetryBudgetCapsTotalSleep(t *testing.T) {
+	calls, h := flakyHandler(100, http.StatusServiceUnavailable, nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	c, slept := testClient(srv.URL, Config{
+		MaxRetries: 50, BaseDelay: 100 * time.Millisecond,
+		MaxDelay: 100 * time.Millisecond, RetryBudget: 350 * time.Millisecond,
+	})
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("expected a terminal error once the budget ran out")
+	}
+	var total time.Duration
+	for _, d := range *slept {
+		total += d
+	}
+	if total > 350*time.Millisecond {
+		t.Errorf("slept %v total, budget was 350ms", total)
+	}
+	if calls.Load() > 6 {
+		t.Errorf("server saw %d calls under a 3-sleep budget", calls.Load())
+	}
+}
+
+func TestCircuitBreakerTripsAndRecovers(t *testing.T) {
+	var healthy atomic.Bool
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if healthy.Load() {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`{"error":"boom"}`))
+	}))
+	defer srv.Close()
+
+	now := time.Unix(1000, 0)
+	c, _ := testClient(srv.URL, Config{
+		MaxRetries: 0, BreakerThreshold: 3, BreakerCooldown: 10 * time.Second,
+	})
+	c.now = func() time.Time { return now }
+	c.breaker.now = c.now
+
+	// Three consecutive 500s trip the breaker (500 is not retried: only
+	// 429/502/503/504 are transient).
+	for i := 0; i < 3; i++ {
+		if _, err := c.Health(context.Background()); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	before := calls.Load()
+	if _, err := c.Health(context.Background()); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("breaker not open: err=%v", err)
+	}
+	if calls.Load() != before {
+		t.Error("open breaker still hit the server")
+	}
+
+	// After the cooldown, one half-open probe goes through; its failure
+	// re-opens the breaker immediately.
+	now = now.Add(11 * time.Second)
+	if _, err := c.Health(context.Background()); errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("half-open probe was not allowed")
+	}
+	if _, err := c.Health(context.Background()); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("failed probe did not re-open the breaker: err=%v", err)
+	}
+
+	// Next cooldown: the server has recovered, the probe closes the
+	// breaker, and traffic flows again.
+	healthy.Store(true)
+	now = now.Add(11 * time.Second)
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatalf("probe after recovery: %v", err)
+	}
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatalf("closed breaker refused traffic: %v", err)
+	}
+}
+
+func TestTransportErrorRetriedAndCounted(t *testing.T) {
+	// A server that is immediately closed: every attempt is a transport
+	// error, which is retryable for idempotent calls.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close()
+	c, slept := testClient(url, Config{MaxRetries: 2, BreakerThreshold: -1})
+	_, err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("expected transport error")
+	}
+	if len(*slept) != 2 {
+		t.Errorf("transport errors slept %d times, want 2 (MaxRetries)", len(*slept))
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"5", 5 * time.Second},
+		{" 12 ", 12 * time.Second},
+		{"-3", 0},
+		{"junk", 0},
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{now.Add(-time.Hour).Format(http.TimeFormat), 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.in, now); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

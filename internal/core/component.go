@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"ecrpq/internal/alphabet"
+	"ecrpq/internal/faultinject"
 	"ecrpq/internal/graphdb"
 	"ecrpq/internal/invariant"
 	"ecrpq/internal/query"
@@ -255,6 +256,9 @@ func productSearch(
 		if qi%cancelCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				return -1, nil, nil, err
+			}
+			if err := faultinject.Point("core.budget"); err != nil {
+				return -1, nil, nil, fmt.Errorf("core: product search aborted: %w", err)
 			}
 		}
 		st := states[qi]

@@ -6,6 +6,7 @@ import (
 	"math/bits"
 
 	"ecrpq/internal/alphabet"
+	"ecrpq/internal/faultinject"
 	"ecrpq/internal/graphdb"
 	"ecrpq/internal/invariant"
 )
@@ -207,6 +208,9 @@ func (f *fastProduct) Run(ctx context.Context, srcs []int, accept func(verts []i
 		if qi%cancelCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				return false, err
+			}
+			if err := faultinject.Point("core.budget"); err != nil {
+				return false, fmt.Errorf("core: product search aborted: %w", err)
 			}
 		}
 		key := f.queue[qi]

@@ -1,0 +1,130 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"ecrpq/internal/invariant"
+)
+
+// schedule records the injection decisions of n sequential checks at site.
+func schedule(site string, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = Point(site) != nil
+	}
+	return out
+}
+
+// TestDeterministicSchedule is the core contract: the same seed yields the
+// same per-site fault schedule, and a different seed a different one.
+func TestDeterministicSchedule(t *testing.T) {
+	defer Disable()
+	Enable(42, 0.3)
+	a := schedule("persist.journal.append", 200)
+	Disable()
+	Enable(42, 0.3)
+	b := schedule("persist.journal.append", 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("check %d differs between identical-seed runs", i)
+		}
+	}
+	Disable()
+	Enable(43, 0.3)
+	c := schedule("persist.journal.append", 200)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seed 42 and 43 produced identical 200-check schedules")
+	}
+}
+
+// TestRateEndpointsAndStats checks the rate boundaries and the counters.
+func TestRateEndpointsAndStats(t *testing.T) {
+	defer Disable()
+	Enable(7, 0)
+	for i := 0; i < 100; i++ {
+		if err := Point("x"); err != nil {
+			t.Fatalf("rate 0 injected at check %d: %v", i, err)
+		}
+	}
+	Disable()
+	Enable(7, 1)
+	for i := 0; i < 100; i++ {
+		if err := Point("x"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("rate 1 did not inject at check %d (err=%v)", i, err)
+		}
+	}
+	st := Stats()["x"]
+	if st.Checks != 100 || st.Injected != 100 {
+		t.Errorf("stats = %+v, want 100/100", st)
+	}
+}
+
+// TestSiteOverrideAndUnconfigured checks per-site precedence and that an
+// unconfigured package is inert.
+func TestSiteOverrideAndUnconfigured(t *testing.T) {
+	defer Disable()
+	if Enabled() {
+		t.Fatal("Enabled() before any Enable")
+	}
+	if err := Point("anything"); err != nil {
+		t.Fatalf("unconfigured Point injected: %v", err)
+	}
+	Enable(1, 1)
+	EnableSite("quiet", ModeError, 0)
+	if err := Point("quiet"); err != nil {
+		t.Errorf("site override rate 0 ignored: %v", err)
+	}
+	if err := Point("loud"); !errors.Is(err, ErrInjected) {
+		t.Errorf("default-rate site did not inject: %v", err)
+	}
+}
+
+// TestPanicModeRaisesViolation checks that ModePanic panics through the
+// invariant gateway (so recover-based harnesses can classify it).
+func TestPanicModeRaisesViolation(t *testing.T) {
+	defer Disable()
+	EnableSite("boom", ModePanic, 1)
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("ModePanic did not panic")
+		}
+		var viol *invariant.Violation
+		if err, ok := rec.(error); !ok || !errors.As(err, &viol) {
+			t.Fatalf("panic payload %v is not an invariant.Violation", rec)
+		}
+	}()
+	_ = Point("boom")
+}
+
+// TestConcurrentChecksRace exercises Point from many goroutines so the
+// chaos suite's -race run covers the package's own locking.
+func TestConcurrentChecksRace(t *testing.T) {
+	defer Disable()
+	Enable(99, 0.5)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				_ = Point("racey")
+			}
+		}()
+	}
+	wg.Wait()
+	if st := Stats()["racey"]; st.Checks != 4000 {
+		t.Errorf("checks = %d, want 4000", st.Checks)
+	}
+}

@@ -78,6 +78,17 @@ func (d *DB) Lookup(name string) (int, bool) {
 	return v, ok
 }
 
+// RawVertexName returns the vertex's stored name, "" for anonymous
+// vertices. Unlike VertexName it distinguishes a genuinely anonymous
+// vertex from one literally named "v<id>", which binary codecs
+// (internal/persist) need to round-trip databases exactly.
+func (d *DB) RawVertexName(v int) string {
+	if v >= 0 && v < len(d.names) {
+		return d.names[v]
+	}
+	return ""
+}
+
 // VertexName returns the vertex's name, or "v<id>" if anonymous.
 func (d *DB) VertexName(v int) string {
 	if v >= 0 && v < len(d.names) && d.names[v] != "" {

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -182,7 +183,12 @@ func (l *Loader) walk(root string) ([]string, error) {
 	return out, err
 }
 
-// goFiles lists the non-test .go files of dir, sorted.
+// goFiles lists the non-test .go files of dir that satisfy the default
+// build constraints, sorted. Constraint evaluation (go/build.MatchFile
+// reads //go:build lines and GOOS/GOARCH suffixes) keeps the loader's
+// view of a package identical to `go build`'s — without it, mutually
+// exclusive tag-gated files (e.g. the faultinject enabled/disabled pair)
+// would both load and redeclare each other's symbols.
 func (l *Loader) goFiles(dir string) []string {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -193,6 +199,9 @@ func (l *Loader) goFiles(dir string) []string {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		files = append(files, filepath.Join(dir, name))

@@ -1,0 +1,119 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Journal record format (all integers little-endian):
+//
+//	uint32 payloadLen | uint32 CRC-32C(payload) | payload
+//
+// payload:
+//
+//	byte    op (1 = register, 2 = drop)
+//	uvarint gen
+//	uvarint registeredAt (unix nanoseconds; 0 for drops)
+//	uvarint len(name) | name bytes
+//	op=register only: uvarint len(snapshotFile) | snapshotFile bytes
+//
+// A record is valid only if its full length is present and the checksum
+// matches, so a torn tail (partial write at crash) is detected at the
+// first bad record and everything from there on is discarded.
+const (
+	opRegister = 1
+	opDrop     = 2
+
+	recHeaderLen = 8
+	// maxRecordLen bounds a single record (names and paths are short; this
+	// is purely a corruption guard so a garbage length cannot drive a huge
+	// allocation during replay).
+	maxRecordLen = 1 << 20
+)
+
+// journalRecord is one decoded journal entry.
+type journalRecord struct {
+	op       byte
+	gen      uint64
+	unixNano uint64
+	name     string
+	snapFile string // register records only
+}
+
+// encodeRecord serializes one record, checksum included.
+func encodeRecord(rec journalRecord) []byte {
+	payload := make([]byte, 0, 32+len(rec.name)+len(rec.snapFile))
+	payload = append(payload, rec.op)
+	payload = binary.AppendUvarint(payload, rec.gen)
+	payload = binary.AppendUvarint(payload, rec.unixNano)
+	payload = binary.AppendUvarint(payload, uint64(len(rec.name)))
+	payload = append(payload, rec.name...)
+	if rec.op == opRegister {
+		payload = binary.AppendUvarint(payload, uint64(len(rec.snapFile)))
+		payload = append(payload, rec.snapFile...)
+	}
+	out := make([]byte, 0, recHeaderLen+len(payload))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, crcTable))
+	return append(out, payload...)
+}
+
+// decodePayload parses a checksum-verified payload.
+func decodePayload(payload []byte) (journalRecord, error) {
+	r := &snapReader{data: payload}
+	if len(payload) == 0 {
+		return journalRecord{}, fmt.Errorf("persist: empty journal payload")
+	}
+	rec := journalRecord{op: payload[0]}
+	r.off = 1
+	if rec.op != opRegister && rec.op != opDrop {
+		return journalRecord{}, fmt.Errorf("persist: unknown journal op %d", rec.op)
+	}
+	var err error
+	if rec.gen, err = r.uvarint(); err != nil {
+		return journalRecord{}, err
+	}
+	if rec.unixNano, err = r.uvarint(); err != nil {
+		return journalRecord{}, err
+	}
+	if rec.name, err = r.str(); err != nil {
+		return journalRecord{}, err
+	}
+	if rec.op == opRegister {
+		if rec.snapFile, err = r.str(); err != nil {
+			return journalRecord{}, err
+		}
+	}
+	if r.off != len(payload) {
+		return journalRecord{}, fmt.Errorf("persist: %d trailing bytes in journal payload", len(payload)-r.off)
+	}
+	return rec, nil
+}
+
+// scanJournal decodes records until the first invalid one, returning the
+// valid records and the byte offset of the last valid record's end — the
+// truncation point for a torn tail.
+func scanJournal(data []byte) (recs []journalRecord, validEnd int) {
+	off := 0
+	for {
+		if len(data)-off < recHeaderLen {
+			return recs, off
+		}
+		plen := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if plen > maxRecordLen || int(plen) > len(data)-off-recHeaderLen {
+			return recs, off
+		}
+		payload := data[off+recHeaderLen : off+recHeaderLen+int(plen)]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return recs, off
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return recs, off
+		}
+		recs = append(recs, rec)
+		off += recHeaderLen + int(plen)
+	}
+}

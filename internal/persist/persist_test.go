@@ -1,0 +1,289 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ecrpq/internal/alphabet"
+	"ecrpq/internal/graphdb"
+)
+
+// buildDB makes a deterministic database with named and anonymous
+// vertices: n named vertices in an a/b ring plus one anonymous vertex.
+func buildDB(t testing.TB, n int) *graphdb.DB {
+	t.Helper()
+	db := graphdb.New(alphabet.MustNew("a", "b"))
+	for i := 0; i < n; i++ {
+		db.MustAddVertex(fmt.Sprintf("n%d", i))
+	}
+	anon := db.MustAddVertex("")
+	for i := 0; i < n; i++ {
+		db.MustAddEdge(i, 0, (i+1)%n)
+		db.MustAddEdge(i, 1, (i*3+1)%n)
+	}
+	db.MustAddEdge(anon, 0, 0)
+	return db
+}
+
+// sameDB compares two databases structurally (alphabet, raw names, edges).
+func sameDB(a, b *graphdb.DB) error {
+	if got, want := a.Alphabet().String(), b.Alphabet().String(); got != want {
+		return fmt.Errorf("alphabet %q != %q", got, want)
+	}
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return fmt.Errorf("size %d/%d != %d/%d", a.NumVertices(), a.NumEdges(), b.NumVertices(), b.NumEdges())
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		if a.RawVertexName(v) != b.RawVertexName(v) {
+			return fmt.Errorf("vertex %d name %q != %q", v, a.RawVertexName(v), b.RawVertexName(v))
+		}
+		for _, e := range a.Out(v) {
+			if !b.HasEdge(v, e.Label, e.To) {
+				return fmt.Errorf("edge (%d,%d,%d) missing", v, e.Label, e.To)
+			}
+		}
+	}
+	return nil
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := buildDB(t, 17)
+	enc := EncodeSnapshot(db)
+	back, err := DecodeSnapshot(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := sameDB(db, back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	// Deterministic encoding: same database, same bytes.
+	if string(enc) != string(EncodeSnapshot(back)) {
+		t.Error("re-encoding the decoded database changed the bytes")
+	}
+}
+
+func TestSnapshotEmptyDB(t *testing.T) {
+	db := graphdb.New(alphabet.MustNew("x"))
+	back, err := DecodeSnapshot(EncodeSnapshot(db))
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if back.NumVertices() != 0 || back.NumEdges() != 0 {
+		t.Errorf("empty database round-tripped to %d/%d", back.NumVertices(), back.NumEdges())
+	}
+}
+
+// TestSnapshotCorruptionDetected flips every byte position in turn: each
+// mutation must produce a decode error (checksum or structural), never a
+// panic and never a silently different database.
+func TestSnapshotCorruptionDetected(t *testing.T) {
+	enc := EncodeSnapshot(buildDB(t, 5))
+	for i := range enc {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0x41
+		if db, err := DecodeSnapshot(mut); err == nil {
+			// A flip inside the checksum field itself cannot collide with
+			// CRC-32C of the same body; anything else decoding cleanly is a
+			// corruption miss.
+			t.Fatalf("byte %d corrupted silently (decoded %d vertices)", i, db.NumVertices())
+		}
+	}
+	for _, cut := range []int{0, 1, 5, 9, len(enc) / 2, len(enc) - 1} {
+		if _, err := DecodeSnapshot(enc[:cut]); err == nil {
+			t.Errorf("truncation to %d bytes decoded cleanly", cut)
+		}
+	}
+}
+
+func TestStoreReplayRegisterReplaceDrop(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	dbA, dbB, dbC := buildDB(t, 3), buildDB(t, 5), buildDB(t, 7)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(st.AppendRegister("alpha", 1, now, dbA))
+	must(st.AppendRegister("beta", 2, now, dbB))
+	must(st.AppendRegister("alpha", 3, now, dbC)) // replace
+	must(st.AppendRegister("gamma", 4, now, dbA))
+	must(st.AppendDrop("gamma", 4))
+	must(st.Close())
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if len(st2.Warnings()) != 0 {
+		t.Errorf("clean replay produced warnings: %v", st2.Warnings())
+	}
+	if st2.MaxGen() != 4 {
+		t.Errorf("MaxGen=%d, want 4", st2.MaxGen())
+	}
+	entries := st2.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("replayed %d entries, want 2 (alpha replaced, gamma dropped)", len(entries))
+	}
+	byName := map[string]Entry{}
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	if e := byName["alpha"]; e.Gen != 3 {
+		t.Errorf("alpha gen=%d, want 3 (the replacement)", e.Gen)
+	} else if err := sameDB(e.DB, dbC); err != nil {
+		t.Errorf("alpha content: %v", err)
+	}
+	if e := byName["beta"]; e.Gen != 2 {
+		t.Errorf("beta gen=%d, want 2", e.Gen)
+	}
+
+	// Dropped and replaced snapshots must be garbage-collected.
+	snaps, _ := filepath.Glob(filepath.Join(dir, "*.snap"))
+	if len(snaps) != 2 {
+		t.Errorf("%d snapshot files after GC, want 2: %v", len(snaps), snaps)
+	}
+}
+
+// TestStoreTornTailTruncated simulates a crash mid-append: garbage (and a
+// valid-looking but checksum-bad prefix) after the last good record must
+// be truncated away, losing only the torn record.
+func TestStoreTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendRegister("keep", 1, time.Now(), buildDB(t, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jpath := filepath.Join(dir, journalName)
+	good, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn record: a full record for "lost" with its last 3 bytes missing.
+	torn := encodeRecord(journalRecord{op: opRegister, gen: 2, name: "lost", snapFile: "db-x.snap"})
+	f, err := os.OpenFile(jpath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn[:len(torn)-3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("recovery from torn tail failed: %v", err)
+	}
+	defer st2.Close()
+	if len(st2.Entries()) != 1 || st2.Entries()[0].Name != "keep" {
+		t.Fatalf("entries after torn-tail recovery: %+v", st2.Entries())
+	}
+	found := false
+	for _, w := range st2.Warnings() {
+		if strings.Contains(w, "torn tail") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no torn-tail warning in %v", st2.Warnings())
+	}
+	if after, _ := os.ReadFile(jpath); len(after) != len(good) {
+		t.Errorf("journal is %d bytes after recovery, want truncated back to %d", len(after), len(good))
+	}
+	// The repaired journal must accept new appends and replay cleanly.
+	if err := st2.AppendRegister("fresh", 5, time.Now(), buildDB(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	st3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if len(st3.Entries()) != 2 || st3.MaxGen() != 5 {
+		t.Errorf("after repair+append: %d entries, MaxGen=%d; want 2 entries, MaxGen 5", len(st3.Entries()), st3.MaxGen())
+	}
+}
+
+// TestStoreCorruptSnapshotSalvage: a corrupt snapshot loses that database
+// only; the rest of the registry survives with a warning.
+func TestStoreCorruptSnapshotSalvage(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendRegister("ok", 1, time.Now(), buildDB(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendRegister("bad", 2, time.Now(), buildDB(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if err := os.WriteFile(filepath.Join(dir, snapFileName(2)), []byte("ECSNgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if len(st2.Entries()) != 1 || st2.Entries()[0].Name != "ok" {
+		t.Fatalf("entries=%+v, want just 'ok'", st2.Entries())
+	}
+	if len(st2.Warnings()) == 0 {
+		t.Error("corrupt snapshot produced no warning")
+	}
+	if st2.MaxGen() != 2 {
+		t.Errorf("MaxGen=%d, want 2 (corrupt registration still reserves its generation)", st2.MaxGen())
+	}
+}
+
+// BenchmarkRecovery measures Open (journal replay + snapshot decode) as a
+// function of database size — the EXPERIMENTS.md A7 recovery-time numbers.
+func BenchmarkRecovery(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("vertices=%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			st, err := Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i, name := range []string{"g0", "g1", "g2"} {
+				if err := st.AppendRegister(name, uint64(i+1), time.Now(), buildDB(b, n)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := Open(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(st.Entries()) != 3 {
+					b.Fatalf("replayed %d entries", len(st.Entries()))
+				}
+				st.Close()
+			}
+		})
+	}
+}

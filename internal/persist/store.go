@@ -1,0 +1,275 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ecrpq/internal/faultinject"
+	"ecrpq/internal/graphdb"
+)
+
+// journalName is the registry journal's file name inside the data dir.
+const journalName = "registry.journal"
+
+// Entry is one live database reconstructed by replay (or about to be
+// persisted).
+type Entry struct {
+	Name         string
+	Gen          uint64
+	RegisteredAt time.Time
+	DB           *graphdb.DB
+}
+
+// Store is a crash-safe registry persistence layer over one data
+// directory. Open replays the journal (truncating a torn tail) and loads
+// the live snapshots; AppendRegister/AppendDrop durably record subsequent
+// mutations. Methods are safe for concurrent use, though the server
+// serializes mutations anyway.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	journal *os.File
+	closed  bool
+
+	entries  []Entry
+	maxGen   uint64
+	warnings []string
+}
+
+// Open prepares dir (creating it if needed), recovers the journal —
+// truncating any torn final record — loads the snapshots of the live
+// entries, and garbage-collects snapshot files no live entry references.
+// Recoverable oddities (torn tail, missing or corrupt snapshot) are
+// reported via Warnings, not errors: recovery salvages everything that is
+// intact rather than refusing to start.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating data dir: %w", err)
+	}
+	s := &Store{dir: dir}
+
+	jpath := filepath.Join(dir, journalName)
+	data, err := os.ReadFile(jpath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("persist: reading journal: %w", err)
+	}
+	recs, validEnd := scanJournal(data)
+	if validEnd < len(data) {
+		s.warnings = append(s.warnings, fmt.Sprintf(
+			"journal: discarded %d bytes of torn tail after %d valid record(s)", len(data)-validEnd, len(recs)))
+		if err := os.Truncate(jpath, int64(validEnd)); err != nil {
+			return nil, fmt.Errorf("persist: truncating torn journal tail: %w", err)
+		}
+	}
+
+	// Fold the records into the live set. Generations are globally
+	// monotonic, so "newest wins" is simply "highest generation wins"; a
+	// drop removes the entry only if it does not postdate the drop.
+	type liveRec struct {
+		gen      uint64
+		unixNano uint64
+		snapFile string
+	}
+	live := make(map[string]liveRec)
+	for _, rec := range recs {
+		if rec.gen > s.maxGen {
+			s.maxGen = rec.gen
+		}
+		switch rec.op {
+		case opRegister:
+			if cur, ok := live[rec.name]; !ok || rec.gen > cur.gen {
+				live[rec.name] = liveRec{gen: rec.gen, unixNano: rec.unixNano, snapFile: rec.snapFile}
+			}
+		case opDrop:
+			if cur, ok := live[rec.name]; ok && cur.gen <= rec.gen {
+				delete(live, rec.name)
+			}
+		}
+	}
+
+	referenced := make(map[string]bool, len(live))
+	for name, lr := range live {
+		referenced[lr.snapFile] = true
+		raw, err := os.ReadFile(filepath.Join(dir, lr.snapFile))
+		if err != nil {
+			s.warnings = append(s.warnings, fmt.Sprintf("dropping %q: snapshot %s unreadable: %v", name, lr.snapFile, err))
+			continue
+		}
+		db, err := DecodeSnapshot(raw)
+		if err != nil {
+			s.warnings = append(s.warnings, fmt.Sprintf("dropping %q: snapshot %s corrupt: %v", name, lr.snapFile, err))
+			continue
+		}
+		s.entries = append(s.entries, Entry{
+			Name:         name,
+			Gen:          lr.gen,
+			RegisteredAt: time.Unix(0, int64(lr.unixNano)),
+			DB:           db,
+		})
+	}
+	sort.Slice(s.entries, func(i, j int) bool { return s.entries[i].Gen < s.entries[j].Gen })
+
+	// GC: snapshots of replaced/dropped registrations and temp files from
+	// interrupted writes. Failures here cost disk, not correctness.
+	if dents, err := os.ReadDir(dir); err == nil {
+		for _, de := range dents {
+			n := de.Name()
+			stale := (strings.HasSuffix(n, ".snap") && !referenced[n]) || strings.HasPrefix(n, ".tmp-")
+			if stale {
+				_ = os.Remove(filepath.Join(dir, n))
+			}
+		}
+	}
+
+	j, err := os.OpenFile(jpath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: opening journal for append: %w", err)
+	}
+	s.journal = j
+	return s, nil
+}
+
+// Dir returns the data directory the store manages.
+func (s *Store) Dir() string { return s.dir }
+
+// Entries returns the live databases reconstructed by Open, ordered by
+// generation.
+func (s *Store) Entries() []Entry { return s.entries }
+
+// MaxGen returns the highest generation seen anywhere in the journal
+// (including replaced and dropped registrations), the floor for the
+// registry's counter after a restart.
+func (s *Store) MaxGen() uint64 { return s.maxGen }
+
+// Warnings returns human-readable notes about what recovery had to repair
+// or discard (torn journal tail, unreadable snapshots).
+func (s *Store) Warnings() []string { return s.warnings }
+
+// snapFileName names the snapshot for a generation. Generations are
+// globally unique, so the name is too.
+func snapFileName(gen uint64) string { return fmt.Sprintf("db-%016x.snap", gen) }
+
+// AppendRegister durably records a registration: snapshot first (temp
+// file, fsync, atomic rename, directory fsync), then the journal record
+// referencing it (append, fsync). On error the registration is not
+// recorded; any temp file is cleaned up on the next Open.
+func (s *Store) AppendRegister(name string, gen uint64, registeredAt time.Time, db *graphdb.DB) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("persist: store is closed")
+	}
+	snapFile := snapFileName(gen)
+	if err := s.writeSnapshot(snapFile, gen, db); err != nil {
+		return err
+	}
+	rec := journalRecord{
+		op:       opRegister,
+		gen:      gen,
+		unixNano: uint64(registeredAt.UnixNano()),
+		name:     name,
+		snapFile: snapFile,
+	}
+	return s.appendRecord(rec)
+}
+
+// AppendDrop durably records that the registration with the given
+// generation was dropped.
+func (s *Store) AppendDrop(name string, gen uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("persist: store is closed")
+	}
+	if err := s.appendRecord(journalRecord{op: opDrop, gen: gen, name: name}); err != nil {
+		return err
+	}
+	// The snapshot is now unreferenced; best-effort removal (Open GCs
+	// leftovers).
+	_ = os.Remove(filepath.Join(s.dir, snapFileName(gen)))
+	return nil
+}
+
+// writeSnapshot writes the encoded database to snapFile atomically.
+func (s *Store) writeSnapshot(snapFile string, gen uint64, db *graphdb.DB) error {
+	if err := faultinject.Point("persist.snapshot.write"); err != nil {
+		return fmt.Errorf("persist: writing snapshot: %w", err)
+	}
+	tmp := filepath.Join(s.dir, fmt.Sprintf(".tmp-%016x", gen))
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: creating snapshot temp file: %w", err)
+	}
+	if _, err := f.Write(EncodeSnapshot(db)); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("persist: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("persist: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("persist: closing snapshot: %w", err)
+	}
+	if err := faultinject.Point("persist.snapshot.rename"); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("persist: publishing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapFile)); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("persist: publishing snapshot: %w", err)
+	}
+	s.syncDir()
+	return nil
+}
+
+// appendRecord writes one journal record and fsyncs. The record bytes go
+// out in a single Write so the only partial-write shape a crash can leave
+// is a torn tail, which replay truncates.
+func (s *Store) appendRecord(rec journalRecord) error {
+	if err := faultinject.Point("persist.journal.append"); err != nil {
+		return fmt.Errorf("persist: appending journal record: %w", err)
+	}
+	if _, err := s.journal.Write(encodeRecord(rec)); err != nil {
+		return fmt.Errorf("persist: appending journal record: %w", err)
+	}
+	if err := faultinject.Point("persist.journal.sync"); err != nil {
+		return fmt.Errorf("persist: syncing journal: %w", err)
+	}
+	if err := s.journal.Sync(); err != nil {
+		return fmt.Errorf("persist: syncing journal: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs the data directory so a rename survives power loss.
+// Errors are ignored: directory fsync is unsupported on some filesystems,
+// and the fallback is merely the pre-rename durability level.
+func (s *Store) syncDir() {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// Close releases the journal handle. The store must not be used after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.journal.Close()
+}

@@ -21,6 +21,8 @@ import (
 	"hash/maphash"
 	"sync"
 	"sync/atomic"
+
+	"ecrpq/internal/faultinject"
 )
 
 // Key identifies one cached value.
@@ -123,6 +125,13 @@ func (c *Cache) shardFor(k Key) *shard {
 
 // Get returns the cached value for k, marking it most recently used.
 func (c *Cache) Get(k Key) (any, bool) {
+	if faultinject.Point("plancache.get") != nil {
+		// An injected fault is a forced miss: the caller recomputes, which
+		// must always be correct (the cache is an optimization, never the
+		// source of truth).
+		c.misses.Add(1)
+		return nil, false
+	}
 	s := c.shardFor(k)
 	s.mu.Lock()
 	e, ok := s.items[k]
@@ -147,6 +156,11 @@ func (c *Cache) Get(k Key) (any, bool) {
 // shard budget is rejected (cached nothing, counted in Stats.Rejected).
 // Storing under an existing key replaces the value.
 func (c *Cache) Put(k Key, v any, sizeBytes int) {
+	if faultinject.Point("plancache.put") != nil {
+		// An injected fault drops the insert, as if it never fit.
+		c.rejected.Add(1)
+		return
+	}
 	size := int64(sizeBytes)
 	if size < 1 {
 		size = 1

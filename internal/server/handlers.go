@@ -12,6 +12,7 @@ import (
 
 	"ecrpq/internal/core"
 	"ecrpq/internal/graphdb"
+	"ecrpq/internal/invariant"
 	"ecrpq/internal/plancache"
 	"ecrpq/internal/query"
 )
@@ -61,6 +62,14 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
 }
 
+// writeDraining answers a request arriving during shutdown: 503 with a
+// Retry-After hint so retrying clients (internal/client honors the
+// header) back off instead of hammering a server that is going away.
+func writeDraining(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "server is draining")
+}
+
 // readBody reads the whole request body, enforcing maxBodyBytes via
 // http.MaxBytesReader so an oversized body is a 413 error rather than a
 // silent truncation (a truncated database landing on a line boundary
@@ -86,7 +95,7 @@ func readBody(w http.ResponseWriter, r *http.Request) (body []byte, ok bool) {
 // registration of that name.
 func (s *Server) handleRegisterDB(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeDraining(w)
 		return
 	}
 	name := r.PathValue("name")
@@ -103,13 +112,16 @@ func (s *Server) handleRegisterDB(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	entry, replacedGen, replaced := s.dbs.register(name, db)
-	invalidated := 0
-	if replaced {
-		invalidated = s.cache.InvalidateGeneration(replacedGen)
+	entry, replaced, err := s.doRegister(name, db)
+	if err != nil {
+		// The registration is not durable, so it did not happen: memory
+		// was left untouched and the client must retry or give up.
+		s.cfg.Logger.Printf("event=register_db_failed name=%s err=%q", name, err)
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
 	}
-	s.cfg.Logger.Printf("event=register_db name=%s gen=%d vertices=%d replaced=%t cache_invalidated=%d",
-		name, entry.gen, db.NumVertices(), replaced, invalidated)
+	s.cfg.Logger.Printf("event=register_db name=%s gen=%d vertices=%d replaced=%t",
+		name, entry.gen, db.NumVertices(), replaced)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"name":       name,
 		"generation": entry.gen,
@@ -119,16 +131,21 @@ func (s *Server) handleRegisterDB(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleDropDB removes a database and its cached materializations.
+// handleDropDB removes a database and its cached materializations,
+// journaling the drop first when persistence is attached.
 func (s *Server) handleDropDB(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	gen, ok := s.dbs.drop(name)
+	gen, ok, err := s.doDrop(name)
+	if err != nil {
+		s.cfg.Logger.Printf("event=drop_db_failed name=%s err=%q", name, err)
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no database %q", name))
 		return
 	}
-	invalidated := s.cache.InvalidateGeneration(gen)
-	s.cfg.Logger.Printf("event=drop_db name=%s gen=%d cache_invalidated=%d", name, gen, invalidated)
+	s.cfg.Logger.Printf("event=drop_db name=%s gen=%d", name, gen)
 	writeJSON(w, http.StatusOK, map[string]any{"dropped": name, "generation": gen})
 }
 
@@ -193,7 +210,7 @@ func (s *Server) handleMeasures(w http.ResponseWriter, r *http.Request) {
 // plan-cache reuse under a per-request deadline.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeDraining(w)
 		return
 	}
 	var req queryRequest
@@ -249,6 +266,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	done := make(chan outcome, 1)
 	admitted := s.pool.trySubmit(func() {
+		// Pool workers run outside wrap's recovery (the request goroutine
+		// is parked on the done channel), so an invariant violation raised
+		// during evaluation must be caught here or it kills the process.
+		// Anything that is not an invariant violation is a genuine bug and
+		// re-raised, same policy as wrap.
+		defer func() {
+			if rec := recover(); rec != nil {
+				var viol *invariant.Violation
+				if err, ok := rec.(error); ok && errors.As(err, &viol) {
+					s.mPanics.Inc()
+					s.cfg.Logger.Printf("event=panic_recovered where=pool_worker violation=%q", viol.Error())
+					done <- outcome{nil, viol}
+					return
+				}
+				panic(rec)
+			}
+		}()
 		resp, err := s.evaluate(ctx, entry, q, strat, stratName)
 		done <- outcome{resp, err}
 	})
@@ -269,6 +303,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 			if errors.Is(out.err, context.Canceled) {
 				writeError(w, statusClientClosedRequest, "request cancelled")
+				return
+			}
+			var viol *invariant.Violation
+			if errors.As(out.err, &viol) {
+				writeError(w, http.StatusInternalServerError,
+					"internal invariant violation: "+viol.Msg)
 				return
 			}
 			s.mErrors.Inc()

@@ -1,6 +1,12 @@
 package server
 
-import "sync"
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"ecrpq/internal/faultinject"
+)
 
 // workerPool is the admission-control stage: a fixed set of worker
 // goroutines consuming a bounded queue. Evaluation work is CPU-bound, so
@@ -12,6 +18,7 @@ type workerPool struct {
 	closed bool
 	queue  chan func()
 	wg     sync.WaitGroup
+	active atomic.Int64
 }
 
 // newWorkerPool starts `workers` goroutines behind a queue of the given
@@ -29,7 +36,9 @@ func newWorkerPool(workers, depth int) *workerPool {
 		go func() {
 			defer p.wg.Done()
 			for job := range p.queue {
+				p.active.Add(1)
 				job()
+				p.active.Add(-1)
 			}
 		}()
 	}
@@ -45,6 +54,9 @@ func (p *workerPool) trySubmit(job func()) bool {
 	if p.closed {
 		return false
 	}
+	if faultinject.Point("server.pool.submit") != nil {
+		return false
+	}
 	select {
 	case p.queue <- job:
 		return true
@@ -56,11 +68,31 @@ func (p *workerPool) trySubmit(job func()) bool {
 // close stops admission, lets the workers drain every queued job, and
 // waits for them to exit.
 func (p *workerPool) close() {
+	p.closeCtx(context.Background())
+}
+
+// closeCtx is close with a deadline: if the workers have not drained by
+// ctx's expiry it gives up waiting and reports how many jobs were still
+// running. The workers themselves are left to finish in the background —
+// a wedged job cannot be killed, only abandoned — so the caller can
+// complete process shutdown instead of hanging forever.
+func (p *workerPool) closeCtx(ctx context.Context) (stuck int64, err error) {
 	p.mu.Lock()
 	if !p.closed {
 		p.closed = true
 		close(p.queue)
 	}
 	p.mu.Unlock()
-	p.wg.Wait()
+
+	drained := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return 0, nil
+	case <-ctx.Done():
+		return p.active.Load(), ctx.Err()
+	}
 }

@@ -38,15 +38,47 @@ func newDBRegistry() *dbRegistry {
 // returns the new entry and, when a previous entry was replaced, its
 // generation (for cache invalidation).
 func (r *dbRegistry) register(name string, db *graphdb.DB) (entry *dbEntry, replacedGen uint64, replaced bool) {
+	return r.installWithGen(name, db, r.allocGen(), time.Now())
+}
+
+// allocGen reserves the next generation. Splitting allocation from
+// installation lets the persistence layer write the journal record (which
+// needs the generation) before the entry becomes visible to queries, so
+// memory never claims a registration that disk could lose.
+func (r *dbRegistry) allocGen() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextGen++
+	return r.nextGen
+}
+
+// installWithGen installs db under name with a pre-allocated (or
+// journal-replayed) generation. The counter is bumped to at least gen so
+// generations stay globally monotonic across restarts — which is what
+// keeps plan-cache invalidation correct after a reload.
+func (r *dbRegistry) installWithGen(name string, db *graphdb.DB, gen uint64, at time.Time) (entry *dbEntry, replacedGen uint64, replaced bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if old, ok := r.entries[name]; ok {
 		replacedGen, replaced = old.gen, true
 	}
-	r.nextGen++
-	entry = &dbEntry{name: name, db: db, gen: r.nextGen, registeredAt: time.Now()}
+	if gen > r.nextGen {
+		r.nextGen = gen
+	}
+	entry = &dbEntry{name: name, db: db, gen: gen, registeredAt: at}
 	r.entries[name] = entry
 	return entry, replacedGen, replaced
+}
+
+// bumpGen raises the generation floor (to a journal's MaxGen at restore
+// time) so generations of dropped pre-crash registrations are never
+// reissued.
+func (r *dbRegistry) bumpGen(floor uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if floor > r.nextGen {
+		r.nextGen = floor
+	}
 }
 
 // get returns the current entry for name.

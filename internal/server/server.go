@@ -26,12 +26,14 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"ecrpq/internal/core"
 	"ecrpq/internal/graphdb"
 	"ecrpq/internal/invariant"
+	"ecrpq/internal/persist"
 	"ecrpq/internal/plancache"
 	"ecrpq/internal/server/metrics"
 )
@@ -100,6 +102,14 @@ type Server struct {
 	started  time.Time
 	draining atomic.Bool
 	inflight atomic.Int64
+
+	// Persistence. store is nil when the daemon runs in-memory only.
+	// persistMu serializes registry mutations with their durability
+	// writes so the journal order matches the order mutations became
+	// visible — without it two concurrent replaces of one name could
+	// commit to disk in the opposite order they won the registry.
+	store     *persist.Store
+	persistMu sync.Mutex
 
 	// Metrics (all owned by reg; cached here to avoid name lookups on the
 	// hot path).
@@ -178,13 +188,89 @@ func (s *Server) RegisterDB(name string, db *graphdb.DB) error {
 	if name == "" {
 		return fmt.Errorf("server: database name required")
 	}
-	entry, replacedGen, replaced := s.dbs.register(name, db)
-	if replaced {
-		s.cache.InvalidateGeneration(replacedGen)
+	entry, replaced, err := s.doRegister(name, db)
+	if err != nil {
+		return err
 	}
 	s.cfg.Logger.Printf("event=register_db name=%s gen=%d vertices=%d replaced=%t",
 		name, entry.gen, db.NumVertices(), replaced)
 	return nil
+}
+
+// AttachStore wires a persistence store into the server: the store's
+// replayed entries are installed in the registry (with their pre-crash
+// generations), the generation counter is floored at the journal's
+// maximum so dropped generations are never reissued, and every later
+// register/replace/drop is made durable before it becomes visible.
+// Call before serving traffic. Returns the number of databases restored.
+func (s *Server) AttachStore(st *persist.Store) (int, error) {
+	if st == nil {
+		return 0, fmt.Errorf("server: nil store")
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if s.store != nil {
+		return 0, fmt.Errorf("server: a store is already attached")
+	}
+	for _, w := range st.Warnings() {
+		s.cfg.Logger.Printf("event=persist_warning msg=%q", w)
+	}
+	entries := st.Entries()
+	for _, e := range entries {
+		s.dbs.installWithGen(e.Name, e.DB, e.Gen, e.RegisteredAt)
+		s.cfg.Logger.Printf("event=restore_db name=%s gen=%d vertices=%d",
+			e.Name, e.Gen, e.DB.NumVertices())
+	}
+	s.dbs.bumpGen(st.MaxGen())
+	s.store = st
+	return len(entries), nil
+}
+
+// doRegister is the single register/replace path: allocate a generation,
+// make the registration durable (when a store is attached), and only then
+// install it in the registry and invalidate the replaced generation's
+// cache entries. A persistence failure leaves memory untouched — the
+// invariant is memory ⊆ disk, so a crash can lose nothing the server
+// ever acknowledged.
+func (s *Server) doRegister(name string, db *graphdb.DB) (entry *dbEntry, replaced bool, err error) {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	gen := s.dbs.allocGen()
+	at := time.Now()
+	if s.store != nil {
+		if err := s.store.AppendRegister(name, gen, at, db); err != nil {
+			return nil, false, fmt.Errorf("persisting %q: %w", name, err)
+		}
+	}
+	entry, replacedGen, replaced := s.dbs.installWithGen(name, db, gen, at)
+	if replaced {
+		s.cache.InvalidateGeneration(replacedGen)
+	}
+	return entry, replaced, nil
+}
+
+// doDrop is the durable counterpart of registry.drop: the drop record is
+// journaled first, then the entry is removed and its materializations
+// invalidated. Dropping a name that is not registered is not an error
+// worth journaling, so existence is checked first under persistMu (which
+// all mutations hold, making check-then-act safe).
+func (s *Server) doDrop(name string) (gen uint64, ok bool, err error) {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	e, exists := s.dbs.get(name)
+	if !exists {
+		return 0, false, nil
+	}
+	if s.store != nil {
+		if err := s.store.AppendDrop(name, e.gen); err != nil {
+			return 0, false, fmt.Errorf("persisting drop of %q: %w", name, err)
+		}
+	}
+	gen, ok = s.dbs.drop(name)
+	if ok {
+		s.cache.InvalidateGeneration(gen)
+	}
+	return gen, ok, nil
 }
 
 // CacheStats snapshots the plan cache counters.
@@ -194,10 +280,13 @@ func (s *Server) CacheStats() plancache.Stats { return s.cache.Stats() }
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Shutdown drains the daemon: new query and registration requests are
-// refused with 503, in-flight requests run to completion (bounded by
-// ctx), and the worker pool is stopped. The HTTP listener should be shut
-// down first (http.Server.Shutdown) or concurrently; Shutdown is
-// idempotent.
+// refused with 503 (carrying Retry-After so well-behaved clients back
+// off to a healthy replica), in-flight requests run to completion
+// (bounded by ctx), and the worker pool is stopped. The pool stop is
+// also bounded by ctx — a wedged evaluation job cannot keep the process
+// alive forever; it is abandoned and the stuck count logged. The HTTP
+// listener should be shut down first (http.Server.Shutdown) or
+// concurrently; Shutdown is idempotent.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	tick := time.NewTicker(5 * time.Millisecond)
@@ -205,12 +294,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	for s.inflight.Load() > 0 {
 		select {
 		case <-ctx.Done():
+			// Still stop pool admission before giving up, so abandoned
+			// requests cannot enqueue more work into a dying process.
+			stuck, _ := s.pool.closeCtx(ctx)
+			s.cfg.Logger.Printf("event=shutdown drained=false inflight=%d stuck_workers=%d",
+				s.inflight.Load(), stuck)
 			return fmt.Errorf("server: shutdown abandoned %d in-flight request(s): %w",
 				s.inflight.Load(), ctx.Err())
 		case <-tick.C:
 		}
 	}
-	s.pool.close()
+	if stuck, err := s.pool.closeCtx(ctx); err != nil {
+		s.cfg.Logger.Printf("event=shutdown drained=false stuck_workers=%d", stuck)
+		return fmt.Errorf("server: shutdown abandoned %d wedged worker(s): %w", stuck, err)
+	}
 	s.cfg.Logger.Printf("event=shutdown drained=true")
 	return nil
 }
@@ -263,6 +360,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		status = "draining"
 		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, code, map[string]any{
 		"status":         status,
