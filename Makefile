@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint vet fuzz-smoke bench server-test chaos ci
+.PHONY: all build test race lint vet fuzz-smoke bench server-test chaos trace-gate ci
 
 all: build test
 
@@ -15,7 +15,7 @@ race:
 	$(GO) test -race ./...
 
 ## lint runs the repo-specific analyzers (panicfree, alphabetguard,
-## statebounds, errcheck-strict). Exit 0 means the tree is clean.
+## statebounds, errcheck-strict, spanend). Exit 0 means the tree is clean.
 lint:
 	$(GO) run ./cmd/ecrpq-lint ./...
 
@@ -39,6 +39,16 @@ bench:
 server-test:
 	$(GO) test -race ./internal/server/... ./internal/plancache/ ./internal/core/ ./internal/query/
 
+## trace-gate runs the trace suite under the race detector and fails the
+## build if the disabled-path benchmark reports any allocation: tracing
+## must cost ~zero when off.
+trace-gate:
+	$(GO) test -race -count=1 ./internal/trace/
+	@out="$$($(GO) test -run '^$$' -bench BenchmarkTraceDisabled -benchmem ./internal/trace/)"; \
+	echo "$$out"; \
+	echo "$$out" | grep -Eq 'BenchmarkTraceDisabled.*[[:space:]]0 allocs/op' || \
+		{ echo "trace-gate: BenchmarkTraceDisabled allocates on the disabled path"; exit 1; }
+
 ## chaos rebuilds the fault-injection build (-tags faultinject) and runs
 ## the deterministic chaos suite under the race detector: injected
 ## persist/cache/pool/core faults must surface as typed errors with no
@@ -47,5 +57,5 @@ chaos:
 	$(GO) test -race -tags faultinject ./internal/faultinject/ ./internal/persist/ ./internal/server/... ./internal/client/
 
 ## ci mirrors the GitHub Actions gate: build, vet, lint, tests, race
-## tests, chaos suite.
-ci: build vet lint test race server-test chaos
+## tests, chaos suite, trace zero-alloc gate.
+ci: build vet lint test race server-test chaos trace-gate

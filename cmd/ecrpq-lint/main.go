@@ -26,6 +26,7 @@ import (
 	"ecrpq/internal/lint/alphabetguard"
 	"ecrpq/internal/lint/errcheckstrict"
 	"ecrpq/internal/lint/panicfree"
+	"ecrpq/internal/lint/spanend"
 	"ecrpq/internal/lint/statebounds"
 )
 
@@ -35,6 +36,7 @@ var analyzers = []*lint.Analyzer{
 	alphabetguard.Analyzer,
 	statebounds.Analyzer,
 	errcheckstrict.Analyzer,
+	spanend.Analyzer,
 }
 
 func main() {

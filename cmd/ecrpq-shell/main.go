@@ -17,6 +17,7 @@
 //	.explain              print the plan of the current query block (local only)
 //	.measures             print measures + regimes of the current query block
 //	.sat                  database-independent satisfiability (local only)
+//	.trace on|off|last    toggle evaluation tracing / show the last trace
 //	.register <name> <f>  remote: register file f as database <name>
 //	.use <name>           remote: target queries at database <name>
 //	.dbs                  remote: list the daemon's databases
@@ -44,6 +45,7 @@ import (
 
 	"ecrpq"
 	"ecrpq/internal/client"
+	"ecrpq/internal/trace"
 	"ecrpq/internal/twolevel"
 )
 
@@ -86,6 +88,11 @@ type shell struct {
 	// Remote mode: non-nil client plus the .use-selected database name.
 	remote   *client.Client
 	remoteDB string
+
+	// Tracing: when traceOn, local evaluations are traced and the most
+	// recent trace is kept for .trace last.
+	traceOn   bool
+	lastTrace *trace.TraceData
 }
 
 func newShell(out io.Writer) *shell {
@@ -245,6 +252,27 @@ func (s *shell) handle(line string) bool {
 			ec, pc := twolevel.Classify(true, true, true)
 			fmt.Fprintf(s.out, "bounded family regimes: eval %s; p-eval %s\n", ec, pc)
 		})
+	case ".trace":
+		if s.remote != nil {
+			fmt.Fprintln(s.out, "error: .trace is local-mode only (the daemon serves /debug/trace/recent)")
+			return false
+		}
+		if len(fields) != 2 {
+			fmt.Fprintln(s.out, "usage: .trace on|off|last")
+			return false
+		}
+		switch fields[1] {
+		case "on":
+			s.traceOn = true
+			fmt.Fprintln(s.out, "tracing: on")
+		case "off":
+			s.traceOn = false
+			fmt.Fprintln(s.out, "tracing: off")
+		case "last":
+			s.printLastTrace()
+		default:
+			fmt.Fprintln(s.out, "usage: .trace on|off|last")
+		}
 	case ".sat":
 		if s.remote != nil {
 			fmt.Fprintln(s.out, "error: .sat is local-mode only")
@@ -390,6 +418,18 @@ func (s *shell) evaluate(q *ecrpq.Query) {
 	// evaluation it keeps its usual kill-the-process meaning.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if s.traceOn {
+		tr := trace.New("shell")
+		tr.SetStr("strategy_requested", s.strategy.String())
+		ctx = trace.NewContext(ctx, tr)
+		defer func() {
+			tr.Finish()
+			data := tr.Snapshot()
+			s.lastTrace = &data
+			fmt.Fprintf(s.out, "traced: %d span(s), %.2f ms (.trace last for the breakdown)\n",
+				len(data.Spans), data.DurMs)
+		}()
+	}
 	opts := ecrpq.Options{Strategy: s.strategy}
 	if len(q.Free) > 0 {
 		answers, err := ecrpq.AnswersContext(ctx, s.db, q, opts)
@@ -430,6 +470,25 @@ func (s *shell) evaluate(q *ecrpq.Query) {
 		for _, p := range pvs {
 			fmt.Fprintf(s.out, "  %s: %s\n", p, res.Paths[p].Format(s.db))
 		}
+	}
+}
+
+// printLastTrace renders the most recent traced evaluation as a
+// per-stage self-time table.
+func (s *shell) printLastTrace() {
+	if s.lastTrace == nil {
+		fmt.Fprintln(s.out, "error: no trace recorded yet (.trace on, then evaluate)")
+		return
+	}
+	data := *s.lastTrace
+	fmt.Fprintf(s.out, "trace %s: %d span(s), %.2f ms total\n", data.Name, len(data.Spans), data.DurMs)
+	total := data.DurMs * 1000
+	for _, st := range data.Breakdown() {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * st.SelfUs / total
+		}
+		fmt.Fprintf(s.out, "  %-22s x%-4d self %8.0f us  (%5.1f%%)\n", st.Name, st.Count, st.SelfUs, pct)
 	}
 }
 
@@ -476,6 +535,8 @@ const helpText = `commands:
   .explain          print the evaluation plan of the block (local only)
   .measures         print structural measures + theorem regimes
   .sat              database-independent satisfiability (local only)
+  .trace on|off     trace subsequent evaluations (local only)
+  .trace last       per-stage breakdown of the most recent traced run
 remote mode (-remote URL):
   .register <name> <file>  upload a database file under <name>
   .use <name>              target queries at database <name>

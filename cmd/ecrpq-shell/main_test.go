@@ -1,6 +1,7 @@
 package main
 
 import (
+	"ecrpq/internal/client"
 	"os"
 	"path/filepath"
 	"strings"
@@ -54,6 +55,46 @@ func TestShellEvaluateBoolean(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("transcript missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestShellTraceCommand(t *testing.T) {
+	db := writeTemp(t, "db.txt", shellDB)
+	out := runScript(t, nil,
+		".trace last",
+		".trace on",
+		".db "+db,
+		".query",
+		"alphabet a b",
+		"x -[ab]-> y",
+		".go",
+		".trace last",
+		".trace off",
+		".trace bogus",
+		".quit",
+	)
+	for _, want := range []string{
+		"no trace recorded yet",
+		"tracing: on",
+		"traced:",
+		"trace shell:",
+		"core/decompose",
+		"tracing: off",
+		"usage: .trace on|off|last",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellTraceRemoteRejected(t *testing.T) {
+	var sb strings.Builder
+	sh := newShell(&sb)
+	sh.remote = &client.Client{}
+	sh.handle(".trace on")
+	if !strings.Contains(sb.String(), "local-mode only") {
+		t.Errorf("remote .trace should be rejected: %s", sb.String())
 	}
 }
 

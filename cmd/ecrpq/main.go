@@ -3,12 +3,17 @@
 // Usage:
 //
 //	ecrpq -db graph.txt -query query.txt [-strategy auto|generic|reduction]
-//	      [-witness] [-timeout 30s]
+//	      [-witness] [-timeout 30s] [-trace out.json]
 //
 // The database format is one labelled edge per line after an alphabet
 // header; the query format is the DSL of internal/query (see README.md).
 // With free variables the answer set is printed, one tuple per line;
 // otherwise the Boolean verdict (and, with -witness, the witness paths).
+//
+// With -trace the evaluation is traced end to end and a Chrome
+// trace_event dump is written to the given file (load it at
+// chrome://tracing or https://ui.perfetto.dev); a per-stage self-time
+// breakdown is printed to stderr.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"time"
 
 	"ecrpq"
+	"ecrpq/internal/trace"
 )
 
 func main() {
@@ -31,12 +37,13 @@ func main() {
 	witness := flag.Bool("witness", false, "print the witness assignment and paths")
 	relFiles := flag.String("rel", "", "comma-separated custom relation files (synchro text format); atom names resolve against these before built-ins")
 	timeout := flag.Duration("timeout", 0, "abort evaluation after this long (0 = no limit)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event dump of the evaluation to this file")
 	flag.Parse()
 	if *dbPath == "" || *queryPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: ecrpq -db <file> -query <file> [-strategy auto|generic|reduction] [-witness] [-rel r1.txt,r2.txt]")
+		fmt.Fprintln(os.Stderr, "usage: ecrpq -db <file> -query <file> [-strategy auto|generic|reduction] [-witness] [-rel r1.txt,r2.txt] [-trace out.json]")
 		os.Exit(2)
 	}
-	if err := run(*dbPath, *queryPath, *strategy, *witness, *relFiles, *timeout); err != nil {
+	if err := run(*dbPath, *queryPath, *strategy, *witness, *relFiles, *timeout, *traceOut); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintln(os.Stderr, "ecrpq: evaluation exceeded the", *timeout, "timeout")
 			os.Exit(3)
@@ -69,7 +76,35 @@ func loadRelations(relFiles string) (map[string]*ecrpq.Relation, error) {
 	return registry, nil
 }
 
-func run(dbPath, queryPath, strategy string, witness bool, relFiles string, timeout time.Duration) error {
+// writeTrace finishes tr, dumps it in Chrome trace_event format to path,
+// and prints the per-stage self-time breakdown to stderr.
+func writeTrace(tr *trace.Trace, path string) error {
+	tr.Finish()
+	data := tr.Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace: %d span(s) over %.2f ms written to %s\n", len(data.Spans), data.DurMs, path)
+	total := data.DurMs * 1000
+	for _, st := range data.Breakdown() {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * st.SelfUs / total
+		}
+		fmt.Fprintf(os.Stderr, "  %-22s x%-4d self %8.0f us  (%5.1f%%)\n", st.Name, st.Count, st.SelfUs, pct)
+	}
+	return nil
+}
+
+func run(dbPath, queryPath, strategy string, witness bool, relFiles string, timeout time.Duration, traceOut string) error {
 	dbFile, err := os.Open(dbPath)
 	if err != nil {
 		return err
@@ -109,6 +144,20 @@ func run(dbPath, queryPath, strategy string, witness bool, relFiles string, time
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
+	}
+
+	var tr *trace.Trace
+	if traceOut != "" {
+		tr = trace.New("ecrpq")
+		tr.SetStr("db", dbPath)
+		tr.SetStr("query", queryPath)
+		tr.SetStr("strategy_requested", strategy)
+		ctx = trace.NewContext(ctx, tr)
+		defer func() {
+			if werr := writeTrace(tr, traceOut); werr != nil {
+				fmt.Fprintln(os.Stderr, "ecrpq: writing trace:", werr)
+			}
+		}()
 	}
 
 	if len(q.Free) > 0 {

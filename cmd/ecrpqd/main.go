@@ -8,7 +8,17 @@
 //
 //	ecrpqd [-addr :8377] [-workers N] [-queue N] [-timeout 30s]
 //	       [-max-timeout 5m] [-cache-budget 268435456] [-db name=file ...]
-//	       [-data-dir DIR] [-check]
+//	       [-data-dir DIR] [-check] [-slow-query 0] [-trace-sample 1]
+//	       [-debug-addr ""]
+//
+// Observability: every sampled request (-trace-sample, default: all) is
+// traced through the evaluation pipeline; recent traces are served at
+// /debug/trace/recent (JSON) and /debug/trace/chrome (chrome://tracing
+// format). With -slow-query D, any request slower than D logs a
+// slow_query line with its plan snapshot and per-stage breakdown. With
+// -debug-addr, net/http/pprof is served on a separate listener — never
+// on the query port, so profiling endpoints are not exposed to query
+// clients.
 //
 // With -data-dir the registry is crash-safe: every register/replace/drop
 // is made durable (checksummed snapshot + journal record, fsynced) before
@@ -40,6 +50,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -69,6 +80,10 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
 	dataDir := flag.String("data-dir", "", "directory for crash-safe registry persistence (empty = in-memory only)")
 	check := flag.Bool("check", false, "probe a running daemon at -addr and exit 0/1 instead of serving")
+	slowQuery := flag.Duration("slow-query", 0, "log plan snapshot + per-stage breakdown for requests slower than this (0 = off)")
+	traceSample := flag.Int("trace-sample", 1, "trace one request in N (1 = all, negative = disable tracing)")
+	traceRing := flag.Int("trace-ring", 0, "recent-trace ring buffer size (0 = default 64)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	var dbs dbFlags
 	flag.Var(&dbs, "db", "preload a database as name=file (repeatable)")
 	flag.Parse()
@@ -82,14 +97,17 @@ func main() {
 		return
 	}
 	if err := run(*addr, server.Config{
-		Workers:          *workers,
-		QueueDepth:       *queue,
-		DefaultTimeout:   *timeout,
-		MaxTimeout:       *maxTimeout,
-		CacheBudgetBytes: *cacheBudget,
-		MaxProductStates: *maxStates,
-		Logger:           logger,
-	}, dbs, *dataDir, *drainTimeout, logger); err != nil {
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		CacheBudgetBytes:   *cacheBudget,
+		MaxProductStates:   *maxStates,
+		Logger:             logger,
+		TraceSampleEvery:   *traceSample,
+		TraceRingSize:      *traceRing,
+		SlowQueryThreshold: *slowQuery,
+	}, dbs, *dataDir, *drainTimeout, *debugAddr, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "ecrpqd:", err)
 		os.Exit(1)
 	}
@@ -133,9 +151,31 @@ func runCheck(addr string) error {
 	return nil
 }
 
-func run(addr string, cfg server.Config, dbs []string, dataDir string, drainTimeout time.Duration, logger *log.Logger) error {
+func run(addr string, cfg server.Config, dbs []string, dataDir string, drainTimeout time.Duration, debugAddr string, logger *log.Logger) error {
 	srv := server.New(cfg)
 	srv.Metrics().Publish("ecrpqd")
+
+	if debugAddr != "" {
+		// pprof lives on its own listener, never on the query port: the
+		// profiling endpoints expose heap contents and can stall the
+		// process, so they must not be reachable by query clients.
+		dbg := &http.Server{
+			Addr:              debugAddr,
+			Handler:           debugMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Printf("event=debug_listen addr=%s", debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("event=debug_listen_failed err=%q", err)
+			}
+		}()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = dbg.Shutdown(ctx)
+		}()
+	}
 
 	if dataDir != "" {
 		st, err := persist.Open(dataDir)
@@ -191,6 +231,20 @@ func run(addr string, cfg server.Config, dbs []string, dataDir string, drainTime
 		logger.Printf("event=http_shutdown err=%q", err)
 	}
 	return srv.Shutdown(ctx)
+}
+
+// debugMux builds the pprof-only mux for the -debug-addr listener.
+// Handlers are registered explicitly instead of importing net/http/pprof
+// for its DefaultServeMux side effect, so the query mux can never grow
+// profiling routes by accident.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // preload registers a database file before the listener starts.

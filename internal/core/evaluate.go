@@ -10,6 +10,7 @@ import (
 	"ecrpq/internal/graphdb"
 	"ecrpq/internal/query"
 	"ecrpq/internal/synchro"
+	"ecrpq/internal/trace"
 )
 
 // Strategy selects the evaluation algorithm.
@@ -132,7 +133,9 @@ func EvaluateContext(ctx context.Context, db *graphdb.DB, q *query.Query, opts O
 
 // evaluatePinned evaluates with some node variables pre-assigned.
 func evaluatePinned(ctx context.Context, db *graphdb.DB, q *query.Query, pinned map[string]int, opts Options) (*Result, error) {
+	_, dsp := trace.StartSpan(ctx, "core/decompose")
 	comps, frees, err := decompose(q)
+	dsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -275,34 +278,47 @@ func anyPath(db *graphdb.DB, u, v int) (graphdb.Path, bool) {
 	return graphdb.Path{}, false
 }
 
+// eagerMerge pre-merges each component's relations into one automaton
+// (Lemma 4.1), accumulating merged state counts into stats.
+func eagerMerge(q *query.Query, comps []component, stats *Stats) ([]component, error) {
+	merged := make([]component, len(comps))
+	for i := range comps {
+		rel, err := mergeComponent(q.Alphabet(), &comps[i])
+		if err != nil {
+			return nil, err
+		}
+		if rel.IsUniversal() {
+			// Cannot happen: components contain ≥1 non-universal atom.
+			return nil, fmt.Errorf("core: merged component unexpectedly universal")
+		}
+		nStates, _ := rel.Size()
+		stats.MergedStatesTotal += nStates
+		allTracks := make([]int, len(comps[i].tracks))
+		for k := range allTracks {
+			allTracks[k] = k
+		}
+		merged[i] = component{
+			tracks:    comps[i].tracks,
+			nodeVars:  comps[i].nodeVars,
+			rels:      []*synchro.Relation{rel},
+			relTracks: [][]int{allTracks},
+		}
+	}
+	return merged, nil
+}
+
 // evalGeneric backtracks over node variables and checks each component's
 // product as soon as all of its node variables are assigned.
 func evalGeneric(ctx context.Context, db *graphdb.DB, q *query.Query, comps []component, frees []freeTrack, pinned map[string]int, opts Options) (*Result, error) {
 	stats := Stats{}
 	workComps := comps
 	if opts.EagerMerge {
-		merged := make([]component, len(comps))
-		for i := range comps {
-			rel, err := mergeComponent(q.Alphabet(), &comps[i])
-			if err != nil {
-				return nil, err
-			}
-			if rel.IsUniversal() {
-				// Cannot happen: components contain ≥1 non-universal atom.
-				return nil, fmt.Errorf("core: merged component unexpectedly universal")
-			}
-			nStates, _ := rel.Size()
-			stats.MergedStatesTotal += nStates
-			allTracks := make([]int, len(comps[i].tracks))
-			for k := range allTracks {
-				allTracks[k] = k
-			}
-			merged[i] = component{
-				tracks:    comps[i].tracks,
-				nodeVars:  comps[i].nodeVars,
-				rels:      []*synchro.Relation{rel},
-				relTracks: [][]int{allTracks},
-			}
+		_, msp := trace.StartSpan(ctx, "core/merge")
+		merged, err := eagerMerge(q, comps, &stats)
+		msp.SetInt("merged_states", int64(stats.MergedStatesTotal))
+		msp.End()
+		if err != nil {
+			return nil, err
 		}
 		workComps = merged
 	}
@@ -438,7 +454,11 @@ func evalGeneric(ctx context.Context, db *graphdb.DB, q *query.Query, comps []co
 		return false
 	}
 	// Edge case: zero node variables (no atoms): trivially satisfiable.
+	_, psp := trace.StartSpan(ctx, "core/product_search")
 	sat := rec(0)
+	psp.SetInt("product_checks", int64(stats.ProductChecks))
+	psp.SetInt("node_assignments", int64(stats.NodeAssignments))
+	psp.End()
 	if searchErr != nil {
 		return nil, searchErr
 	}
@@ -481,7 +501,9 @@ func evalReductionMaterialized(ctx context.Context, db *graphdb.DB, q *query.Que
 		return &Result{Sat: sat, Stats: stats}, nil
 	}
 
+	_, jsp := trace.StartSpan(ctx, "core/cq_join")
 	assign, sat, err := cq.EvalTreeDecomp(st, cqq)
+	jsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -501,7 +523,18 @@ func evalReductionMaterialized(ctx context.Context, db *graphdb.DB, q *query.Que
 			res.Nodes[v] = 0
 		}
 	}
-	// Recover concrete paths per component with pinned endpoints.
+	if err := recoverWitnesses(ctx, db, comps, frees, opts, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// recoverWitnesses re-runs each component's product search with the CQ
+// witness's endpoints pinned to extract concrete paths, plus any-label
+// paths for free tracks. res.Nodes must be populated; res.Paths is filled.
+func recoverWitnesses(ctx context.Context, db *graphdb.DB, comps []component, frees []freeTrack, opts Options, res *Result) error {
+	_, wsp := trace.StartSpan(ctx, "core/witness")
+	defer wsp.End()
 	res.Paths = make(map[string]graphdb.Path)
 	for ci := range comps {
 		c := &comps[ci]
@@ -513,10 +546,10 @@ func evalReductionMaterialized(ctx context.Context, db *graphdb.DB, q *query.Que
 		}
 		paths, ok, err := checkComponent(ctx, db, c, srcs, dsts, opts.maxStates())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !ok {
-			return nil, fmt.Errorf("core: internal error: CQ witness not realizable in component %d", ci)
+			return fmt.Errorf("core: internal error: CQ witness not realizable in component %d", ci)
 		}
 		for k, tr := range c.tracks {
 			res.Paths[tr.pathVar] = paths[k]
@@ -525,11 +558,11 @@ func evalReductionMaterialized(ctx context.Context, db *graphdb.DB, q *query.Que
 	for _, f := range frees {
 		p, ok := anyPath(db, res.Nodes[f.srcVar], res.Nodes[f.dstVar])
 		if !ok {
-			return nil, fmt.Errorf("core: internal error: free track %q not realizable", f.pathVar)
+			return fmt.Errorf("core: internal error: free track %q not realizable", f.pathVar)
 		}
 		res.Paths[f.pathVar] = p
 	}
-	return res, nil
+	return nil
 }
 
 func maxInt(a, b int) int {

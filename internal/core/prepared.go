@@ -7,6 +7,7 @@ import (
 	"ecrpq/internal/cq"
 	"ecrpq/internal/graphdb"
 	"ecrpq/internal/query"
+	"ecrpq/internal/trace"
 	"ecrpq/internal/twolevel"
 )
 
@@ -32,10 +33,22 @@ type Prepared struct {
 // resolved immediately (Auto picks Reduction exactly when every component
 // has at most opts.MaxReductionTracks tracks, as in Evaluate).
 func Prepare(q *query.Query, opts Options) (*Prepared, error) {
+	return PrepareContext(context.Background(), q, opts)
+}
+
+// PrepareContext is Prepare with context threading: when ctx carries an
+// internal/trace trace, the decomposition and Lemma 4.1 merge stages are
+// recorded as spans and the resolved strategy and structural measures
+// land on the core/prepare span as attributes.
+func PrepareContext(ctx context.Context, q *query.Query, opts Options) (*Prepared, error) {
+	ctx, sp := trace.StartSpan(ctx, "core/prepare")
+	defer sp.End()
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	_, dsp := trace.StartSpan(ctx, "core/decompose")
 	comps, frees, err := decompose(q)
+	dsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -52,7 +65,7 @@ func Prepare(q *query.Query, opts Options) (*Prepared, error) {
 	if strat != Generic && strat != Reduction {
 		return nil, fmt.Errorf("core: unknown strategy %v", opts.Strategy)
 	}
-	merged, mergedStates, err := mergedViews(q, comps)
+	merged, mergedStates, err := mergedViews(ctx, q, comps)
 	if err != nil {
 		return nil, err
 	}
@@ -67,6 +80,10 @@ func Prepare(q *query.Query, opts Options) (*Prepared, error) {
 		measures: twolevel.QueryMeasures(q),
 	}
 	p.memBytes = p.estimateBytes()
+	sp.SetStr("strategy", strat.String())
+	sp.SetInt("components", int64(len(comps)))
+	sp.SetInt("cc_vertex", int64(p.measures.CCVertex))
+	sp.SetInt("treewidth_upper", int64(p.measures.TreewidthUpper))
 	return p, nil
 }
 
@@ -133,7 +150,10 @@ func (p *Prepared) Materialize(ctx context.Context, db *graphdb.DB) (*Materializ
 	if err := p.checkDB(db); err != nil {
 		return nil, err
 	}
+	ctx, sp := trace.StartSpan(ctx, "core/materialize")
 	st, cqq, stats, err := buildReductionMerged(ctx, db, p.q, p.comps, p.merged, p.mergedSt, p.frees, nil, p.opts)
+	sp.SetInt("cq_tuples", int64(stats.CQTuples))
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 	"ecrpq/internal/graphdb"
 	"ecrpq/internal/query"
 	"ecrpq/internal/synchro"
+	"ecrpq/internal/trace"
 )
 
 // buildReduction constructs the Lemma 4.3 instance: a relational structure
@@ -17,7 +18,7 @@ import (
 // and singleton relations for pinned variables), and the conjunctive query
 // whose Gaifman graph is G^node of the normalized abstraction.
 func buildReduction(ctx context.Context, db *graphdb.DB, q *query.Query, comps []component, frees []freeTrack, pinned map[string]int, opts Options) (*cq.Structure, *cq.Query, Stats, error) {
-	merged, mergedStates, err := mergedViews(q, comps)
+	merged, mergedStates, err := mergedViews(ctx, q, comps)
 	if err != nil {
 		return nil, nil, Stats{}, err
 	}
@@ -27,8 +28,11 @@ func buildReduction(ctx context.Context, db *graphdb.DB, q *query.Query, comps [
 // mergedViews applies Lemma 4.1 to every component: each is joined into a
 // single-relation view covering all of its tracks. Returns the views and
 // the total merged NFA state count. Prepared plans compute this once and
-// reuse it across materializations.
-func mergedViews(q *query.Query, comps []component) ([]component, int, error) {
+// reuse it across materializations. The whole pass is one core/merge span
+// when ctx carries a trace.
+func mergedViews(ctx context.Context, q *query.Query, comps []component) ([]component, int, error) {
+	_, sp := trace.StartSpan(ctx, "core/merge")
+	defer sp.End()
 	merged := make([]component, len(comps))
 	states := 0
 	for ci := range comps {
@@ -50,6 +54,7 @@ func mergedViews(q *query.Query, comps []component) ([]component, int, error) {
 			relTracks: [][]int{allTracks},
 		}
 	}
+	sp.SetInt("merged_states", int64(states))
 	return merged, states, nil
 }
 
@@ -62,18 +67,11 @@ func buildReductionMerged(ctx context.Context, db *graphdb.DB, q *query.Query, c
 
 	// Free tracks: binary reachability relation (shared by all).
 	if len(frees) > 0 {
-		if err := st.AddRelation("__reach", 2); err != nil {
+		added, err := addReachRelation(ctx, db, st, n)
+		if err != nil {
 			return nil, nil, stats, err
 		}
-		for u := 0; u < n; u++ {
-			reach := anyReach(db, u)
-			for v, ok := range reach {
-				if ok {
-					st.MustAddTuple("__reach", u, v)
-					stats.CQTuples++
-				}
-			}
-		}
+		stats.CQTuples += added
 		for _, f := range frees {
 			cqq.Atoms = append(cqq.Atoms, cq.Atom{Rel: "__reach", Args: []string{f.srcVar, f.dstVar}})
 		}
@@ -88,9 +86,14 @@ func buildReductionMerged(ctx context.Context, db *graphdb.DB, q *query.Query, c
 			return nil, nil, stats, err
 		}
 		if n > 0 {
+			_, ssp := trace.StartSpan(ctx, "core/sweep")
 			added, err := sweepComponent(ctx, db, &merged[ci], t, n, opts, func(tuple []int) error {
 				return st.AddTuple(name, tuple...)
 			})
+			ssp.SetInt("component", int64(ci))
+			ssp.SetInt("tracks", int64(t))
+			ssp.SetInt("rows", int64(added))
+			ssp.End()
 			if err != nil {
 				return nil, nil, stats, err
 			}
@@ -117,6 +120,28 @@ func buildReductionMerged(ctx context.Context, db *graphdb.DB, q *query.Query, c
 		cqq.Atoms = append(cqq.Atoms, cq.Atom{Rel: name, Args: []string{v}})
 	}
 	return st, cqq, stats, nil
+}
+
+// addReachRelation materializes the shared binary any-label reachability
+// relation used by free-track atoms. Returns the number of tuples added.
+func addReachRelation(ctx context.Context, db *graphdb.DB, st *cq.Structure, n int) (int, error) {
+	_, sp := trace.StartSpan(ctx, "core/reach")
+	defer sp.End()
+	if err := st.AddRelation("__reach", 2); err != nil {
+		return 0, err
+	}
+	added := 0
+	for u := 0; u < n; u++ {
+		reach := anyReach(db, u)
+		for v, ok := range reach {
+			if ok {
+				st.MustAddTuple("__reach", u, v)
+				added++
+			}
+		}
+	}
+	sp.SetInt("tuples", int64(added))
+	return added, nil
 }
 
 // answersReduction computes the answer set via a single Lemma 4.3

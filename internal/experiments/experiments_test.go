@@ -85,6 +85,48 @@ func TestSlowExperimentsRun(t *testing.T) {
 	}
 }
 
+// TestStageAttributionShape runs A8 and sanity-checks the attribution:
+// rows are well-formed, shares are percentages, and on the E3 row the
+// merge+product stages account for the bulk of the time (the PSPACE
+// regime's predicted cost driver). The threshold here is deliberately
+// looser than the ≥80% recorded in EXPERIMENTS.md to keep the test
+// robust on slow or heavily loaded hosts.
+func TestStageAttributionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping traced attribution in -short mode")
+	}
+	tb := StageAttribution(1)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		if len(r) != len(tb.Headers) {
+			t.Fatalf("row width %d ≠ headers %d", len(r), len(tb.Headers))
+		}
+		sum := 0.0
+		for _, cell := range r[3:] {
+			var pct float64
+			if _, err := fmt.Sscan(cell, &pct); err != nil {
+				t.Fatalf("share cell %q: %v", cell, err)
+			}
+			if pct < 0 || pct > 100.01 {
+				t.Errorf("share %v out of range", pct)
+			}
+			sum += pct
+		}
+		if sum > 100.5 {
+			t.Errorf("%s: shares sum to %.1f%% > 100%%", r[0], sum)
+		}
+	}
+	// E3 row: prepare+merge % (col 3) + product % (col 4) dominate.
+	var mergePct, productPct float64
+	fmt.Sscan(tb.Rows[1][3], &mergePct)
+	fmt.Sscan(tb.Rows[1][4], &productPct)
+	if mergePct+productPct < 50 {
+		t.Errorf("E3 merge+product share = %.1f%%, expected the dominant stage", mergePct+productPct)
+	}
+}
+
 func TestE7MergeGrowthShape(t *testing.T) {
 	tb := E7()
 	// Merged states must be nondecreasing in ℓ and ≤ 3^ℓ.

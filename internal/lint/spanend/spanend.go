@@ -1,0 +1,268 @@
+// Package spanend implements the spanend analyzer: every span obtained
+// from internal/trace's Start functions must be closed. A span that is
+// never ended shows up in snapshots with a duration running to the end of
+// the request, which silently corrupts per-stage attribution — the exact
+// thing the trace subsystem exists to get right.
+//
+// The check is syntactic per function body (the mini lint framework has
+// no CFG), with three rules:
+//
+//  1. The span result must be bound: discarding it (blank identifier, or
+//     a bare call statement) makes ending it impossible. A method-chained
+//     immediate `tr.StartAt(...).End()` is fine.
+//  2. The bound span variable must have an End() call — either deferred
+//     or plain — somewhere in the enclosing function.
+//  3. A plain (non-deferred) End() must not have a return statement
+//     between the Start and the End: an early return would leak the span
+//     open. Use `defer sp.End()` around early returns.
+package spanend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ecrpq/internal/lint"
+)
+
+// tracePkgSuffix identifies the guarded package.
+const tracePkgSuffix = "internal/trace"
+
+// Analyzer is the spanend check.
+var Analyzer = &lint.Analyzer{
+	Name: "spanend",
+	Doc: "every span from trace.Start*/StartSpan must be ended on all paths\n\n" +
+		"A *trace.Span returned by a Start function of internal/trace must be bound to a\n" +
+		"variable with a matching End() — deferred, or plain with no return between Start\n" +
+		"and End. Suppress with //ecrpq:ignore spanend -- <reason>.",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		// Each function body — declarations and literals alike — is its
+		// own analysis unit, so a return inside a nested closure does not
+		// count against a span opened in the enclosing function.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// spanStart is one Start* call that binds a span variable.
+type spanStart struct {
+	pos     token.Pos
+	callEnd token.Pos // end of the Start call, for ordering
+	fname   string    // trace function name, for messages
+	varName string
+}
+
+// checkBody analyzes one function body, treating nested function
+// literals as opaque (they are analyzed as their own units by run).
+func checkBody(pass *lint.Pass, body *ast.BlockStmt) {
+	var starts []spanStart
+	// endsPlain / endsDefer: span variable name → positions of End calls.
+	endsPlain := map[string][]token.Pos{}
+	endsDefer := map[string]bool{}
+	var returns []token.Pos
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		// The walk root is the body BlockStmt; any FuncLit below it is a
+		// nested unit handled separately.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			checkStartAssign(pass, st, &starts)
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if isChainedEnd(pass, call) {
+					return true // tr.StartAt(...).End(): closed on the spot
+				}
+				if fname, ok := startCall(pass, call); ok {
+					pass.Reportf(call.Pos(),
+						"span from trace.%s dropped: bind it and call End()", fname)
+					return true
+				}
+				if v, ok := endCallReceiver(call); ok {
+					endsPlain[v] = append(endsPlain[v], call.Pos())
+				}
+			}
+		case *ast.DeferStmt:
+			if v, ok := endCallReceiver(st.Call); ok {
+				endsDefer[v] = true
+			}
+			if fname, ok := startCall(pass, st.Call); ok {
+				pass.Reportf(st.Pos(),
+					"span from trace.%s discarded by defer statement", fname)
+			}
+		case *ast.GoStmt:
+			if fname, ok := startCall(pass, st.Call); ok {
+				pass.Reportf(st.Pos(),
+					"span from trace.%s discarded by go statement", fname)
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, st.Pos())
+		}
+		return true
+	})
+
+	for _, s := range starts {
+		if endsDefer[s.varName] {
+			continue
+		}
+		plains := endsPlain[s.varName]
+		if len(plains) == 0 {
+			pass.Reportf(s.pos,
+				"span %q from trace.%s is never ended: add %s.End() or defer %s.End()",
+				s.varName, s.fname, s.varName, s.varName)
+			continue
+		}
+		// Rule 3: the first plain End after this Start must not have a
+		// return between them.
+		var firstEnd token.Pos
+		for _, p := range plains {
+			if p > s.callEnd && (firstEnd == token.NoPos || p < firstEnd) {
+				firstEnd = p
+			}
+		}
+		if firstEnd == token.NoPos {
+			// All End calls precede the Start textually (reassigned
+			// variable); treat as unclosed.
+			pass.Reportf(s.pos,
+				"span %q from trace.%s has no End() after the Start: add one or defer it",
+				s.varName, s.fname)
+			continue
+		}
+		for _, r := range returns {
+			if r > s.callEnd && r < firstEnd {
+				pass.Reportf(s.pos,
+					"span %q from trace.%s may leak: return between Start and End() — use defer %s.End()",
+					s.varName, s.fname, s.varName)
+				break
+			}
+		}
+	}
+}
+
+// checkStartAssign records `sp := tr.Start(...)` / `ctx, sp := trace.StartSpan(...)`
+// bindings and flags blank-identifier discards.
+func checkStartAssign(pass *lint.Pass, as *ast.AssignStmt, starts *[]spanStart) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fname, ok := startCall(pass, call)
+	if !ok {
+		return
+	}
+	if len(as.Lhs) == 0 {
+		return
+	}
+	// The span is the last result (StartSpan returns (ctx, *Span); the
+	// Trace methods return just the *Span).
+	last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	if !ok {
+		return
+	}
+	if last.Name == "_" {
+		pass.Reportf(as.Pos(),
+			"span from trace.%s assigned to _: bind it and call End()", fname)
+		return
+	}
+	*starts = append(*starts, spanStart{
+		pos:     as.Pos(),
+		callEnd: call.End(),
+		fname:   fname,
+		varName: last.Name,
+	})
+}
+
+// startCall reports whether call invokes an internal/trace function or
+// method whose name starts with "Start" and whose last result is a
+// *trace.Span, returning the function name.
+func startCall(pass *lint.Pass, call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	if !strings.HasSuffix(fn.Pkg().Path(), tracePkgSuffix) {
+		return "", false
+	}
+	if !strings.HasPrefix(fn.Name(), "Start") {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return "", false
+	}
+	if !isSpanPtr(sig.Results().At(sig.Results().Len() - 1).Type()) {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// isSpanPtr reports whether t is *trace.Span.
+func isSpanPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Span" &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), tracePkgSuffix)
+}
+
+// isChainedEnd recognizes `tr.StartAt(...).End()`: a Start call used as
+// the receiver of an immediate End, which closes the span on the spot.
+func isChainedEnd(pass *lint.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	inner, ok := sel.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	_, ok = startCall(pass, inner)
+	return ok
+}
+
+// endCallReceiver returns the receiver variable name of a `sp.End()` call.
+func endCallReceiver(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}

@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"ecrpq/internal/lint/checktest"
+	"ecrpq/internal/lint/spanend"
+)
+
+func TestSpanEnd(t *testing.T) {
+	checktest.Run(t, ".", spanend.Analyzer, "violation", "clean")
+}

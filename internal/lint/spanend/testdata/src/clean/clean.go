@@ -1,0 +1,56 @@
+// Package clean must produce no spanend diagnostics: deferred ends,
+// straight-line plain ends, chained immediate ends, and returns that are
+// safely confined to nested closures.
+package clean
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"ecrpq/internal/trace"
+)
+
+func deferred(ctx context.Context, fail bool) error {
+	ctx, sp := trace.StartSpan(ctx, "core/materialize")
+	defer sp.End()
+	_ = ctx
+	if fail {
+		return errors.New("defer still ends the span")
+	}
+	return nil
+}
+
+func straightLine(ctx context.Context) error {
+	_, sp := trace.StartSpan(ctx, "core/decompose")
+	sp.SetInt("components", 3)
+	sp.End()
+	return errors.New("returning after End is fine")
+}
+
+func chained(tr *trace.Trace, submitted time.Time) {
+	tr.StartAt("pool/queue_wait", submitted).End()
+}
+
+func closureReturnDoesNotLeak(ctx context.Context) error {
+	_, sp := trace.StartSpan(ctx, "core/sweep")
+	err := func() error {
+		return errors.New("a return inside a nested closure is not an early exit")
+	}()
+	sp.End()
+	return err
+}
+
+func closureOwnsItsSpan(ctx context.Context) error {
+	return func() error {
+		_, sp := trace.StartSpan(ctx, "core/witness")
+		defer sp.End()
+		return nil
+	}()
+}
+
+func endOnly(sp *trace.Span) {
+	// An End with no Start in scope is someone else's span: not ours to
+	// police.
+	sp.End()
+}

@@ -1,0 +1,45 @@
+// Package violation exercises every spanend diagnostic.
+package violation
+
+import (
+	"context"
+	"errors"
+
+	"ecrpq/internal/trace"
+)
+
+func dropped(ctx context.Context) {
+	trace.StartSpan(ctx, "core/sweep") // want `span from trace\.StartSpan dropped`
+}
+
+func blankAssigned(ctx context.Context) {
+	_, _ = trace.StartSpan(ctx, "core/sweep") // want `span from trace\.StartSpan assigned to _`
+}
+
+func neverEnded(ctx context.Context) int {
+	_, sp := trace.StartSpan(ctx, "core/merge") // want `span "sp" from trace\.StartSpan is never ended`
+	sp.SetInt("k", 1)
+	return 1
+}
+
+func neverEndedMethod(tr *trace.Trace) {
+	sp := tr.Start("core/prepare") // want `span "sp" from trace\.Start is never ended`
+	sp.SetStr("k", "v")
+}
+
+func returnBetween(ctx context.Context, fail bool) error {
+	_, sp := trace.StartSpan(ctx, "core/cq_join") // want `span "sp" from trace\.StartSpan may leak: return between Start and End`
+	if fail {
+		return errors.New("early exit leaks the span")
+	}
+	sp.End()
+	return nil
+}
+
+func deferredStart(tr *trace.Trace) {
+	defer tr.Start("x") // want `span from trace\.Start discarded by defer statement`
+}
+
+func goStart(tr *trace.Trace) {
+	go tr.Start("x") // want `span from trace\.Start discarded by go statement`
+}

@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,6 +12,7 @@ import (
 
 	"ecrpq/internal/faultinject"
 	"ecrpq/internal/graphdb"
+	"ecrpq/internal/trace"
 )
 
 // journalName is the registry journal's file name inside the data dir.
@@ -160,13 +162,24 @@ func snapFileName(gen uint64) string { return fmt.Sprintf("db-%016x.snap", gen) 
 // referencing it (append, fsync). On error the registration is not
 // recorded; any temp file is cleaned up on the next Open.
 func (s *Store) AppendRegister(name string, gen uint64, registeredAt time.Time, db *graphdb.DB) error {
+	return s.AppendRegisterContext(context.Background(), name, gen, registeredAt, db)
+}
+
+// AppendRegisterContext is AppendRegister with context threading: when ctx
+// carries an internal/trace trace, the snapshot write and journal append
+// are recorded as spans (the fsyncs dominate register latency, and the
+// slow-query log should say so rather than blaming evaluation).
+func (s *Store) AppendRegisterContext(ctx context.Context, name string, gen uint64, registeredAt time.Time, db *graphdb.DB) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("persist: store is closed")
 	}
 	snapFile := snapFileName(gen)
-	if err := s.writeSnapshot(snapFile, gen, db); err != nil {
+	_, ssp := trace.StartSpan(ctx, "persist/snapshot_write")
+	err := s.writeSnapshot(snapFile, gen, db)
+	ssp.End()
+	if err != nil {
 		return err
 	}
 	rec := journalRecord{
@@ -176,18 +189,30 @@ func (s *Store) AppendRegister(name string, gen uint64, registeredAt time.Time, 
 		name:     name,
 		snapFile: snapFile,
 	}
-	return s.appendRecord(rec)
+	_, jsp := trace.StartSpan(ctx, "persist/journal_append")
+	err = s.appendRecord(rec)
+	jsp.End()
+	return err
 }
 
 // AppendDrop durably records that the registration with the given
 // generation was dropped.
 func (s *Store) AppendDrop(name string, gen uint64) error {
+	return s.AppendDropContext(context.Background(), name, gen)
+}
+
+// AppendDropContext is AppendDrop with context threading (see
+// AppendRegisterContext).
+func (s *Store) AppendDropContext(ctx context.Context, name string, gen uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("persist: store is closed")
 	}
-	if err := s.appendRecord(journalRecord{op: opDrop, gen: gen, name: name}); err != nil {
+	_, jsp := trace.StartSpan(ctx, "persist/journal_append")
+	err := s.appendRecord(journalRecord{op: opDrop, gen: gen, name: name})
+	jsp.End()
+	if err != nil {
 		return err
 	}
 	// The snapshot is now unreferenced; best-effort removal (Open GCs

@@ -15,6 +15,7 @@ import (
 	"ecrpq/internal/invariant"
 	"ecrpq/internal/plancache"
 	"ecrpq/internal/query"
+	"ecrpq/internal/trace"
 )
 
 // maxBodyBytes bounds request bodies (databases and queries are text).
@@ -107,12 +108,17 @@ func (s *Server) handleRegisterDB(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	ctx, tr := s.startTrace(r.Context(), "register")
+	defer s.finishTrace(tr)
+	tr.SetStr("db", name)
+	sp := tr.Start("server/parse")
 	db, err := graphdb.ParseString(string(body))
+	sp.End()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	entry, replaced, err := s.doRegister(name, db)
+	entry, replaced, err := s.doRegister(ctx, name, db)
 	if err != nil {
 		// The registration is not durable, so it did not happen: memory
 		// was left untouched and the client must retry or give up.
@@ -135,7 +141,10 @@ func (s *Server) handleRegisterDB(w http.ResponseWriter, r *http.Request) {
 // journaling the drop first when persistence is attached.
 func (s *Server) handleDropDB(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	gen, ok, err := s.doDrop(name)
+	ctx, tr := s.startTrace(r.Context(), "drop")
+	defer s.finishTrace(tr)
+	tr.SetStr("db", name)
+	gen, ok, err := s.doDrop(ctx, name)
 	if err != nil {
 		s.cfg.Logger.Printf("event=drop_db_failed name=%s err=%q", name, err)
 		writeError(w, http.StatusInternalServerError, err.Error())
@@ -230,7 +239,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	tctx, tr := s.startTrace(r.Context(), "query")
+	defer s.finishTrace(tr)
+	tr.SetStr("db", req.DB)
+	tr.SetStr("strategy_requested", stratName)
+	psp := tr.Start("server/parse")
 	q, err := query.ParseString(req.Query)
+	psp.End()
 	if err != nil {
 		// Parser errors carry the offending line ("query: line N: ...").
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -249,7 +264,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(tctx, timeout)
 	defer cancel()
 
 	s.mQueries.Inc()
@@ -265,7 +280,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		err  error
 	}
 	done := make(chan outcome, 1)
+	submitted := time.Now()
 	admitted := s.pool.trySubmit(func() {
+		// The queue-wait span covers submit → dequeue: backdated to the
+		// submit instant and ended as soon as a worker picks the job up.
+		tr.StartAt("pool/queue_wait", submitted).End()
 		// Pool workers run outside wrap's recovery (the request goroutine
 		// is parked on the done channel), so an invariant violation raised
 		// during evaluation must be caught here or it kills the process.
@@ -295,6 +314,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	select {
 	case out := <-done:
 		if out.err != nil {
+			tr.SetStr("error", out.err.Error())
 			if errors.Is(out.err, context.DeadlineExceeded) {
 				s.mTimeouts.Inc()
 				writeError(w, http.StatusGatewayTimeout,
@@ -339,11 +359,14 @@ func (s *Server) evaluate(ctx context.Context, entry *dbEntry, q *query.Query, s
 	start := time.Now()
 	hash := query.Hash(q)
 	opts := s.coreOptions(strat)
+	tr := trace.FromContext(ctx)
+	tr.SetStr("query_hash", hash)
 
 	// Free-variable queries return answer sets, which are not cached (the
 	// answer enumerator does not go through Prepared yet); everything else
 	// reuses compiled plans and materializations.
 	if len(q.Free) > 0 {
+		tr.SetStr("cache", "bypass")
 		answers, err := core.AnswersContext(ctx, entry.db, q, opts)
 		if err != nil {
 			return nil, err
@@ -380,35 +403,35 @@ func (s *Server) evaluate(ctx context.Context, entry *dbEntry, q *query.Query, s
 	resolved := stratName
 	resolvedKnown := strat != core.Auto
 	if !resolvedKnown {
-		if v, ok := s.cache.Get(planKeyFor("auto")); ok {
+		if v, ok := s.cacheGet(ctx, planKeyFor("auto")); ok {
 			resolved, resolvedKnown = v.(string), true
 		}
 	}
 	cacheState := "hit"
 	var prepared *core.Prepared
 	if resolvedKnown {
-		if v, ok := s.cache.Get(planKeyFor(resolved)); ok {
+		if v, ok := s.cacheGet(ctx, planKeyFor(resolved)); ok {
 			prepared = v.(*core.Prepared)
 		}
 	}
 	if prepared == nil {
 		cacheState = "miss"
-		p, err := core.Prepare(q, opts)
+		p, err := core.PrepareContext(ctx, q, opts)
 		if err != nil {
 			return nil, err
 		}
 		prepared = p
 		resolved = p.Strategy().String()
-		s.cache.Put(planKeyFor(resolved), p, p.MemBytes())
+		s.cachePut(ctx, planKeyFor(resolved), p, p.MemBytes())
 		if strat == core.Auto {
-			s.cache.Put(planKeyFor("auto"), resolved, len(hash)+len(resolved))
+			s.cachePut(ctx, planKeyFor("auto"), resolved, len(hash)+len(resolved))
 		}
 	}
 
 	var mat *core.Materialization
 	if prepared.Strategy() == core.Reduction {
 		matKey := plancache.Key{QueryHash: hash, Strategy: resolved, DBGen: entry.gen}
-		if v, ok := s.cache.Get(matKey); ok {
+		if v, ok := s.cacheGet(ctx, matKey); ok {
 			mat = v.(*core.Materialization)
 		} else {
 			if cacheState == "hit" {
@@ -418,10 +441,16 @@ func (s *Server) evaluate(ctx context.Context, entry *dbEntry, q *query.Query, s
 			if err != nil {
 				return nil, err
 			}
-			s.cache.Put(matKey, m, m.MemBytes())
+			s.cachePut(ctx, matKey, m, m.MemBytes())
 			mat = m
 		}
 	}
+	// Plan snapshot onto the trace: what the slow-query log reports.
+	tr.SetStr("strategy", resolved)
+	tr.SetStr("cache", cacheState)
+	m := prepared.Measures()
+	tr.SetInt("cc_vertex", int64(m.CCVertex))
+	tr.SetInt("treewidth_upper", int64(m.TreewidthUpper))
 	if cacheState == "hit" {
 		s.mCacheHits.Inc()
 	} else {

@@ -133,20 +133,33 @@ func (h *Histogram) appendJSON(sb *strings.Builder) {
 	if count > 0 {
 		mean = float64(h.sumNs.Load()) / float64(count) / 1e9
 	}
-	fmt.Fprintf(sb, `{"count":%d,"sum_seconds":%s,"mean_seconds":%s,"p50":%s,"p95":%s,"p99":%s,"buckets":{`,
+	fmt.Fprintf(sb, `{"count":%d,"sum_seconds":%s,"mean_seconds":%s,"p50":%s,"p95":%s,"p99":%s,"p999":%s,"buckets":{`,
 		count,
 		jsonFloat(float64(h.sumNs.Load())/1e9),
 		jsonFloat(mean),
 		jsonFloat(h.Quantile(0.50)),
 		jsonFloat(h.Quantile(0.95)),
-		jsonFloat(h.Quantile(0.99)))
+		jsonFloat(h.Quantile(0.99)),
+		jsonFloat(h.Quantile(0.999)))
 	for i, b := range h.bounds {
 		if i > 0 {
 			sb.WriteByte(',')
 		}
 		fmt.Fprintf(sb, `"le_%g":%d`, b, h.counts[i].Load())
 	}
-	fmt.Fprintf(sb, `,"inf":%d}}`, h.inf.Load())
+	fmt.Fprintf(sb, `,"inf":%d},"cumulative":{`, h.inf.Load())
+	// Cumulative counts (everything ≤ bound), Prometheus-style: lets a
+	// scraper read "N requests under 100ms" without summing buckets
+	// non-atomically itself.
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		cum += h.counts[i].Load()
+		fmt.Fprintf(sb, `"le_%g":%d`, b, cum)
+	}
+	fmt.Fprintf(sb, `,"inf":%d}}`, cum+h.inf.Load())
 }
 
 func jsonFloat(f float64) string {

@@ -136,3 +136,63 @@ func TestConcurrentUse(t *testing.T) {
 		t.Fatalf("counter=%d, want 1600", r.Counter("c").Value())
 	}
 }
+
+// TestHistogramJSONShape pins the rendered histogram JSON: field set,
+// p999 quantile, and the cumulative bucket counts alongside the
+// per-bucket ones.
+func TestHistogramJSONShape(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.1, 1})
+	h.Observe(50 * time.Millisecond)
+	h.Observe(500 * time.Millisecond)
+	h.Observe(2 * time.Second)
+
+	var rendered map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(r.String()), &rendered); err != nil {
+		t.Fatalf("registry JSON invalid: %v\n%s", err, r.String())
+	}
+	var hist map[string]json.RawMessage
+	if err := json.Unmarshal(rendered["lat"], &hist); err != nil {
+		t.Fatalf("histogram JSON invalid: %v\n%s", err, rendered["lat"])
+	}
+	for _, key := range []string{"count", "sum_seconds", "mean_seconds", "p50", "p95", "p99", "p999", "buckets", "cumulative"} {
+		if _, ok := hist[key]; !ok {
+			t.Errorf("histogram JSON missing %q: %s", key, rendered["lat"])
+		}
+	}
+	if len(hist) != 9 {
+		t.Errorf("histogram JSON has %d keys, want exactly 9: %s", len(hist), rendered["lat"])
+	}
+	var buckets, cumulative map[string]uint64
+	if err := json.Unmarshal(hist["buckets"], &buckets); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(hist["cumulative"], &cumulative); err != nil {
+		t.Fatal(err)
+	}
+	wantBuckets := map[string]uint64{"le_0.1": 1, "le_1": 1, "inf": 1}
+	wantCumulative := map[string]uint64{"le_0.1": 1, "le_1": 2, "inf": 3}
+	for k, want := range wantBuckets {
+		if buckets[k] != want {
+			t.Errorf("buckets[%q] = %d, want %d", k, buckets[k], want)
+		}
+	}
+	if len(buckets) != len(wantBuckets) {
+		t.Errorf("buckets = %v, want exactly %v", buckets, wantBuckets)
+	}
+	for k, want := range wantCumulative {
+		if cumulative[k] != want {
+			t.Errorf("cumulative[%q] = %d, want %d", k, cumulative[k], want)
+		}
+	}
+	var count uint64
+	if err := json.Unmarshal(hist["count"], &count); err != nil || count != 3 {
+		t.Errorf("count = %s, want 3", hist["count"])
+	}
+	// p999 of {0.05, 0.5, 2} with bounds {0.1, 1}: beyond the last bound,
+	// so the estimator reports the last bound.
+	var p999 float64
+	if err := json.Unmarshal(hist["p999"], &p999); err != nil || p999 != 1 {
+		t.Errorf("p999 = %s, want 1", hist["p999"])
+	}
+}

@@ -19,6 +19,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
@@ -36,6 +37,7 @@ import (
 	"ecrpq/internal/persist"
 	"ecrpq/internal/plancache"
 	"ecrpq/internal/server/metrics"
+	"ecrpq/internal/trace"
 )
 
 // Config tunes the daemon. The zero value is usable: every field has a
@@ -63,6 +65,18 @@ type Config struct {
 	// Logger receives structured (key=value) request and lifecycle lines
 	// (default: stderr; use log.New(io.Discard, "", 0) to silence).
 	Logger *log.Logger
+	// TraceSampleEvery traces one request in N (default 1 = every request;
+	// negative disables tracing entirely). When SlowQueryThreshold is set,
+	// sampling is forced to every request: the slow-query log can only
+	// report a stage breakdown for requests that carry a trace.
+	TraceSampleEvery int
+	// TraceRingSize is how many recent trace snapshots /debug/trace/recent
+	// retains (default 64).
+	TraceRingSize int
+	// SlowQueryThreshold makes any request slower than this emit a
+	// structured slow_query log line with its plan snapshot and per-stage
+	// breakdown (0 = disabled).
+	SlowQueryThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +100,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logger == nil {
 		c.Logger = log.New(os.Stderr, "ecrpqd ", log.LstdFlags|log.LUTC)
+	}
+	if c.TraceSampleEvery == 0 {
+		c.TraceSampleEvery = 1
+	}
+	if c.SlowQueryThreshold > 0 {
+		c.TraceSampleEvery = 1
+	}
+	if c.TraceRingSize <= 0 {
+		c.TraceRingSize = 64
 	}
 	return c
 }
@@ -111,6 +134,11 @@ type Server struct {
 	store     *persist.Store
 	persistMu sync.Mutex
 
+	// tracer samples per-request traces into a ring buffer for
+	// /debug/trace/{recent,chrome} and the slow-query log. Nil when
+	// tracing is disabled (TraceSampleEvery < 0); every use is nil-safe.
+	tracer *trace.Tracer
+
 	// Metrics (all owned by reg; cached here to avoid name lookups on the
 	// hot path).
 	mQueries     *metrics.Counter
@@ -124,6 +152,7 @@ type Server struct {
 	mStrategy    map[string]*metrics.Counter
 	mCacheHits   *metrics.Counter
 	mCacheMisses *metrics.Counter
+	mSlow        *metrics.Counter
 }
 
 // New returns a ready-to-serve daemon. Callers own the HTTP listener
@@ -153,6 +182,10 @@ func New(cfg Config) *Server {
 	}
 	s.mCacheHits = s.reg.Counter("plan_cache_request_hits_total")
 	s.mCacheMisses = s.reg.Counter("plan_cache_request_misses_total")
+	s.mSlow = s.reg.Counter("slow_queries_total")
+	if cfg.TraceSampleEvery >= 0 {
+		s.tracer = trace.NewTracer(cfg.TraceSampleEvery, cfg.TraceRingSize)
+	}
 	s.reg.Func("plan_cache", func() string {
 		st := s.cache.Stats()
 		return fmt.Sprintf(`{"hits":%d,"misses":%d,"evictions":%d,"rejected":%d,"entries":%d,"bytes":%d,"budget":%d,"hit_rate":%.4f}`,
@@ -171,6 +204,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/measures", s.wrap(s.handleMeasures))
 	s.mux.HandleFunc("GET /healthz", s.wrap(s.handleHealthz))
 	s.mux.HandleFunc("GET /debug/vars", s.wrap(s.handleDebugVars))
+	s.mux.HandleFunc("GET /debug/trace/recent", s.wrap(s.handleTraceRecent))
+	s.mux.HandleFunc("GET /debug/trace/chrome", s.wrap(s.handleTraceChrome))
 	return s
 }
 
@@ -188,7 +223,7 @@ func (s *Server) RegisterDB(name string, db *graphdb.DB) error {
 	if name == "" {
 		return fmt.Errorf("server: database name required")
 	}
-	entry, replaced, err := s.doRegister(name, db)
+	entry, replaced, err := s.doRegister(context.Background(), name, db)
 	if err != nil {
 		return err
 	}
@@ -232,13 +267,13 @@ func (s *Server) AttachStore(st *persist.Store) (int, error) {
 // cache entries. A persistence failure leaves memory untouched — the
 // invariant is memory ⊆ disk, so a crash can lose nothing the server
 // ever acknowledged.
-func (s *Server) doRegister(name string, db *graphdb.DB) (entry *dbEntry, replaced bool, err error) {
+func (s *Server) doRegister(ctx context.Context, name string, db *graphdb.DB) (entry *dbEntry, replaced bool, err error) {
 	s.persistMu.Lock()
 	defer s.persistMu.Unlock()
 	gen := s.dbs.allocGen()
 	at := time.Now()
 	if s.store != nil {
-		if err := s.store.AppendRegister(name, gen, at, db); err != nil {
+		if err := s.store.AppendRegisterContext(ctx, name, gen, at, db); err != nil {
 			return nil, false, fmt.Errorf("persisting %q: %w", name, err)
 		}
 	}
@@ -254,7 +289,7 @@ func (s *Server) doRegister(name string, db *graphdb.DB) (entry *dbEntry, replac
 // invalidated. Dropping a name that is not registered is not an error
 // worth journaling, so existence is checked first under persistMu (which
 // all mutations hold, making check-then-act safe).
-func (s *Server) doDrop(name string) (gen uint64, ok bool, err error) {
+func (s *Server) doDrop(ctx context.Context, name string) (gen uint64, ok bool, err error) {
 	s.persistMu.Lock()
 	defer s.persistMu.Unlock()
 	e, exists := s.dbs.get(name)
@@ -262,7 +297,7 @@ func (s *Server) doDrop(name string) (gen uint64, ok bool, err error) {
 		return 0, false, nil
 	}
 	if s.store != nil {
-		if err := s.store.AppendDrop(name, e.gen); err != nil {
+		if err := s.store.AppendDropContext(ctx, name, e.gen); err != nil {
 			return 0, false, fmt.Errorf("persisting drop of %q: %w", name, err)
 		}
 	}
@@ -387,6 +422,91 @@ func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, ",\n%q: %s", kv.Key, kv.Value.String())
 	})
 	fmt.Fprint(w, "\n}\n")
+}
+
+// handleTraceRecent serves the ring buffer of recent request traces as
+// JSON (newest first).
+func (s *Server) handleTraceRecent(w http.ResponseWriter, r *http.Request) {
+	recent := s.tracer.Recent(0)
+	if recent == nil {
+		recent = []trace.TraceData{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled": s.tracer != nil,
+		"traces":  recent,
+	})
+}
+
+// handleTraceChrome serves the same ring as a Chrome trace_event JSON
+// file: save it and load into chrome://tracing or ui.perfetto.dev.
+func (s *Server) handleTraceChrome(w http.ResponseWriter, r *http.Request) {
+	recent := s.tracer.Recent(0)
+	// Oldest first so the timeline reads chronologically.
+	for i, j := 0, len(recent)-1; i < j; i, j = i+1, j-1 {
+		recent[i], recent[j] = recent[j], recent[i]
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Content-Disposition", `attachment; filename="ecrpqd-trace.json"`)
+	if err := trace.WriteChrome(w, recent...); err != nil {
+		// Headers are out; nothing more useful to do.
+		_ = err
+	}
+}
+
+// startTrace begins a sampled trace for one request and threads it
+// through ctx. Both results may be nil/unchanged when the request is not
+// sampled.
+func (s *Server) startTrace(ctx context.Context, name string) (context.Context, *trace.Trace) {
+	tr := s.tracer.Sample(name)
+	return trace.NewContext(ctx, tr), tr
+}
+
+// finishTrace collects tr into the ring and, when the request ran past
+// the -slow-query threshold, logs its plan snapshot and per-stage
+// breakdown. Nil-safe.
+func (s *Server) finishTrace(tr *trace.Trace) {
+	if tr == nil {
+		return
+	}
+	dur := tr.Duration()
+	td := s.tracer.Collect(tr)
+	thr := s.cfg.SlowQueryThreshold
+	if thr <= 0 || dur < thr {
+		return
+	}
+	s.mSlow.Inc()
+	var stages []byte
+	{
+		type row struct {
+			Name   string  `json:"name"`
+			Count  int     `json:"count"`
+			SelfMs float64 `json:"self_ms"`
+		}
+		br := td.Breakdown()
+		rows := make([]row, 0, len(br))
+		for _, st := range br {
+			rows = append(rows, row{Name: st.Name, Count: st.Count, SelfMs: st.SelfUs / 1000})
+		}
+		stages, _ = json.Marshal(rows)
+	}
+	plan, _ := json.Marshal(td.Attrs)
+	s.cfg.Logger.Printf("event=slow_query name=%s trace_id=%d dur_ms=%.2f threshold_ms=%.0f plan=%s stages=%s",
+		td.Name, td.ID, td.DurMs, float64(thr)/float64(time.Millisecond), plan, stages)
+}
+
+// cacheGet and cachePut wrap the plan cache with trace spans so cache
+// dwell time shows up in per-stage breakdowns.
+func (s *Server) cacheGet(ctx context.Context, key plancache.Key) (any, bool) {
+	_, sp := trace.StartSpan(ctx, "plancache/get")
+	v, ok := s.cache.Get(key)
+	sp.End()
+	return v, ok
+}
+
+func (s *Server) cachePut(ctx context.Context, key plancache.Key, v any, size int) {
+	_, sp := trace.StartSpan(ctx, "plancache/put")
+	s.cache.Put(key, v, size)
+	sp.End()
 }
 
 // coreOptions builds the evaluation options for one request.

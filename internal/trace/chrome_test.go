@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteChromeShape(t *testing.T) {
+	td := TraceData{
+		ID:    7,
+		Name:  "query",
+		DurMs: 1.5,
+		Attrs: map[string]any{"db": "g1"},
+		Spans: []SpanData{
+			{ID: 0, Parent: -1, Name: "core/prepare", StartUs: 0, DurUs: 100,
+				Attrs: map[string]any{"strategy": "reduction"}},
+			{ID: 1, Parent: 0, Name: "core/merge", StartUs: 10, DurUs: 50},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, td); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(events) != 3 { // metadata + 2 spans
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+	if events[0]["ph"] != "M" || events[0]["name"] != "process_name" {
+		t.Errorf("first event must be process_name metadata, got %v", events[0])
+	}
+	var prepare map[string]any
+	for _, ev := range events {
+		if ev["name"] == "core/prepare" {
+			prepare = ev
+		}
+	}
+	if prepare == nil {
+		t.Fatal("no core/prepare event")
+	}
+	if prepare["ph"] != "X" {
+		t.Errorf("span phase = %v, want X", prepare["ph"])
+	}
+	if prepare["pid"] != float64(7) {
+		t.Errorf("pid = %v, want 7", prepare["pid"])
+	}
+	args := prepare["args"].(map[string]any)
+	if args["strategy"] != "reduction" {
+		t.Errorf("span args = %v", args)
+	}
+	if args["trace.db"] != "g1" {
+		t.Errorf("trace attrs not propagated to args: %v", args)
+	}
+}
+
+func TestAssignLanes(t *testing.T) {
+	// parent [0,100] containing child [10,50] → same lane;
+	// concurrent sibling [20,120] overlaps both without nesting → new lane;
+	// later span [200,250] reuses lane 0.
+	spans := []SpanData{
+		{ID: 0, StartUs: 0, DurUs: 100},
+		{ID: 1, StartUs: 10, DurUs: 40},
+		{ID: 2, StartUs: 20, DurUs: 100},
+		{ID: 3, StartUs: 200, DurUs: 50},
+	}
+	lanes := assignLanes(spans)
+	if lanes[0] != 0 || lanes[1] != 0 {
+		t.Errorf("nested spans split lanes: %v", lanes)
+	}
+	if lanes[2] == lanes[0] {
+		t.Errorf("overlapping non-nested span shares lane: %v", lanes)
+	}
+	if lanes[3] != 0 {
+		t.Errorf("disjoint later span should reuse lane 0: %v", lanes)
+	}
+}
+
+func TestAssignLanesTiesLongerFirst(t *testing.T) {
+	// Two spans starting at the same instant where one contains the other:
+	// the longer must claim the lane first so the shorter nests inside it.
+	spans := []SpanData{
+		{ID: 0, StartUs: 0, DurUs: 10},
+		{ID: 1, StartUs: 0, DurUs: 100},
+	}
+	lanes := assignLanes(spans)
+	if lanes[0] != lanes[1] {
+		t.Errorf("contained same-start spans should share a lane: %v", lanes)
+	}
+}
