@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint vet fuzz-smoke bench server-test chaos trace-gate ci
+.PHONY: all build test race lint vet fuzz-smoke bench server-test chaos trace-gate govern-gate ci
 
 all: build test
 
@@ -49,13 +49,23 @@ trace-gate:
 	echo "$$out" | grep -Eq 'BenchmarkTraceDisabled.*[[:space:]]0 allocs/op' || \
 		{ echo "trace-gate: BenchmarkTraceDisabled allocates on the disabled path"; exit 1; }
 
+## govern-gate runs the resource-governor suite under the race detector
+## and fails the build if the disabled-path benchmark reports any
+## allocation: accounting must cost ~zero when no broker is attached.
+govern-gate:
+	$(GO) test -race -count=1 ./internal/govern/
+	@out="$$($(GO) test -run '^$$' -bench BenchmarkReservationDisabled -benchmem ./internal/govern/)"; \
+	echo "$$out"; \
+	echo "$$out" | grep -Eq 'BenchmarkReservationDisabled.*[[:space:]]0 allocs/op' || \
+		{ echo "govern-gate: BenchmarkReservationDisabled allocates on the disabled path"; exit 1; }
+
 ## chaos rebuilds the fault-injection build (-tags faultinject) and runs
 ## the deterministic chaos suite under the race detector: injected
 ## persist/cache/pool/core faults must surface as typed errors with no
 ## corruption and no goroutine leaks.
 chaos:
-	$(GO) test -race -tags faultinject ./internal/faultinject/ ./internal/persist/ ./internal/server/... ./internal/client/
+	$(GO) test -race -tags faultinject ./internal/faultinject/ ./internal/persist/ ./internal/server/... ./internal/client/ ./internal/govern/
 
 ## ci mirrors the GitHub Actions gate: build, vet, lint, tests, race
-## tests, chaos suite, trace zero-alloc gate.
-ci: build vet lint test race server-test chaos trace-gate
+## tests, chaos suite, trace and govern zero-alloc gates.
+ci: build vet lint test race server-test chaos trace-gate govern-gate

@@ -24,6 +24,7 @@ import (
 
 	"ecrpq/internal/lint"
 	"ecrpq/internal/lint/alphabetguard"
+	"ecrpq/internal/lint/boundedrun"
 	"ecrpq/internal/lint/errcheckstrict"
 	"ecrpq/internal/lint/panicfree"
 	"ecrpq/internal/lint/spanend"
@@ -35,6 +36,7 @@ var analyzers = []*lint.Analyzer{
 	panicfree.Analyzer,
 	alphabetguard.Analyzer,
 	statebounds.Analyzer,
+	boundedrun.Analyzer,
 	errcheckstrict.Analyzer,
 	spanend.Analyzer,
 }

@@ -9,7 +9,17 @@
 //	ecrpqd [-addr :8377] [-workers N] [-queue N] [-timeout 30s]
 //	       [-max-timeout 5m] [-cache-budget 268435456] [-db name=file ...]
 //	       [-data-dir DIR] [-check] [-slow-query 0] [-trace-sample 1]
-//	       [-debug-addr ""]
+//	       [-debug-addr ""] [-mem-budget 0] [-quota 0] [-quota-burst 0]
+//	       [-shed] [-shed-wait 250ms] [-shed-mem 0.9] [-degraded]
+//
+// Resource governance: -mem-budget caps the bytes held by live
+// evaluations plus the plan cache (one shared ledger; -1 sizes it from
+// /proc/meminfo); over-budget queries fail fast with a structured 429
+// RESOURCE_EXHAUSTED (or, with -degraded, a satisfiability-only answer)
+// instead of OOM-killing the daemon. -quota rate-limits each client (the
+// X-Ecrpq-Client header) with per-client token buckets, and -shed rejects
+// low-priority work (X-Ecrpq-Priority: low) while queue-wait p99 or
+// reserved memory is past its threshold.
 //
 // Observability: every sampled request (-trace-sample, default: all) is
 // traced through the evaluation pipeline; recent traces are served at
@@ -84,6 +94,13 @@ func main() {
 	traceSample := flag.Int("trace-sample", 1, "trace one request in N (1 = all, negative = disable tracing)")
 	traceRing := flag.Int("trace-ring", 0, "recent-trace ring buffer size (0 = default 64)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+	memBudget := flag.Int64("mem-budget", 0, "evaluation+cache memory budget in bytes (0 = unlimited, -1 = half of MemAvailable)")
+	quota := flag.Float64("quota", 0, "per-client sustained queries/second (X-Ecrpq-Client header; 0 = off)")
+	quotaBurst := flag.Float64("quota-burst", 0, "per-client burst capacity (0 = max(2*quota, 1))")
+	shed := flag.Bool("shed", false, "shed low-priority work when queue wait or reserved memory crosses its threshold")
+	shedWait := flag.Duration("shed-wait", 0, "queue-wait p99 that triggers shedding (0 = default 250ms)")
+	shedMem := flag.Float64("shed-mem", 0, "reserved/budget fraction that triggers shedding (0 = default 0.9)")
+	degraded := flag.Bool("degraded", false, "answer memory-denied queries with a satisfiability-only degraded result")
 	var dbs dbFlags
 	flag.Var(&dbs, "db", "preload a database as name=file (repeatable)")
 	flag.Parse()
@@ -96,6 +113,11 @@ func main() {
 		}
 		return
 	}
+	budget := *memBudget
+	if budget < 0 {
+		budget = autoMemBudget()
+		logger.Printf("event=mem_budget_auto bytes=%d", budget)
+	}
 	if err := run(*addr, server.Config{
 		Workers:            *workers,
 		QueueDepth:         *queue,
@@ -107,10 +129,44 @@ func main() {
 		TraceSampleEvery:   *traceSample,
 		TraceRingSize:      *traceRing,
 		SlowQueryThreshold: *slowQuery,
+		MemBudgetBytes:     budget,
+		QuotaRPS:           *quota,
+		QuotaBurst:         *quotaBurst,
+		ShedEnabled:        *shed,
+		ShedQueueWait:      *shedWait,
+		ShedMemFraction:    *shedMem,
+		DegradedFallback:   *degraded,
 	}, dbs, *dataDir, *drainTimeout, *debugAddr, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "ecrpqd:", err)
 		os.Exit(1)
 	}
+}
+
+// autoMemBudget derives a budget from /proc/meminfo's MemAvailable: half
+// of what the kernel reports as reclaimable-without-swapping, leaving the
+// rest for the Go runtime, the OS page cache, and neighbours. Falls back
+// to 1 GiB when the file is unreadable (non-Linux or restricted).
+func autoMemBudget() int64 {
+	const fallback = 1 << 30
+	data, err := os.ReadFile("/proc/meminfo")
+	if err != nil {
+		return fallback
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "MemAvailable:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			break
+		}
+		var kb int64
+		if _, err := fmt.Sscan(fields[1], &kb); err != nil {
+			break
+		}
+		return kb * 1024 / 2
+	}
+	return fallback
 }
 
 // probeURL turns a listen address into a client base URL: ":8377" and

@@ -48,6 +48,14 @@ type Config struct {
 	// RetryBudget caps the total time spent sleeping between retries of
 	// one call (default 30s).
 	RetryBudget time.Duration
+	// QuotaRetryBudget caps the sleep attributable to 429 responses
+	// (quota, memory budget, shed) within one call, separately from
+	// RetryBudget (default 10s). A 429 means the server chose to refuse
+	// this client or this query — grinding through the full transient
+	// budget would just re-spend quota — while 5xx-class failures keep
+	// the larger budget because the server never saw or never finished
+	// the work.
+	QuotaRetryBudget time.Duration
 	// BreakerThreshold is how many consecutive 5xx-class failures trip the
 	// circuit breaker (default 5; negative disables the breaker).
 	BreakerThreshold int
@@ -57,14 +65,20 @@ type Config struct {
 }
 
 // StatusError is a non-2xx daemon response, carrying the HTTP status, the
-// server's error message, and any Retry-After hint.
+// server's error message, its machine-readable code (RESOURCE_EXHAUSTED,
+// QUOTA_EXCEEDED, SHED, OVERLOADED; empty for responses without one), and
+// any Retry-After hint.
 type StatusError struct {
 	Code       int
+	ErrCode    string
 	Msg        string
 	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
+	if e.ErrCode != "" {
+		return fmt.Sprintf("client: server returned %d %s: %s", e.Code, e.ErrCode, e.Msg)
+	}
 	return fmt.Sprintf("client: server returned %d: %s", e.Code, e.Msg)
 }
 
@@ -111,6 +125,9 @@ func New(cfg Config) *Client {
 	}
 	if cfg.RetryBudget <= 0 {
 		cfg.RetryBudget = 30 * time.Second
+	}
+	if cfg.QuotaRetryBudget <= 0 {
+		cfg.QuotaRetryBudget = 10 * time.Second
 	}
 	if cfg.BreakerThreshold == 0 {
 		cfg.BreakerThreshold = 5
@@ -182,7 +199,7 @@ func parseRetryAfter(h string, now time.Time) time.Duration {
 // from the byte slice on every attempt; out (when non-nil) receives the
 // decoded 2xx JSON body.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, idempotent bool, out any) error {
-	var slept time.Duration
+	var slept, sleptQuota time.Duration
 	for attempt := 0; ; attempt++ {
 		if c.breaker != nil {
 			if err := c.breaker.allow(); err != nil {
@@ -223,6 +240,15 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, idemp
 		if retryAfter > delay {
 			delay = retryAfter
 		}
+		// 429s spend their own, tighter budget: the server refused this
+		// client on purpose, so a long grind of re-sends only burns more
+		// of its quota or memory budget. 5xx and transport failures keep
+		// the full transient budget.
+		quotaDenied := statusErr != nil && statusErr.Code == http.StatusTooManyRequests
+		if quotaDenied && sleptQuota+delay > c.cfg.QuotaRetryBudget {
+			return fmt.Errorf("client: quota-retry budget %s exhausted after %d attempt(s): %w",
+				c.cfg.QuotaRetryBudget, attempt+1, err)
+		}
 		if slept+delay > c.cfg.RetryBudget {
 			return fmt.Errorf("client: retry budget %s exhausted after %d attempt(s): %w",
 				c.cfg.RetryBudget, attempt+1, err)
@@ -231,6 +257,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, idemp
 			return err
 		}
 		slept += delay
+		if quotaDenied {
+			sleptQuota += delay
+		}
 		c.mu.Lock()
 		c.retries++
 		c.mu.Unlock()
@@ -263,13 +292,15 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	if resp.StatusCode/100 != 2 {
 		msg := strings.TrimSpace(string(raw))
 		var e struct {
-			Error string `json:"error"`
+			Error   string `json:"error"`
+			ErrCode string `json:"code"`
 		}
 		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
 			msg = e.Error
 		}
 		return &StatusError{
 			Code:       resp.StatusCode,
+			ErrCode:    e.ErrCode,
 			Msg:        msg,
 			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"), c.now()),
 		}, nil

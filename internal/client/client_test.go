@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -140,6 +141,59 @@ func TestRetryBudgetCapsTotalSleep(t *testing.T) {
 	}
 	if calls.Load() > 6 {
 		t.Errorf("server saw %d calls under a 3-sleep budget", calls.Load())
+	}
+}
+
+// TestQuotaRetryBudgetSeparateFrom503 pins the two retry budgets: 429
+// responses (server refused the work on purpose) give up under the tight
+// quota budget, while 503s (server temporarily unable) keep grinding
+// through the full transient budget — under identical backoff settings.
+func TestQuotaRetryBudgetSeparateFrom503(t *testing.T) {
+	cases := []struct {
+		name      string
+		status    int
+		errCode   string
+		wantCalls int32 // 1 first try + retries until the relevant budget stops the sleeps
+		wantInErr string
+	}{
+		// Sleeps are pinned at ~100ms each (MaxDelay). Quota budget 150ms
+		// admits one 429 sleep; transient budget 450ms admits four.
+		{"429 stops on quota budget", http.StatusTooManyRequests, "RESOURCE_EXHAUSTED", 2, "quota-retry budget"},
+		{"503 uses transient budget", http.StatusServiceUnavailable, "", 5, "retry budget"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var calls atomic.Int32
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				calls.Add(1)
+				w.WriteHeader(tc.status)
+				if tc.errCode != "" {
+					w.Write([]byte(`{"error":"no memory budget","code":"` + tc.errCode + `"}`))
+					return
+				}
+				w.Write([]byte(`{"error":"draining"}`))
+			}))
+			defer srv.Close()
+			c, _ := testClient(srv.URL, Config{
+				MaxRetries: 50, BaseDelay: 100 * time.Millisecond, MaxDelay: 100 * time.Millisecond,
+				RetryBudget: 450 * time.Millisecond, QuotaRetryBudget: 150 * time.Millisecond,
+				BreakerThreshold: -1,
+			})
+			_, err := c.Health(context.Background())
+			if err == nil {
+				t.Fatal("expected a terminal error")
+			}
+			if !strings.Contains(err.Error(), tc.wantInErr) {
+				t.Errorf("err = %v, want mention of %q", err, tc.wantInErr)
+			}
+			var se *StatusError
+			if !errors.As(err, &se) || se.Code != tc.status || se.ErrCode != tc.errCode {
+				t.Errorf("StatusError = %+v, want code %d errcode %q", se, tc.status, tc.errCode)
+			}
+			if calls.Load() != tc.wantCalls {
+				t.Errorf("server saw %d calls, want %d", calls.Load(), tc.wantCalls)
+			}
+		})
 	}
 }
 

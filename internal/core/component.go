@@ -26,6 +26,7 @@ import (
 
 	"ecrpq/internal/alphabet"
 	"ecrpq/internal/faultinject"
+	"ecrpq/internal/govern"
 	"ecrpq/internal/graphdb"
 	"ecrpq/internal/invariant"
 	"ecrpq/internal/query"
@@ -218,6 +219,14 @@ func productSearch(
 	if t > 64 {
 		return -1, nil, nil, fmt.Errorf("core: component with %d tracks exceeds the 64-track limit", t)
 	}
+	// Byte accounting: each recorded state costs a productState, a
+	// stepRecord, and an index entry; the whole table is released when the
+	// search returns (witness reconstruction from the returned slices is
+	// short-lived, so the transient under-count is acceptable).
+	mem := govern.MeterFrom(ctx)
+	defer mem.Close()
+	perState := int64(192 + 24*t + 16*len(c.rels))
+	chargedStates := 0
 	nfas := make([]*nfaView, len(c.rels))
 	for i, r := range c.rels {
 		nfas[i] = newNFAView(r)
@@ -259,6 +268,12 @@ func productSearch(
 			}
 			if err := faultinject.Point("core.budget"); err != nil {
 				return -1, nil, nil, fmt.Errorf("core: product search aborted: %w", err)
+			}
+			if mem != nil && len(states) > chargedStates {
+				if err := mem.Grow(int64(len(states)-chargedStates) * perState); err != nil {
+					return -1, nil, nil, fmt.Errorf("core: product search: %w", err)
+				}
+				chargedStates = len(states)
 			}
 		}
 		st := states[qi]
@@ -475,6 +490,7 @@ func reconstructPaths(c *component, srcs []int, states []productState, parents [
 // success.
 func checkComponent(ctx context.Context, db *graphdb.DB, c *component, srcs, dsts []int, maxStates int) ([]graphdb.Path, bool, error) {
 	if fp := newFastProduct(db, c); fp != nil {
+		defer fp.releaseMem()
 		found, err := fp.Run(ctx, srcs, func(verts []int) bool {
 			for i, v := range verts {
 				if v != dsts[i] {

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"ecrpq/internal/cq"
+	"ecrpq/internal/govern"
 	"ecrpq/internal/graphdb"
 	"ecrpq/internal/query"
 	"ecrpq/internal/synchro"
@@ -501,8 +502,16 @@ func evalReductionMaterialized(ctx context.Context, db *graphdb.DB, q *query.Que
 		return &Result{Sat: sat, Stats: stats}, nil
 	}
 
+	// Join intermediates charge through a meter so they are released as a
+	// block when the CQ evaluation finishes, whatever path it exits by.
+	mem := govern.MeterFrom(ctx)
+	defer mem.Close()
+	var chargeFn cq.ChargeFunc
+	if mem != nil {
+		chargeFn = mem.Charge
+	}
 	_, jsp := trace.StartSpan(ctx, "core/cq_join")
-	assign, sat, err := cq.EvalTreeDecomp(st, cqq)
+	assign, sat, err := cq.EvalTreeDecompBudget(st, cqq, chargeFn)
 	jsp.End()
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 
 	"ecrpq/internal/alphabet"
 	"ecrpq/internal/faultinject"
+	"ecrpq/internal/govern"
 	"ecrpq/internal/graphdb"
 	"ecrpq/internal/invariant"
 )
@@ -38,6 +39,35 @@ type fastProduct struct {
 	visited map[uint64]struct{}
 	bitset  []uint64
 	queue   []uint64
+
+	// Byte accounting against the context reservation. Scratch is reused
+	// across Run calls, so only high-water growth is charged: chargedStates
+	// is the largest queue length charged so far, chargedFixed marks the
+	// one-time bitset charge. The owner releases via releaseMem.
+	mem           *govern.Meter
+	chargedStates int
+	chargedFixed  bool
+}
+
+// fastStateBytes estimates the incremental cost of one product state: a
+// queue slot plus, when the visited set is a map, its entry (the bitset is
+// charged once up front instead).
+const (
+	fastStateBitsetBytes = 8
+	fastStateMapBytes    = 56
+)
+
+// releaseMem closes the accounting scope: everything this fastProduct
+// charged is released back to the reservation. Safe on nil receivers and
+// without an attached meter; the scratch itself stays reusable.
+func (f *fastProduct) releaseMem() {
+	if f == nil {
+		return
+	}
+	f.mem.Close()
+	f.mem = nil
+	f.chargedStates = 0
+	f.chargedFixed = false
 }
 
 // bitsetMaxBits bounds the packed-space size for which a bitset is used
@@ -156,6 +186,21 @@ const cancelCheckInterval = 1024
 // search polls ctx every cancelCheckInterval states and returns ctx.Err()
 // on cancellation.
 func (f *fastProduct) Run(ctx context.Context, srcs []int, accept func(verts []int) bool, maxStates int) (bool, error) {
+	if f.mem == nil {
+		if r := govern.FromContext(ctx); r != nil {
+			f.mem = r.NewMeter()
+		}
+	}
+	perState := int64(fastStateBitsetBytes)
+	if f.visited != nil {
+		perState = fastStateMapBytes
+	}
+	if f.mem != nil && !f.chargedFixed {
+		f.chargedFixed = true
+		if err := f.mem.Grow(int64(len(f.bitset)) * 8); err != nil {
+			return false, fmt.Errorf("core: product search: %w", err)
+		}
+	}
 	if f.bitset != nil {
 		// Incremental clear: exactly the previous run's states are set.
 		for _, k := range f.queue {
@@ -211,6 +256,12 @@ func (f *fastProduct) Run(ctx context.Context, srcs []int, accept func(verts []i
 			}
 			if err := faultinject.Point("core.budget"); err != nil {
 				return false, fmt.Errorf("core: product search aborted: %w", err)
+			}
+			if f.mem != nil && len(f.queue) > f.chargedStates {
+				if err := f.mem.Grow(int64(len(f.queue)-f.chargedStates) * perState); err != nil {
+					return false, fmt.Errorf("core: product search: %w", err)
+				}
+				f.chargedStates = len(f.queue)
 			}
 		}
 		key := f.queue[qi]

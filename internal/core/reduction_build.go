@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"ecrpq/internal/cq"
+	"ecrpq/internal/govern"
 	"ecrpq/internal/graphdb"
 	"ecrpq/internal/query"
 	"ecrpq/internal/synchro"
@@ -86,8 +87,16 @@ func buildReductionMerged(ctx context.Context, db *graphdb.DB, q *query.Query, c
 			return nil, nil, stats, err
 		}
 		if n > 0 {
+			// Materialized R' rows live for the rest of the evaluation (or
+			// until the cached materialization is evicted), so they charge
+			// the reservation directly rather than through a scoped meter.
+			res := govern.FromContext(ctx)
+			rowBytes := int64(24 + 16*t)
 			_, ssp := trace.StartSpan(ctx, "core/sweep")
 			added, err := sweepComponent(ctx, db, &merged[ci], t, n, opts, func(tuple []int) error {
+				if err := res.Grow(rowBytes); err != nil {
+					return err
+				}
 				return st.AddTuple(name, tuple...)
 			})
 			ssp.SetInt("component", int64(ci))
@@ -130,11 +139,16 @@ func addReachRelation(ctx context.Context, db *graphdb.DB, st *cq.Structure, n i
 	if err := st.AddRelation("__reach", 2); err != nil {
 		return 0, err
 	}
+	res := govern.FromContext(ctx)
+	const reachRowBytes = 40
 	added := 0
 	for u := 0; u < n; u++ {
 		reach := anyReach(db, u)
 		for v, ok := range reach {
 			if ok {
+				if err := res.Grow(reachRowBytes); err != nil {
+					return added, err
+				}
 				st.MustAddTuple("__reach", u, v)
 				added++
 			}
@@ -229,6 +243,7 @@ func sweepComponent(ctx context.Context, db *graphdb.DB, merged *component, t, n
 	}
 	if workers <= 1 {
 		fp := newFastProduct(db, merged)
+		defer fp.releaseMem()
 		srcs := make([]int, t)
 		row := make([]int, 2*t)
 		count := 0
@@ -255,9 +270,25 @@ func sweepComponent(ctx context.Context, db *graphdb.DB, merged *component, t, n
 		return count, nil
 	}
 
+	// Per-worker staging buffers charge through per-worker meters over the
+	// shared reservation (a Meter is single-goroutine); the staging bytes
+	// are released after the merge, once add has re-charged the surviving
+	// rows against the structure.
+	res := govern.FromContext(ctx)
+	meters := make([]*govern.Meter, workers)
+	for w := range meters {
+		meters[w] = res.NewMeter()
+	}
+	defer func() {
+		for _, m := range meters {
+			m.Close()
+		}
+	}()
+	rowBytes := int64(24 + 16*t)
 	results := make([][][]int, workers)
 	err := runWorkers(workers, func(w int, stop <-chan struct{}) error {
 		fp := newFastProduct(db, merged)
+		defer fp.releaseMem()
 		srcs := make([]int, t)
 		for idx := w; idx < total; idx += workers {
 			select {
@@ -273,6 +304,9 @@ func sweepComponent(ctx context.Context, db *graphdb.DB, merged *component, t, n
 				return err
 			}
 			for _, dsts := range dstTuples {
+				if err := meters[w].Grow(rowBytes); err != nil {
+					return err
+				}
 				row := make([]int, 2*t)
 				for k := 0; k < t; k++ {
 					row[2*k] = srcs[k]

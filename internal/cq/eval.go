@@ -260,6 +260,17 @@ func atomTable(s *Structure, at Atom) *table {
 	return t
 }
 
+// ChargeFunc accounts join-intermediate bytes during tree-decomposition
+// evaluation: positive deltas charge, negative deltas release (a table was
+// replaced by a smaller one). Returning an error aborts the evaluation —
+// the caller's budget is exhausted. A nil ChargeFunc disables accounting.
+type ChargeFunc func(deltaBytes int64) error
+
+// tableBytes estimates the live size of an intermediate join table.
+func tableBytes(t *table) int64 {
+	return 64 + int64(len(t.rows))*(24+8*int64(len(t.cols)))
+}
+
 // EvalTreeDecomp decides Boolean satisfiability via a tree-decomposition
 // dynamic program over the query's Gaifman graph: atoms are assigned to bags
 // containing all their variables, bag tables are the joins of their assigned
@@ -268,6 +279,14 @@ func atomTable(s *Structure, at Atom) *table {
 // width w this runs in time O(poly(|D|^{w+1})) — the Proposition 2.3
 // algorithm. A satisfying assignment is reconstructed top-down.
 func EvalTreeDecomp(s *Structure, q *Query) (Assignment, bool, error) {
+	return EvalTreeDecompBudget(s, q, nil)
+}
+
+// EvalTreeDecompBudget is EvalTreeDecomp with byte accounting: every time a
+// bag table is built, extended, or replaced by a semijoin, the size delta is
+// reported through charge, so a resource governor sees join intermediates as
+// they grow and can abort the query before they exhaust the process budget.
+func EvalTreeDecompBudget(s *Structure, q *Query, charge ChargeFunc) (Assignment, bool, error) {
 	if err := q.Validate(s); err != nil {
 		return nil, false, err
 	}
@@ -301,8 +320,23 @@ func EvalTreeDecomp(s *Structure, q *Query) (Assignment, bool, error) {
 		}
 		atomBag[ai] = found
 	}
-	// Build bag tables.
+	// Build bag tables. curBytes tracks each bag's charged size so every
+	// replacement (join, extension, dedup, later semijoin) reports only the
+	// delta — the charge function sees a running approximation of live
+	// intermediate bytes, not a monotone total.
 	tables := make([]*table, len(bags))
+	curBytes := make([]int64, len(bags))
+	account := func(bi int, t *table) error {
+		if charge == nil {
+			return nil
+		}
+		nb := tableBytes(t)
+		if err := charge(nb - curBytes[bi]); err != nil {
+			return err
+		}
+		curBytes[bi] = nb
+		return nil
+	}
 	for bi, bag := range bags {
 		t := &table{cols: nil, rows: [][]int{{}}}
 		for ai, at := range q.Atoms {
@@ -310,6 +344,9 @@ func EvalTreeDecomp(s *Structure, q *Query) (Assignment, bool, error) {
 				continue
 			}
 			t = joinTables(t, atomTable(s, at))
+			if err := account(bi, t); err != nil {
+				return nil, false, err
+			}
 			if len(t.rows) == 0 {
 				break
 			}
@@ -329,8 +366,14 @@ func EvalTreeDecomp(s *Structure, q *Query) (Assignment, bool, error) {
 				}
 			}
 			t = ext
+			if err := account(bi, t); err != nil {
+				return nil, false, err
+			}
 		}
 		t.dedup()
+		if err := account(bi, t); err != nil {
+			return nil, false, err
+		}
 		tables[bi] = t
 	}
 	// Build decomposition tree adjacency; the decomposition may be a forest
@@ -377,6 +420,9 @@ func EvalTreeDecomp(s *Structure, q *Query) (Assignment, bool, error) {
 			continue
 		}
 		tables[p] = semijoin(tables[p], tables[b])
+		if err := account(p, tables[p]); err != nil {
+			return nil, false, err
+		}
 	}
 	for _, r := range roots {
 		if len(tables[r].rows) == 0 {

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestOverloadShape runs A9 and sanity-checks the tallies: rows are
+// well-formed, every request is accounted for in exactly one outcome
+// column, and the shed-on run actually refused some low-priority work.
+// Latency and throughput columns are load-dependent and deliberately
+// not asserted.
+func TestOverloadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping the saturating overload workload in -short mode")
+	}
+	tb := Overload(1)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("A9 rows = %d, want 2 (shed off / shed on)", len(tb.Rows))
+	}
+	atoi := func(s string) int {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("non-integer cell %q", s)
+		}
+		return n
+	}
+	for _, r := range tb.Rows {
+		if len(r) != len(tb.Headers) {
+			t.Fatalf("row width %d ≠ headers %d", len(r), len(tb.Headers))
+		}
+		requests, ok := atoi(r[1]), atoi(r[2])
+		shed429, queue429 := atoi(r[3]), atoi(r[4])
+		if ok+shed429+queue429 > requests {
+			t.Errorf("shed=%s: outcomes %d+%d+%d exceed %d requests", r[0], ok, shed429, queue429, requests)
+		}
+		if ok == 0 {
+			t.Errorf("shed=%s: nothing succeeded under the overload workload", r[0])
+		}
+	}
+	if shedOn := tb.Rows[1]; atoi(shedOn[3]) == 0 {
+		t.Error("shed-on run refused no low-priority work — the shedder never engaged")
+	}
+}

@@ -1,0 +1,105 @@
+package govern
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// QuotaConfig sizes the per-client token buckets.
+type QuotaConfig struct {
+	// RatePerSec is the sustained request rate each client may hold.
+	// <= 0 disables quota enforcement (NewQuota returns nil).
+	RatePerSec float64
+	// Burst is the bucket capacity; defaults to max(2*RatePerSec, 1).
+	Burst float64
+	// MaxClients bounds the bucket map so unauthenticated clients cannot
+	// grow server memory without bound; defaults to 4096. When full, the
+	// stalest bucket is recycled.
+	MaxClients int
+}
+
+// Quota rate-limits requests per client identity (the X-Ecrpq-Client
+// header; empty identities share one anonymous bucket). Token buckets
+// refill continuously, so Allow also computes the exact Retry-After that
+// would let the next request through. Nil-safe: a nil *Quota admits
+// everything.
+type Quota struct {
+	rate       float64
+	burst      float64
+	maxClients int
+	now        func() time.Time // injectable for deterministic tests
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewQuota builds a quota enforcer, or nil (disabled) when the rate is
+// not positive.
+func NewQuota(cfg QuotaConfig) *Quota {
+	if cfg.RatePerSec <= 0 {
+		return nil
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = math.Max(2*cfg.RatePerSec, 1)
+	}
+	if cfg.MaxClients <= 0 {
+		cfg.MaxClients = 4096
+	}
+	return &Quota{
+		rate:       cfg.RatePerSec,
+		burst:      cfg.Burst,
+		maxClients: cfg.MaxClients,
+		now:        time.Now,
+		buckets:    make(map[string]*bucket),
+	}
+}
+
+// Allow spends one token from the client's bucket. When the bucket is
+// empty it reports false plus the duration after which one token will
+// have refilled (the Retry-After hint).
+func (q *Quota) Allow(client string) (ok bool, retryAfter time.Duration) {
+	if q == nil {
+		return true, 0
+	}
+	now := q.now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[client]
+	if b == nil {
+		if len(q.buckets) >= q.maxClients {
+			q.evictStalestLocked()
+		}
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[client] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(q.burst, b.tokens+dt*q.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / q.rate
+	return false, time.Duration(math.Ceil(need*1e3)) * time.Millisecond
+}
+
+// evictStalestLocked recycles the bucket touched longest ago. Linear scan
+// is fine: it only runs when the map is at capacity, and the map is small.
+func (q *Quota) evictStalestLocked() {
+	var stalest string
+	var when time.Time
+	first := true
+	for k, b := range q.buckets {
+		if first || b.last.Before(when) {
+			stalest, when, first = k, b.last, false
+		}
+	}
+	delete(q.buckets, stalest)
+}

@@ -1,0 +1,158 @@
+package govern
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Priority orders requests for overload shedding. The server parses it
+// from the X-Ecrpq-Priority header; unknown or absent values are normal.
+type Priority int
+
+const (
+	PriorityLow Priority = iota
+	PriorityNormal
+	PriorityHigh
+)
+
+// ParsePriority maps a header value to a Priority. Only "low" and "high"
+// are recognized; everything else — including empty — is PriorityNormal.
+func ParsePriority(s string) Priority {
+	switch s {
+	case "low":
+		return PriorityLow
+	case "high":
+		return PriorityHigh
+	default:
+		return PriorityNormal
+	}
+}
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityLow:
+		return "low"
+	case PriorityHigh:
+		return "high"
+	default:
+		return "normal"
+	}
+}
+
+// ShedConfig sets the overload thresholds.
+type ShedConfig struct {
+	// QueueWaitP99 sheds low-priority work when the p99 queue wait over
+	// the sample window exceeds this. Defaults to 250ms.
+	QueueWaitP99 time.Duration
+	// MemFraction sheds low-priority work when broker reserved bytes
+	// exceed this fraction of the budget (only meaningful with a budget).
+	// Defaults to 0.9.
+	MemFraction float64
+	// Window is the number of queue-wait samples kept. Defaults to 256.
+	Window int
+	// MinSamples is how many waits must be observed before wait-based
+	// shedding can trigger, so a cold server does not shed on noise.
+	// Defaults to 32.
+	MinSamples int
+}
+
+// Shedder decides, per request, whether the server is overloaded enough
+// to reject low-priority work outright. It watches two signals: the p99
+// of recent pool queue waits (the pool is wedged) and the broker's
+// reserved-byte fraction (memory is nearly spent). Nil-safe: a nil
+// *Shedder never sheds.
+type Shedder struct {
+	cfg    ShedConfig
+	broker *Broker
+
+	mu     sync.Mutex
+	ring   []time.Duration
+	next   int
+	filled int
+}
+
+// NewShedder builds a shedder over the broker's ledger. broker may be nil
+// (memory-based shedding then never triggers).
+func NewShedder(cfg ShedConfig, broker *Broker) *Shedder {
+	if cfg.QueueWaitP99 <= 0 {
+		cfg.QueueWaitP99 = 250 * time.Millisecond
+	}
+	if cfg.MemFraction <= 0 || cfg.MemFraction > 1 {
+		cfg.MemFraction = 0.9
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 256
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 32
+	}
+	if cfg.MinSamples > cfg.Window {
+		cfg.MinSamples = cfg.Window
+	}
+	return &Shedder{cfg: cfg, broker: broker, ring: make([]time.Duration, cfg.Window)}
+}
+
+// Observe records one pool queue wait. Called by the pool's onWait hook.
+func (s *Shedder) Observe(wait time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.ring[s.next] = wait
+	s.next = (s.next + 1) % len(s.ring)
+	if s.filled < len(s.ring) {
+		s.filled++
+	}
+	s.mu.Unlock()
+}
+
+// WaitP99 computes the p99 queue wait over the sample window (0 until
+// MinSamples waits have been observed).
+func (s *Shedder) WaitP99() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	if s.filled < s.cfg.MinSamples {
+		s.mu.Unlock()
+		return 0
+	}
+	buf := make([]time.Duration, s.filled)
+	copy(buf, s.ring[:s.filled])
+	s.mu.Unlock()
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := (len(buf)*99 + 99) / 100 // ceil(0.99*n), 1-based
+	if idx > len(buf) {
+		idx = len(buf)
+	}
+	return buf[idx-1]
+}
+
+// Overloaded reports whether either shed signal has crossed its
+// threshold, and which one ("queue_wait" or "memory").
+func (s *Shedder) Overloaded() (bool, string) {
+	if s == nil {
+		return false, ""
+	}
+	if p99 := s.WaitP99(); p99 > s.cfg.QueueWaitP99 {
+		return true, "queue_wait"
+	}
+	if b := s.broker; b != nil && b.budget > 0 {
+		if float64(b.reserved.Load()) >= s.cfg.MemFraction*float64(b.budget) {
+			return true, "memory"
+		}
+	}
+	return false, ""
+}
+
+// ShouldShed reports whether a request at the given priority should be
+// rejected right now. Only low-priority work is ever shed: normal and
+// high requests still compete for the queue and the memory budget, which
+// then fail them individually rather than collectively.
+func (s *Shedder) ShouldShed(p Priority) (bool, string) {
+	if s == nil || p > PriorityLow {
+		return false, ""
+	}
+	return s.Overloaded()
+}

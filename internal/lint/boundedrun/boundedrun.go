@@ -1,0 +1,117 @@
+// Package boundedrun implements the boundedrun analyzer: in the core
+// package, product-search entry points must not be invoked with a
+// literal 0 state budget outside test files. Both fastProduct.Run and
+// productSearch treat maxStates == 0 as "unlimited", which is exactly
+// the knob the resource governor relies on to keep a hostile query from
+// exploring an exponential product space unmetered. Production call
+// sites must thread a computed bound (options, config, or the caller's
+// budget) — a hard-coded 0 silently opts the call out of governance.
+package boundedrun
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ecrpq/internal/lint"
+)
+
+// Analyzer is the boundedrun check.
+var Analyzer = &lint.Analyzer{
+	Name: "boundedrun",
+	Doc: "product searches must not pass a literal 0 (unlimited) state budget outside tests\n\n" +
+		"Applies to internal/core. fastProduct.Run and productSearch interpret a\n" +
+		"maxStates of 0 as unbounded exploration; call sites in non-test files must\n" +
+		"pass a computed budget instead. Suppress a single finding with\n" +
+		"//ecrpq:ignore boundedrun -- <reason>.",
+	Run: run,
+}
+
+// inScope restricts the check to the core layer; fixture packages
+// (under a testdata tree) are always in scope so the analyzer is
+// testable.
+func inScope(path string) bool {
+	return strings.HasSuffix(path, "internal/core") ||
+		strings.Contains(path, "/testdata/")
+}
+
+func run(pass *lint.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue // tests may deliberately run unbounded
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 || call.Ellipsis.IsValid() {
+				return true
+			}
+			target := searchTarget(pass, call)
+			if target == "" {
+				return true
+			}
+			if isLiteralZero(call.Args[len(call.Args)-1]) {
+				pass.Reportf(call.Pos(),
+					"%s called with a literal 0 maxStates (unlimited search): pass a computed state budget", target)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// searchTarget classifies the callee: "productSearch" for the package
+// function, "fastProduct.Run" for the method, "" for anything else.
+func searchTarget(pass *lint.Pass, call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		if fn.Name == "productSearch" {
+			return "productSearch"
+		}
+	case *ast.SelectorExpr:
+		if fn.Sel.Name == "Run" && isFastProduct(pass, fn.X) {
+			return "fastProduct.Run"
+		}
+	}
+	return ""
+}
+
+// isFastProduct reports whether e's static type is (a pointer to) a
+// named type called fastProduct.
+func isFastProduct(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "fastProduct"
+}
+
+// isLiteralZero reports whether e is the integer literal 0 (possibly
+// parenthesized or written in another base).
+func isLiteralZero(e ast.Expr) bool {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return false
+	}
+	switch lit.Value {
+	case "0", "0x0", "0X0", "0o0", "0O0", "0b0", "0B0", "00":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package boundedrun_test
+
+import (
+	"testing"
+
+	"ecrpq/internal/lint/boundedrun"
+	"ecrpq/internal/lint/checktest"
+)
+
+func TestBoundedRun(t *testing.T) {
+	checktest.Run(t, ".", boundedrun.Analyzer, "violation", "clean")
+}

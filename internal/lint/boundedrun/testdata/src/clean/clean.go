@@ -1,0 +1,39 @@
+// Package clean must produce no boundedrun diagnostics: computed
+// budgets are fine, an unrelated Run method is not the analyzer's
+// business, and an explicitly suppressed unlimited call is silenced.
+package clean
+
+import "context"
+
+type fastProduct struct{}
+
+func (f *fastProduct) Run(ctx context.Context, srcs []int, accept func([]int) bool, maxStates int) (bool, error) {
+	return false, nil
+}
+
+func productSearch(ctx context.Context, srcs []int, accept func([]int) bool, maxStates int) (int, error) {
+	return -1, nil
+}
+
+type runner struct{}
+
+// Run on an unrelated type is out of scope even with a trailing 0.
+func (r *runner) Run(n int) int { return n }
+
+func boundedMethod(ctx context.Context, fp *fastProduct, srcs []int, budget int) (bool, error) {
+	return fp.Run(ctx, srcs, nil, budget)
+}
+
+func boundedSearch(ctx context.Context, srcs []int) (int, error) {
+	const defaultBudget = 1 << 20
+	return productSearch(ctx, srcs, nil, defaultBudget)
+}
+
+func otherRun(r *runner) int {
+	return r.Run(0)
+}
+
+func suppressed(ctx context.Context, srcs []int) (int, error) {
+	//ecrpq:ignore boundedrun -- offline tooling path with an external watchdog
+	return productSearch(ctx, srcs, nil, 0)
+}

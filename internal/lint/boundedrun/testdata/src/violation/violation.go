@@ -1,0 +1,29 @@
+// Package violation exercises every boundedrun diagnostic. The types
+// mirror the core package's search entry points: a fastProduct with a
+// Run method and a package-level productSearch, both taking maxStates
+// last.
+package violation
+
+import "context"
+
+type fastProduct struct{}
+
+func (f *fastProduct) Run(ctx context.Context, srcs []int, accept func([]int) bool, maxStates int) (bool, error) {
+	return false, nil
+}
+
+func productSearch(ctx context.Context, srcs []int, accept func([]int) bool, maxStates int) (int, error) {
+	return -1, nil
+}
+
+func unboundedMethod(ctx context.Context, fp *fastProduct, srcs []int) (bool, error) {
+	return fp.Run(ctx, srcs, nil, 0) // want `fastProduct.Run called with a literal 0 maxStates`
+}
+
+func unboundedValueReceiver(ctx context.Context, fp fastProduct, srcs []int) (bool, error) {
+	return fp.Run(ctx, srcs, nil, (0)) // want `fastProduct.Run called with a literal 0 maxStates`
+}
+
+func unboundedSearch(ctx context.Context, srcs []int) (int, error) {
+	return productSearch(ctx, srcs, nil, 0x0) // want `productSearch called with a literal 0 maxStates`
+}

@@ -1,0 +1,123 @@
+package plancache
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeLedger tracks acquired bytes against a fixed cap.
+type fakeLedger struct {
+	cap      int64
+	held     atomic.Int64
+	acquires atomic.Int64
+	releases atomic.Int64
+}
+
+func (l *fakeLedger) TryAcquire(n int64) bool {
+	l.acquires.Add(1)
+	for {
+		cur := l.held.Load()
+		if l.cap > 0 && cur+n > l.cap {
+			return false
+		}
+		if l.held.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
+}
+
+func (l *fakeLedger) Release(n int64) {
+	l.releases.Add(1)
+	l.held.Add(-n)
+}
+
+func lkey(i int) Key { return Key{QueryHash: fmt.Sprintf("q%d", i), Strategy: "reduction"} }
+
+func TestLedgerChargesAndReleases(t *testing.T) {
+	led := &fakeLedger{}
+	c := New(1 << 20)
+	c.SetLedger(led)
+
+	c.Put(lkey(1), "v1", 100)
+	c.Put(lkey(2), "v2", 200)
+	if got := led.held.Load(); got != 300 {
+		t.Fatalf("held = %d after two puts, want 300", got)
+	}
+	c.Delete(lkey(1))
+	if got := led.held.Load(); got != 200 {
+		t.Fatalf("held = %d after delete, want 200", got)
+	}
+	// Replace releases the old size and charges the new one.
+	c.Put(lkey(2), "v2b", 50)
+	if got := led.held.Load(); got != 50 {
+		t.Fatalf("held = %d after replace, want 50", got)
+	}
+}
+
+// sameShardKeys probes for n distinct keys that land in one shard, so a
+// test can rely on ledger-pressure eviction (which is per-shard).
+func sameShardKeys(c *Cache, n int) []Key {
+	first := Key{QueryHash: "probe0", Strategy: "s"}
+	target := c.shardFor(first)
+	out := []Key{first}
+	for i := 1; len(out) < n; i++ {
+		k := Key{QueryHash: fmt.Sprintf("probe%d", i), Strategy: "s"}
+		if c.shardFor(k) == target {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func TestLedgerDenialRejectsPut(t *testing.T) {
+	led := &fakeLedger{cap: 100}
+	c := New(1 << 20)
+	c.SetLedger(led)
+	ks := sameShardKeys(c, 3)
+
+	c.Put(ks[0], "big", 80)
+	if _, ok := c.Get(ks[0]); !ok {
+		t.Fatal("first put should fit the ledger")
+	}
+	// 80 held, cap 100: a 60-byte insert evicts ks[0] to make room.
+	c.Put(ks[1], "second", 60)
+	if _, ok := c.Get(ks[1]); !ok {
+		t.Fatal("second put should fit after evicting the cold entry")
+	}
+	if _, ok := c.Get(ks[0]); ok {
+		t.Fatal("cold entry should have been evicted to satisfy the ledger")
+	}
+	if got := led.held.Load(); got != 60 {
+		t.Fatalf("held = %d, want 60", got)
+	}
+	// An entry larger than the whole ledger cap is rejected and charged
+	// nothing, and the shard is emptied trying (its entries were colder).
+	before := c.Stats().Rejected
+	c.Put(ks[2], "huge", 500)
+	if _, ok := c.Get(ks[2]); ok {
+		t.Fatal("over-cap put should have been rejected")
+	}
+	if got := c.Stats().Rejected; got != before+1 {
+		t.Fatalf("rejected = %d, want %d", got, before+1)
+	}
+	if got := led.held.Load(); got != 0 {
+		t.Fatalf("held = %d after rejected put, want 0 (shard drained, nothing leaked)", got)
+	}
+}
+
+func TestLedgerInvalidateGenerationReleases(t *testing.T) {
+	led := &fakeLedger{}
+	c := New(1 << 20)
+	c.SetLedger(led)
+	for i := 0; i < 8; i++ {
+		c.Put(Key{QueryHash: fmt.Sprintf("q%d", i), Strategy: "reduction", DBGen: 7}, i, 100)
+	}
+	c.Put(lkey(99), "keep", 40)
+	if dropped := c.InvalidateGeneration(7); dropped != 8 {
+		t.Fatalf("dropped = %d, want 8", dropped)
+	}
+	if got := led.held.Load(); got != 40 {
+		t.Fatalf("held = %d after invalidation, want 40", got)
+	}
+}

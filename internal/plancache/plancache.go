@@ -41,11 +41,23 @@ type Key struct {
 type Stats struct {
 	Hits      uint64
 	Misses    uint64
-	Evictions uint64 // entries dropped to fit the byte budget
-	Rejected  uint64 // Puts refused because one entry exceeds a shard budget
+	Evictions uint64 // entries dropped to fit the byte budget (or ledger)
+	Rejected  uint64 // Puts refused: entry exceeds a shard budget, or the ledger denied
 	Entries   int
 	Bytes     int64
 	Budget    int64
+}
+
+// Ledger accounts the cache's resident bytes against a budget shared with
+// other consumers — the query server wires in its memory broker so cached
+// plans and live evaluations draw from one pool. A nil ledger means the
+// cache is bounded only by its own byte budget.
+type Ledger interface {
+	// TryAcquire claims n bytes, reporting false when the budget is
+	// exhausted. Must never block.
+	TryAcquire(n int64) bool
+	// Release returns n previously acquired bytes.
+	Release(n int64)
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any lookup.
@@ -82,6 +94,7 @@ type shard struct {
 	mu     sync.Mutex
 	budget int64
 	bytes  int64
+	ledger Ledger // optional shared byte ledger; nil = unaccounted
 	items  map[Key]*entry
 	head   *entry // most recently used
 	tail   *entry // least recently used
@@ -108,6 +121,20 @@ func New(budgetBytes int64) *Cache {
 		c.shards[i].items = make(map[Key]*entry)
 	}
 	return c
+}
+
+// SetLedger charges every resident byte to l from now on: Put acquires
+// before inserting (evicting cold entries from the shard to make room,
+// and rejecting the insert when even that is not enough) and every
+// removal releases. Call once, before the cache starts taking traffic —
+// entries inserted earlier are not retroactively charged.
+func (c *Cache) SetLedger(l Ledger) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.ledger = l
+		s.mu.Unlock()
+	}
 }
 
 func (c *Cache) shardFor(k Key) *shard {
@@ -172,18 +199,35 @@ func (c *Cache) Put(k Key, v any, sizeBytes int) {
 		c.rejected.Add(1)
 		return
 	}
-	if e, ok := s.items[k]; ok {
-		s.bytes += size - e.size
-		e.val, e.size = v, size
-		s.moveToFront(e)
-	} else {
-		e := &entry{key: k, val: v, size: size}
-		s.items[k] = e
-		s.pushFront(e)
-		s.bytes += size
-	}
 	evicted := 0
-	for s.bytes > s.budget && s.tail != nil {
+	if e, ok := s.items[k]; ok {
+		// Replace: retire the old value first so its ledger bytes are
+		// available to the acquisition below. Not counted as an eviction —
+		// the caller asked for the old value to go.
+		s.removeLocked(e)
+	}
+	// Claim the new entry's bytes from the shared ledger, evicting this
+	// shard's cold entries to make room. Pressure from other shards or
+	// from live queries cannot be relieved here, so when the shard runs
+	// out of entries to shed the insert is rejected: the cache is an
+	// optimization and must never starve the evaluations it serves.
+	for s.ledger != nil && !s.ledger.TryAcquire(size) {
+		if s.tail == nil {
+			s.mu.Unlock()
+			if evicted > 0 {
+				c.evictions.Add(uint64(evicted))
+			}
+			c.rejected.Add(1)
+			return
+		}
+		evicted++
+		s.removeLocked(s.tail)
+	}
+	e := &entry{key: k, val: v, size: size}
+	s.items[k] = e
+	s.pushFront(e)
+	s.bytes += size
+	for s.bytes > s.budget && s.tail != e {
 		evicted++
 		s.removeLocked(s.tail)
 	}
@@ -293,4 +337,7 @@ func (s *shard) removeLocked(e *entry) {
 	s.unlink(e)
 	delete(s.items, e.key)
 	s.bytes -= e.size
+	if s.ledger != nil {
+		s.ledger.Release(e.size)
+	}
 }

@@ -185,6 +185,65 @@ func TestChaosPanicOnPoolWorker(t *testing.T) {
 	}
 }
 
+// TestChaosGovernReserveDenial injects a denial at the govern.reserve
+// site — the reservation's grow-more path — so a query that was admitted
+// fine is refused memory mid-evaluation. The contract: a structured 429
+// RESOURCE_EXHAUSTED (never a hang or a 500), the reservation fully
+// returned to the broker, no leaked goroutines, and a server that serves
+// the same query once injection stops.
+func TestChaosGovernReserveDenial(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers:           2,
+		MemBudgetBytes:    64 << 20, // roomy: only the injected fault denies
+		QueryReserveBytes: 1 << 10,  // tiny admission grant forces a Grow
+	})
+	registerDB(t, s, "g", denseDBText(12))
+	baseline := runtime.NumGoroutine()
+
+	faultinject.EnableSite("govern.reserve", faultinject.ModeError, 1.0)
+	defer faultinject.Disable()
+
+	rec, body := doJSON(t, s, "POST", "/v1/query",
+		map[string]any{"db": "g", "query": slowQuery, "strategy": "reduction"})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("mid-evaluation denial returned %d, want 429 (body %v)", rec.Code, body)
+	}
+	if body["code"] != "RESOURCE_EXHAUSTED" {
+		t.Fatalf("code = %v, want RESOURCE_EXHAUSTED", body["code"])
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("mid-evaluation 429 carries no Retry-After")
+	}
+
+	// The denied query's reservation must unwind completely: only bytes
+	// the plan cache holds through its ledger may stay reserved.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.GovernStats().ReservedBytes > s.CacheStats().Bytes && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got, cached := s.GovernStats().ReservedBytes, s.CacheStats().Bytes; got > cached {
+		t.Errorf("reserved = %d after denied query, want <= cache bytes %d", got, cached)
+	}
+
+	// Healing: with injection off, the very same query evaluates.
+	faultinject.Disable()
+	rec, body = doJSON(t, s, "POST", "/v1/query",
+		map[string]any{"db": "g", "query": slowQuery, "strategy": "reduction"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query after Disable: %d %v", rec.Code, body)
+	}
+
+	deadline = time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline+2 {
+		buf := make([]byte, 1<<16)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("goroutines leaked after denial: %d > baseline %d\n%s", g, baseline, buf[:n])
+	}
+}
+
 // TestChaosDelayMode exercises the delay mode end to end: injected latency
 // must slow requests down, not fail them.
 func TestChaosDelayMode(t *testing.T) {

@@ -1,0 +1,267 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// doJSONHeaders is doJSON plus request headers (client identity, priority).
+func doJSONHeaders(t *testing.T, h http.Handler, method, path string, body any, hdrs map[string]string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	for k, v := range hdrs {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var out map[string]any
+	if rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("%s %s: non-JSON response %q", method, path, rec.Body.String())
+		}
+	}
+	return rec, out
+}
+
+// TestMemoryBombBounded is the resource-governor acceptance test: a query
+// whose materialization wants far more memory than the budget must come
+// back as a structured 429 RESOURCE_EXHAUSTED — not an OOM — while
+// concurrent easy queries on the same server keep succeeding, the ledger
+// never exceeds the budget, and everything reserved is returned.
+func TestMemoryBombBounded(t *testing.T) {
+	const budget = 2 << 20
+	s := newTestServer(t, Config{
+		MemBudgetBytes:    budget,
+		QueryReserveBytes: 64 << 10,
+		Workers:           4,
+	})
+	registerDB(t, s, "g", denseDBText(60))
+
+	before := runtime.NumGoroutine()
+
+	var wg sync.WaitGroup
+	bombCodes := make([]int, 3)
+	for i := range bombCodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec, out := doJSON(t, s, "POST", "/v1/query",
+				map[string]any{"db": "g", "query": slowQuery, "strategy": "reduction"})
+			bombCodes[i] = rec.Code
+			if rec.Code == http.StatusTooManyRequests {
+				if out["code"] != "RESOURCE_EXHAUSTED" {
+					t.Errorf("bomb %d: code=%v, want RESOURCE_EXHAUSTED (%s)", i, out["code"], rec.Body.String())
+				}
+				if rec.Header().Get("Retry-After") == "" {
+					t.Errorf("bomb %d: 429 without Retry-After", i)
+				}
+			}
+		}(i)
+	}
+	// Easy queries run alongside the bombs; transient denial (the bombs
+	// hold the whole budget until they die) is retried briefly.
+	easyOK := make([]bool, 4)
+	for i := range easyOK {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			deadline := time.Now().Add(10 * time.Second)
+			for time.Now().Before(deadline) {
+				rec, out := doJSON(t, s, "POST", "/v1/query",
+					map[string]any{"db": "g", "query": quickQuery})
+				if rec.Code == http.StatusOK && out["sat"] == true {
+					easyOK[i] = true
+					return
+				}
+				if rec.Code != http.StatusTooManyRequests {
+					t.Errorf("easy %d: unexpected %d %s", i, rec.Code, rec.Body.String())
+					return
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, code := range bombCodes {
+		if code != http.StatusTooManyRequests {
+			t.Errorf("bomb %d: status %d, want 429", i, code)
+		}
+	}
+	for i, ok := range easyOK {
+		if !ok {
+			t.Errorf("easy query %d never succeeded alongside the bombs", i)
+		}
+	}
+
+	st := s.GovernStats()
+	if st.PeakBytes > budget {
+		t.Errorf("ledger peak %d exceeded the %d budget", st.PeakBytes, budget)
+	}
+	if st.Denials == 0 {
+		t.Error("no ledger denials recorded for a memory bomb")
+	}
+	// Once the requests are gone, only cache-resident bytes may remain.
+	cacheBytes := s.CacheStats().Bytes
+	deadline := time.Now().Add(2 * time.Second)
+	for s.GovernStats().ReservedBytes > cacheBytes && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		cacheBytes = s.CacheStats().Bytes
+	}
+	if got := s.GovernStats().ReservedBytes; got > cacheBytes {
+		t.Errorf("reserved = %d after all requests done, want <= cache bytes %d", got, cacheBytes)
+	}
+
+	// No goroutines leaked by denied evaluations.
+	deadline = time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before+2 {
+		t.Errorf("goroutines %d after test, was %d before", now, before)
+	}
+}
+
+// TestDegradedFallback pins the satisfiability-only answer: with a budget
+// too small to admit any evaluation, a satisfiable query still gets a 200
+// marked degraded.
+func TestDegradedFallback(t *testing.T) {
+	s := newTestServer(t, Config{
+		MemBudgetBytes:    32 << 10, // below the 64 KiB admission floor
+		QueryReserveBytes: 64 << 10,
+		DegradedFallback:  true,
+	})
+	registerDB(t, s, "g", "alphabet a b\nu a v\n")
+	rec, out := doJSON(t, s, "POST", "/v1/query", map[string]any{"db": "g", "query": quickQuery})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("degraded query: %d %s", rec.Code, rec.Body.String())
+	}
+	if out["degraded"] != true || out["degraded_reason"] != "admission" {
+		t.Fatalf("response not marked degraded: %s", rec.Body.String())
+	}
+	if out["sat"] != true {
+		t.Fatalf("satisfiability fallback said sat=%v for a satisfiable query", out["sat"])
+	}
+	if out["strategy"] != "satisfiability" {
+		t.Fatalf("strategy = %v, want satisfiability", out["strategy"])
+	}
+	if _, ok := out["nodes"]; ok {
+		t.Fatal("degraded answer must not carry a db witness")
+	}
+}
+
+// TestQuotaExceeded pins the per-client token bucket: the same client is
+// limited, a different client is not.
+func TestQuotaExceeded(t *testing.T) {
+	s := newTestServer(t, Config{QuotaRPS: 0.001, QuotaBurst: 2})
+	registerDB(t, s, "g", "alphabet a b\nu a v\n")
+	req := map[string]any{"db": "g", "query": quickQuery}
+	hdrA := map[string]string{"X-Ecrpq-Client": "alice"}
+	for i := 0; i < 2; i++ {
+		rec, _ := doJSONHeaders(t, s, "POST", "/v1/query", req, hdrA)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d within burst: %d %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	rec, out := doJSONHeaders(t, s, "POST", "/v1/query", req, hdrA)
+	if rec.Code != http.StatusTooManyRequests || out["code"] != "QUOTA_EXCEEDED" {
+		t.Fatalf("over-burst request: %d code=%v, want 429 QUOTA_EXCEEDED", rec.Code, out["code"])
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("quota 429 must carry Retry-After")
+	}
+	// A different client identity has its own bucket.
+	rec, _ = doJSONHeaders(t, s, "POST", "/v1/query", req, map[string]string{"X-Ecrpq-Client": "bob"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("other client: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestShedLowPriority pins adaptive shedding on the memory signal: with
+// reserved bytes past the fraction threshold, low-priority requests are
+// turned away with 429 SHED while normal-priority ones still run.
+func TestShedLowPriority(t *testing.T) {
+	const budget = 1 << 20
+	s := newTestServer(t, Config{
+		MemBudgetBytes:    budget,
+		QueryReserveBytes: 4 << 10,
+		ShedEnabled:       true,
+		ShedMemFraction:   0.5,
+	})
+	registerDB(t, s, "g", "alphabet a b\nu a v\n")
+	req := map[string]any{"db": "g", "query": quickQuery}
+
+	// Simulate memory pressure directly on the ledger.
+	if !s.broker.TryAcquire(budget * 3 / 4) {
+		t.Fatal("pressure acquisition failed")
+	}
+	defer s.broker.Release(budget * 3 / 4)
+
+	rec, out := doJSONHeaders(t, s, "POST", "/v1/query", req, map[string]string{"X-Ecrpq-Priority": "low"})
+	if rec.Code != http.StatusTooManyRequests || out["code"] != "SHED" {
+		t.Fatalf("low-priority under pressure: %d code=%v, want 429 SHED", rec.Code, out["code"])
+	}
+	rec, _ = doJSONHeaders(t, s, "POST", "/v1/query", req, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("normal-priority under pressure: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestDroppedExpired pins the deadline-aware dequeue: a job whose client
+// deadline passes while it waits behind a busy worker is dropped at
+// dequeue (never runs) and counted, and its admission reservation is
+// returned.
+func TestDroppedExpired(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers:           1,
+		QueueDepth:        4,
+		MemBudgetBytes:    8 << 20,
+		QueryReserveBytes: 64 << 10,
+	})
+	registerDB(t, s, "g", "alphabet a b\nu a v\n")
+	baseline := s.GovernStats().ReservedBytes
+
+	// Occupy the only worker.
+	release := make(chan struct{})
+	blocked := make(chan struct{})
+	if !s.pool.trySubmit(func() { close(blocked); <-release }) {
+		t.Fatal("could not occupy the worker")
+	}
+	<-blocked
+
+	// This query queues behind the blocker and times out in the queue.
+	rec, _ := doJSON(t, s, "POST", "/v1/query",
+		map[string]any{"db": "g", "query": quickQuery, "timeout_ms": 50})
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("queued-past-deadline query: %d %s", rec.Code, rec.Body.String())
+	}
+
+	close(release)
+	deadline := time.Now().Add(2 * time.Second)
+	for s.mDroppedExpired.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.mDroppedExpired.Value(); got != 1 {
+		t.Fatalf("dropped_expired = %d, want 1", got)
+	}
+	// The dropped job's reservation came back (plus whatever the cache now
+	// holds for the registered db's plans — nothing ran, so none).
+	for s.GovernStats().ReservedBytes > baseline && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.GovernStats().ReservedBytes; got != baseline {
+		t.Fatalf("reserved = %d after drop, want baseline %d", got, baseline)
+	}
+}

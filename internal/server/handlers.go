@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ecrpq/internal/core"
+	"ecrpq/internal/govern"
 	"ecrpq/internal/graphdb"
 	"ecrpq/internal/invariant"
 	"ecrpq/internal/plancache"
@@ -46,6 +47,13 @@ type queryResponse struct {
 	Free      []string          `json:"free,omitempty"`
 	Stats     core.Stats        `json:"stats"`
 	ElapsedMs float64           `json:"elapsed_ms"`
+	// Degraded marks a satisfiability-only fallback answer: the memory
+	// budget could not cover the full evaluation, so Sat reflects the
+	// paper's db-independent satisfiability decision and no witness or
+	// answer set is included. DegradedReason is "admission" (denied before
+	// evaluation started) or "evaluation" (denied mid-evaluation).
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -61,6 +69,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// writeErrorCode is writeError with a machine-readable code field so
+// clients can tell overload flavours apart without parsing messages:
+// RESOURCE_EXHAUSTED (memory budget), QUOTA_EXCEEDED (per-client rate),
+// SHED (adaptive overload), OVERLOADED (admission queue full).
+func writeErrorCode(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg, "code": code})
 }
 
 // writeDraining answers a request arriving during shutdown: 503 with a
@@ -222,6 +238,35 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeDraining(w)
 		return
 	}
+	// Per-client quota, before any parsing: an over-quota client should
+	// cost the server as close to nothing as possible.
+	if s.quota != nil {
+		client := r.Header.Get("X-Ecrpq-Client")
+		if client == "" {
+			client = "anonymous"
+		}
+		if ok, retryAfter := s.quota.Allow(client); !ok {
+			s.mQuotaDenied.Inc()
+			secs := int64(retryAfter / time.Second)
+			if retryAfter%time.Second != 0 {
+				secs++
+			}
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+			writeErrorCode(w, http.StatusTooManyRequests, "QUOTA_EXCEEDED",
+				fmt.Sprintf("client %q exceeded its request quota", client))
+			return
+		}
+	}
+	// Adaptive shedding: when queue wait or reserved memory is past its
+	// threshold, low-priority work is turned away so normal and high
+	// priority queries keep their latency.
+	if shed, reason := s.shedder.ShouldShed(govern.ParsePriority(r.Header.Get("X-Ecrpq-Priority"))); shed {
+		s.mShed.Inc()
+		w.Header().Set("Retry-After", "2")
+		writeErrorCode(w, http.StatusTooManyRequests, "SHED",
+			"server overloaded ("+reason+"), low-priority work is being shed")
+		return
+	}
 	var req queryRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
@@ -267,6 +312,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(tctx, timeout)
 	defer cancel()
 
+	// Admission memory reservation: claim the per-query floor from the
+	// process ledger before any evaluation work. The evaluation grows the
+	// reservation through ctx as it allocates; denial at either point is a
+	// structured 429 (or a degraded satisfiability answer), never an OOM.
+	rsp := tr.Start("govern/reserve")
+	res, rerr := s.broker.Reserve(s.cfg.QueryReserveBytes)
+	rsp.End()
+	if rerr != nil {
+		s.mResourceDenied.Inc()
+		if s.degradedAnswer(w, tr, q, "admission") {
+			return
+		}
+		w.Header().Set("Retry-After", "2")
+		writeErrorCode(w, http.StatusTooManyRequests, "RESOURCE_EXHAUSTED",
+			"insufficient memory budget to admit query: "+rerr.Error())
+		return
+	}
+	ctx = govern.NewContext(ctx, res)
+
 	s.mQueries.Inc()
 	s.inflight.Add(1)
 	s.mInflight.Inc()
@@ -281,33 +345,48 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	done := make(chan outcome, 1)
 	submitted := time.Now()
-	admitted := s.pool.trySubmit(func() {
-		// The queue-wait span covers submit → dequeue: backdated to the
-		// submit instant and ended as soon as a worker picks the job up.
-		tr.StartAt("pool/queue_wait", submitted).End()
-		// Pool workers run outside wrap's recovery (the request goroutine
-		// is parked on the done channel), so an invariant violation raised
-		// during evaluation must be caught here or it kills the process.
-		// Anything that is not an invariant violation is a genuine bug and
-		// re-raised, same policy as wrap.
-		defer func() {
-			if rec := recover(); rec != nil {
-				var viol *invariant.Violation
-				if err, ok := rec.(error); ok && errors.As(err, &viol) {
-					s.mPanics.Inc()
-					s.cfg.Logger.Printf("event=panic_recovered where=pool_worker violation=%q", viol.Error())
-					done <- outcome{nil, viol}
-					return
+	admitted := s.pool.trySubmitJob(poolJob{
+		ctx:       ctx,
+		submitted: submitted,
+		run: func() {
+			// The reservation is released on every exit from the worker —
+			// success, error, and panic alike — so a wedged ledger can
+			// never outlive its query.
+			defer res.Release()
+			// The queue-wait span covers submit → dequeue: backdated to the
+			// submit instant and ended as soon as a worker picks the job up.
+			tr.StartAt("pool/queue_wait", submitted).End()
+			// Pool workers run outside wrap's recovery (the request goroutine
+			// is parked on the done channel), so an invariant violation raised
+			// during evaluation must be caught here or it kills the process.
+			// Anything that is not an invariant violation is a genuine bug and
+			// re-raised, same policy as wrap.
+			defer func() {
+				if rec := recover(); rec != nil {
+					var viol *invariant.Violation
+					if err, ok := rec.(error); ok && errors.As(err, &viol) {
+						s.mPanics.Inc()
+						s.cfg.Logger.Printf("event=panic_recovered where=pool_worker violation=%q", viol.Error())
+						done <- outcome{nil, viol}
+						return
+					}
+					panic(rec)
 				}
-				panic(rec)
-			}
-		}()
-		resp, err := s.evaluate(ctx, entry, q, strat, stratName)
-		done <- outcome{resp, err}
+			}()
+			resp, err := s.evaluate(ctx, entry, q, strat, stratName)
+			done <- outcome{resp, err}
+		},
+		// Dropped at dequeue (deadline passed while queued): the request
+		// goroutine is already answering via ctx.Done, only the ledger
+		// claim needs returning.
+		drop: res.Release,
 	})
 	if !admitted {
+		res.Release()
 		s.mRejected.Inc()
-		writeError(w, http.StatusTooManyRequests, "server at capacity, try again later")
+		w.Header().Set("Retry-After", "1")
+		writeErrorCode(w, http.StatusTooManyRequests, "OVERLOADED",
+			"server at capacity, try again later")
 		return
 	}
 
@@ -325,6 +404,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				writeError(w, statusClientClosedRequest, "request cancelled")
 				return
 			}
+			if errors.Is(out.err, govern.ErrResourceExhausted) {
+				// The evaluation outgrew the memory budget mid-flight and
+				// unwound cleanly; the reservation is already released.
+				s.mResourceDenied.Inc()
+				if s.degradedAnswer(w, tr, q, "evaluation") {
+					return
+				}
+				w.Header().Set("Retry-After", "2")
+				writeErrorCode(w, http.StatusTooManyRequests, "RESOURCE_EXHAUSTED", out.err.Error())
+				return
+			}
 			var viol *invariant.Violation
 			if errors.As(out.err, &viol) {
 				writeError(w, http.StatusInternalServerError,
@@ -335,6 +425,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusUnprocessableEntity, out.err.Error())
 			return
 		}
+		tr.SetInt("mem_peak_bytes", res.Peak())
 		writeJSON(w, http.StatusOK, out.resp)
 	case <-ctx.Done():
 		// The worker observes the same ctx and will abandon the evaluation;
@@ -352,6 +443,37 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // statusClientClosedRequest is nginx's convention for a client that went
 // away before the response was ready.
 const statusClientClosedRequest = 499
+
+// degradedAnswer serves the satisfiability-only fallback when the memory
+// budget cannot cover the full evaluation. The paper's satisfiability
+// decision needs no per-database materialization, so it runs in
+// near-constant memory; the answer is db-independent (does the query hold
+// on SOME database), which the response flags via degraded=true with no
+// witness or answer set. Returns false (nothing written) when the
+// fallback is disabled or itself fails, in which case the caller answers
+// with the structured 429.
+func (s *Server) degradedAnswer(w http.ResponseWriter, tr *trace.Trace, q *query.Query, reason string) bool {
+	if !s.cfg.DegradedFallback {
+		return false
+	}
+	sp := tr.Start("server/degraded")
+	_, _, sat, err := core.Satisfiable(q)
+	sp.End()
+	if err != nil {
+		return false
+	}
+	s.mDegraded.Inc()
+	tr.SetStr("degraded", reason)
+	writeJSON(w, http.StatusOK, &queryResponse{
+		Sat:            sat,
+		Strategy:       "satisfiability",
+		Cache:          "bypass",
+		QueryHash:      query.Hash(q),
+		Degraded:       true,
+		DegradedReason: reason,
+	})
+	return true
+}
 
 // evaluate runs on a pool worker: plan-cache lookup/population, then
 // evaluation under ctx.

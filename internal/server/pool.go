@@ -4,9 +4,22 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ecrpq/internal/faultinject"
 )
+
+// poolJob is one unit of admitted work. run executes on a worker; drop is
+// the cleanup path invoked instead of run when the job is discarded at
+// dequeue time (its context expired while it sat in the queue), so
+// resources bound at admission — memory reservations above all — are
+// returned even though the work never ran.
+type poolJob struct {
+	ctx       context.Context
+	submitted time.Time
+	run       func()
+	drop      func()
+}
 
 // workerPool is the admission-control stage: a fixed set of worker
 // goroutines consuming a bounded queue. Evaluation work is CPU-bound, so
@@ -16,28 +29,50 @@ import (
 type workerPool struct {
 	mu     sync.RWMutex
 	closed bool
-	queue  chan func()
+	queue  chan poolJob
 	wg     sync.WaitGroup
 	active atomic.Int64
+
+	// onExpired fires when a job is dropped at dequeue because its
+	// deadline passed while queued; onWait observes every job's
+	// submit→dequeue latency (the shedder's queue-pressure signal).
+	// Both are optional and must be safe for concurrent use.
+	onExpired func()
+	onWait    func(time.Duration)
 }
 
 // newWorkerPool starts `workers` goroutines behind a queue of the given
 // depth (0 = rendezvous: a job is admitted only when a worker is idle).
-func newWorkerPool(workers, depth int) *workerPool {
+func newWorkerPool(workers, depth int, onExpired func(), onWait func(time.Duration)) *workerPool {
 	if workers < 1 {
 		workers = 1
 	}
 	if depth < 0 {
 		depth = 0
 	}
-	p := &workerPool{queue: make(chan func(), depth)}
+	p := &workerPool{queue: make(chan poolJob, depth), onExpired: onExpired, onWait: onWait}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
 			for job := range p.queue {
+				if p.onWait != nil {
+					p.onWait(time.Since(job.submitted))
+				}
+				if job.ctx != nil && job.ctx.Err() != nil {
+					// The deadline passed while the job sat in the queue:
+					// running it would burn a worker on an answer nobody is
+					// waiting for. Drop it, releasing what admission bound.
+					if p.onExpired != nil {
+						p.onExpired()
+					}
+					if job.drop != nil {
+						job.drop()
+					}
+					continue
+				}
 				p.active.Add(1)
-				job()
+				job.run()
 				p.active.Add(-1)
 			}
 		}()
@@ -45,10 +80,20 @@ func newWorkerPool(workers, depth int) *workerPool {
 	return p
 }
 
-// trySubmit enqueues job without blocking. It returns false when the
-// queue is full or the pool is closed — the caller converts that into an
-// HTTP 429 (overload) or 503 (draining).
+// trySubmit enqueues a bare job with no deadline or drop hook (registry
+// work and tests); evaluation requests go through trySubmitJob.
 func (p *workerPool) trySubmit(job func()) bool {
+	return p.trySubmitJob(poolJob{run: job})
+}
+
+// trySubmitJob enqueues job without blocking. It returns false when the
+// queue is full or the pool is closed — the caller converts that into an
+// HTTP 429 (overload) or 503 (draining) and runs its own cleanup; drop is
+// NOT called for rejected submissions.
+func (p *workerPool) trySubmitJob(job poolJob) bool {
+	if job.submitted.IsZero() {
+		job.submitted = time.Now()
+	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"ecrpq/internal/core"
+	"ecrpq/internal/govern"
 	"ecrpq/internal/graphdb"
 	"ecrpq/internal/invariant"
 	"ecrpq/internal/persist"
@@ -77,6 +78,35 @@ type Config struct {
 	// structured slow_query log line with its plan snapshot and per-stage
 	// breakdown (0 = disabled).
 	SlowQueryThreshold time.Duration
+	// MemBudgetBytes caps the bytes held by live evaluations plus the plan
+	// cache's resident entries, via one shared ledger. 0 = no cap
+	// (reservations are still accounted, so peak usage stays observable).
+	// Queries that would push the ledger past the budget fail fast with a
+	// structured 429 RESOURCE_EXHAUSTED instead of OOM-killing the process.
+	MemBudgetBytes int64
+	// QueryReserveBytes is the up-front admission reservation each query
+	// claims before any evaluation work starts (default 256 KiB). The
+	// evaluation grows the reservation as it allocates.
+	QueryReserveBytes int64
+	// QuotaRPS enables a per-client token-bucket quota (keyed by the
+	// X-Ecrpq-Client header) at this sustained requests/second (0 = off).
+	QuotaRPS float64
+	// QuotaBurst is the token-bucket capacity (default max(2*QuotaRPS, 1)).
+	QuotaBurst float64
+	// ShedEnabled turns on adaptive overload shedding: low-priority
+	// requests (X-Ecrpq-Priority: low) are rejected while queue-wait p99
+	// or reserved memory is past its threshold.
+	ShedEnabled bool
+	// ShedQueueWait is the queue-wait p99 above which shedding engages
+	// (default 250ms, the govern package default).
+	ShedQueueWait time.Duration
+	// ShedMemFraction is the reserved/budget fraction above which shedding
+	// engages (default 0.9; meaningful only with MemBudgetBytes > 0).
+	ShedMemFraction float64
+	// DegradedFallback answers memory-denied queries with the
+	// satisfiability-only decision (near-constant memory, db-independent)
+	// marked degraded, instead of a bare 429.
+	DegradedFallback bool
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +140,12 @@ func (c Config) withDefaults() Config {
 	if c.TraceRingSize <= 0 {
 		c.TraceRingSize = 64
 	}
+	if c.MemBudgetBytes < 0 {
+		c.MemBudgetBytes = 0
+	}
+	if c.QueryReserveBytes <= 0 {
+		c.QueryReserveBytes = 256 << 10
+	}
 	return c
 }
 
@@ -139,6 +175,13 @@ type Server struct {
 	// tracing is disabled (TraceSampleEvery < 0); every use is nil-safe.
 	tracer *trace.Tracer
 
+	// Resource governance. broker is the process-wide byte ledger shared
+	// by live evaluations and the plan cache (always non-nil); quota and
+	// shedder are nil when their feature is off (nil-safe throughout).
+	broker  *govern.Broker
+	quota   *govern.Quota
+	shedder *govern.Shedder
+
 	// Metrics (all owned by reg; cached here to avoid name lookups on the
 	// hot path).
 	mQueries     *metrics.Counter
@@ -153,6 +196,13 @@ type Server struct {
 	mCacheHits   *metrics.Counter
 	mCacheMisses *metrics.Counter
 	mSlow        *metrics.Counter
+
+	mResourceDenied *metrics.Counter   // queries refused: memory budget exhausted
+	mQuotaDenied    *metrics.Counter   // queries refused: per-client quota
+	mShed           *metrics.Counter   // queries refused: adaptive overload shed
+	mDroppedExpired *metrics.Counter   // jobs dropped at dequeue: deadline passed while queued
+	mDegraded       *metrics.Counter   // queries answered via the satisfiability fallback
+	mQueueWait      *metrics.Histogram // pool submit→dequeue latency
 }
 
 // New returns a ready-to-serve daemon. Callers own the HTTP listener
@@ -163,10 +213,23 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		dbs:     newDBRegistry(),
 		cache:   plancache.New(cfg.CacheBudgetBytes),
-		pool:    newWorkerPool(cfg.Workers, cfg.QueueDepth),
 		mux:     http.NewServeMux(),
 		reg:     metrics.NewRegistry(),
 		started: time.Now(),
+	}
+	// One ledger for everything resident: live evaluations reserve from
+	// the broker and the plan cache charges its entries to it, so a cached
+	// materialization and an in-flight sweep compete for the same budget.
+	s.broker = govern.NewBroker(cfg.MemBudgetBytes)
+	s.cache.SetLedger(s.broker)
+	if cfg.QuotaRPS > 0 {
+		s.quota = govern.NewQuota(govern.QuotaConfig{RatePerSec: cfg.QuotaRPS, Burst: cfg.QuotaBurst})
+	}
+	if cfg.ShedEnabled {
+		s.shedder = govern.NewShedder(govern.ShedConfig{
+			QueueWaitP99: cfg.ShedQueueWait,
+			MemFraction:  cfg.ShedMemFraction,
+		}, s.broker)
 	}
 	s.mQueries = s.reg.Counter("queries_total")
 	s.mErrors = s.reg.Counter("query_errors_total")
@@ -183,6 +246,19 @@ func New(cfg Config) *Server {
 	s.mCacheHits = s.reg.Counter("plan_cache_request_hits_total")
 	s.mCacheMisses = s.reg.Counter("plan_cache_request_misses_total")
 	s.mSlow = s.reg.Counter("slow_queries_total")
+	s.mResourceDenied = s.reg.Counter("resource_denied_total")
+	s.mQuotaDenied = s.reg.Counter("quota_denied_total")
+	s.mShed = s.reg.Counter("shed_total")
+	s.mDroppedExpired = s.reg.Counter("dropped_expired_total")
+	s.mDegraded = s.reg.Counter("degraded_answers_total")
+	s.mQueueWait = s.reg.Histogram("queue_wait_seconds", nil)
+	// The pool is built after the metrics and shedder it feeds.
+	s.pool = newWorkerPool(cfg.Workers, cfg.QueueDepth,
+		func() { s.mDroppedExpired.Inc() },
+		func(d time.Duration) {
+			s.mQueueWait.Observe(d)
+			s.shedder.Observe(d)
+		})
 	if cfg.TraceSampleEvery >= 0 {
 		s.tracer = trace.NewTracer(cfg.TraceSampleEvery, cfg.TraceRingSize)
 	}
@@ -190,6 +266,11 @@ func New(cfg Config) *Server {
 		st := s.cache.Stats()
 		return fmt.Sprintf(`{"hits":%d,"misses":%d,"evictions":%d,"rejected":%d,"entries":%d,"bytes":%d,"budget":%d,"hit_rate":%.4f}`,
 			st.Hits, st.Misses, st.Evictions, st.Rejected, st.Entries, st.Bytes, st.Budget, st.HitRate())
+	})
+	s.reg.Func("govern", func() string {
+		st := s.broker.Stats()
+		return fmt.Sprintf(`{"budget_bytes":%d,"reserved_bytes":%d,"peak_bytes":%d,"denials":%d}`,
+			st.BudgetBytes, st.ReservedBytes, st.PeakBytes, st.Denials)
 	})
 	s.reg.Func("databases", func() string { return fmt.Sprintf("%d", s.dbs.size()) })
 	s.reg.Func("uptime_seconds", func() string {
@@ -310,6 +391,10 @@ func (s *Server) doDrop(ctx context.Context, name string) (gen uint64, ok bool, 
 
 // CacheStats snapshots the plan cache counters.
 func (s *Server) CacheStats() plancache.Stats { return s.cache.Stats() }
+
+// GovernStats snapshots the memory broker's ledger (budget, reserved,
+// peak, denials) for tests, benchmarks, and the overload experiment.
+func (s *Server) GovernStats() govern.BrokerStats { return s.broker.Stats() }
 
 // Draining reports whether Shutdown has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
