@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint vet fuzz-smoke bench server-test chaos trace-gate govern-gate ci
+.PHONY: all build test race lint lint-json vet fuzz-smoke bench server-test chaos trace-gate govern-gate ci
 
 all: build test
 
@@ -14,10 +14,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-## lint runs the repo-specific analyzers (panicfree, alphabetguard,
-## statebounds, errcheck-strict, spanend). Exit 0 means the tree is clean.
+## lint runs the repo-specific analyzers (run `ecrpq-lint -list` for the
+## full set: per-package walkers plus the module-wide dataflow checks
+## lockorder, governcharge and ctxpoll). Exit 0 means the tree is clean.
 lint:
 	$(GO) run ./cmd/ecrpq-lint ./...
+
+## lint-json emits findings as a JSON array on stdout (plain findings
+## still go to stderr for log scrapers); used by the CI lint job.
+lint-json:
+	$(GO) run ./cmd/ecrpq-lint -json ./...
 
 vet:
 	$(GO) vet ./...

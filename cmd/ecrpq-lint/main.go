@@ -17,21 +17,29 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"ecrpq/internal/lint"
 	"ecrpq/internal/lint/alphabetguard"
 	"ecrpq/internal/lint/boundedrun"
+	"ecrpq/internal/lint/ctxpoll"
 	"ecrpq/internal/lint/errcheckstrict"
+	"ecrpq/internal/lint/governcharge"
+	"ecrpq/internal/lint/lockorder"
 	"ecrpq/internal/lint/panicfree"
 	"ecrpq/internal/lint/spanend"
 	"ecrpq/internal/lint/statebounds"
 )
 
-// analyzers is the full suite, in reporting order.
+// analyzers is the full suite, in reporting order: the per-package
+// checks first, then the module-wide dataflow checks (which go vet unit
+// mode skips — they need every package in hand at once).
 var analyzers = []*lint.Analyzer{
 	panicfree.Analyzer,
 	alphabetguard.Analyzer,
@@ -39,13 +47,26 @@ var analyzers = []*lint.Analyzer{
 	boundedrun.Analyzer,
 	errcheckstrict.Analyzer,
 	spanend.Analyzer,
+	lockorder.Analyzer,
+	governcharge.Analyzer,
+	ctxpoll.Analyzer,
 }
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+// jsonFinding is the machine-readable form of one finding, emitted by
+// -json for CI inline annotations.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
 	// go vet probes the tool's identity with -V=full before use.
 	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
 		fmt.Fprintln(stdout, "ecrpq-lint version v1.0.0")
@@ -66,8 +87,9 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list analyzers and exit")
 	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	asJSON := fs.Bool("json", false, "write findings as a JSON array to stdout (plain findings still go to stderr)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: ecrpq-lint [-list] [-only a,b] [packages...]\n\n")
+		fmt.Fprintf(stderr, "usage: ecrpq-lint [-list] [-json] [-only a,b] [packages...]\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -119,14 +141,56 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	if *asJSON {
+		// JSON goes to stdout for tooling; the plain findings go to
+		// stderr so a CI problem matcher scanning the step log still sees
+		// them. relativize keeps the paths repo-relative, which is what
+		// inline annotations need.
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     relativize(f.Position.Filename),
+				Line:     f.Position.Line,
+				Column:   f.Position.Column,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		for _, f := range findings {
+			f.Position.Filename = relativize(f.Position.Filename)
+			fmt.Fprintln(stderr, f)
+		}
+	} else {
+		for _, f := range findings {
+			f.Position.Filename = relativize(f.Position.Filename)
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "ecrpq-lint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// relativize maps an absolute finding path under the working directory
+// to a relative one; paths elsewhere are returned unchanged.
+func relativize(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(wd, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
 }
 
 // selectAnalyzers resolves the -only flag against the suite.

@@ -1,0 +1,265 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runIn invokes the checker's entry point from dir, capturing both
+// streams and the exit code.
+func runIn(t *testing.T, dir string, args ...string) (int, string, string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// writeModule materializes a throwaway module from path→contents pairs.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const tinyGoMod = "module m\n\ngo 1.22\n"
+
+// TestExitCodeContract pins the process-level contract CI relies on:
+// 0 for a clean tree, 1 when diagnostics are reported, 2 when the
+// packages cannot be loaded at all.
+func TestExitCodeContract(t *testing.T) {
+	clean := writeModule(t, map[string]string{
+		"go.mod":     tinyGoMod,
+		"lib/lib.go": "package lib\n\nfunc Add(a, b int) int { return a + b }\n",
+	})
+	if code, out, stderr := runIn(t, clean, "./..."); code != 0 {
+		t.Errorf("clean tree: exit %d, want 0\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+
+	dirty := writeModule(t, map[string]string{
+		"go.mod":     tinyGoMod,
+		"lib/lib.go": "package lib\n\nfunc Boom() { panic(\"x\") }\n",
+	})
+	code, out, stderr := runIn(t, dirty, "./...")
+	if code != 1 {
+		t.Errorf("tree with findings: exit %d, want 1\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "[panicfree]") {
+		t.Errorf("findings must name the analyzer, got:\n%s", out)
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Errorf("stderr must summarize the finding count, got:\n%s", stderr)
+	}
+
+	broken := writeModule(t, map[string]string{
+		"go.mod":     tinyGoMod,
+		"lib/lib.go": "package lib\n\nfunc (",
+	})
+	if code, _, _ := runIn(t, broken, "./..."); code != 2 {
+		t.Errorf("unloadable tree: exit %d, want 2", code)
+	}
+}
+
+// TestJSONOutput pins the -json contract: a machine-readable array on
+// stdout (repo-relative paths, 1-based positions) and the plain findings
+// on stderr so a CI problem matcher scanning the log still sees them.
+func TestJSONOutput(t *testing.T) {
+	dirty := writeModule(t, map[string]string{
+		"go.mod":     tinyGoMod,
+		"lib/lib.go": "package lib\n\nfunc Boom() { panic(\"x\") }\n",
+	})
+	code, out, stderr := runIn(t, dirty, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, stderr)
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON finding array: %v\n%s", err, out)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d JSON findings, want 1: %+v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "panicfree" || f.File != filepath.Join("lib", "lib.go") || f.Line != 3 || f.Column < 1 || f.Message == "" {
+		t.Errorf("unexpected JSON finding: %+v", f)
+	}
+	if !strings.Contains(stderr, "lib.go:3:") || !strings.Contains(stderr, "[panicfree]") {
+		t.Errorf("plain findings must still reach stderr under -json, got:\n%s", stderr)
+	}
+
+	clean := writeModule(t, map[string]string{
+		"go.mod":     tinyGoMod,
+		"lib/lib.go": "package lib\n\nfunc Add(a, b int) int { return a + b }\n",
+	})
+	code, out, _ = runIn(t, clean, "-json", "./...")
+	if code != 0 {
+		t.Fatalf("clean tree under -json: exit %d, want 0", code)
+	}
+	var empty []jsonFinding
+	if err := json.Unmarshal([]byte(out), &empty); err != nil || len(empty) != 0 {
+		t.Errorf("clean tree must emit an empty JSON array, got %q (err %v)", out, err)
+	}
+}
+
+// copyRepoSubset clones go.mod and the non-test Go files of the given
+// top-level directories into dst, preserving layout.
+func copyRepoSubset(t *testing.T, root, dst string, dirs ...string) {
+	t.Helper()
+	mod, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dst, "go.mod"), mod, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		src := filepath.Join(root, d)
+		err := filepath.WalkDir(src, func(path string, e fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if e.IsDir() {
+				if name := e.Name(); name == "testdata" || strings.HasPrefix(name, ".") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return err
+			}
+			out := filepath.Join(dst, rel)
+			if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+				return err
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(out, data, 0o644)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSeededMutationsAreCaught plants one violation per module analyzer
+// in a copy of the real tree and asserts the checker fails with the
+// expected diagnostics — the end-to-end regression harness for the
+// dataflow checks.
+func TestSeededMutationsAreCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("copies and type-checks a subset of the repository")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	copyRepoSubset(t, root, tmp, "internal")
+
+	// The unmutated copy must be clean, so any findings below are caused
+	// by the seeded mutants alone.
+	args := []string{"-only", "lockorder,governcharge,ctxpoll", "./internal/core", "./internal/server"}
+	if code, out, stderr := runIn(t, tmp, args...); code != 0 {
+		t.Fatalf("baseline copy not clean: exit %d\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+
+	mutants := map[string]string{
+		"internal/core/zz_mutant_charge.go": `package core
+
+func mutantUncharged(n int) [][]int {
+	out := make([][]int, 0, n)
+	for i := 0; i < n; i++ {
+		row := make([]int, i)
+		out = append(out, row)
+	}
+	return out
+}
+`,
+		"internal/server/zz_mutant_lock.go": `package server
+
+import "sync"
+
+type mutantGate struct {
+	mu   sync.Mutex
+	open bool
+}
+
+func (g *mutantGate) tryOpen() bool {
+	g.mu.Lock()
+	if g.open {
+		return false
+	}
+	g.open = true
+	g.mu.Unlock()
+	return true
+}
+`,
+		"internal/core/zz_mutant_poll.go": `package core
+
+func mutantSweep(start int, next func(int) []int) int {
+	frontier := []int{start}
+	visited := 0
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		visited++
+		frontier = append(frontier, next(cur)...)
+	}
+	return visited
+}
+`,
+	}
+	for name, src := range mutants {
+		if err := os.WriteFile(filepath.Join(tmp, filepath.FromSlash(name)), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	code, out, _ := runIn(t, tmp, args...)
+	if code != 1 {
+		t.Fatalf("mutated copy: exit %d, want 1\nstdout: %s", code, out)
+	}
+	for _, want := range []string{
+		"zz_mutant_charge.go",
+		"[governcharge] make in a loop of mutantUncharged",
+		"zz_mutant_lock.go",
+		"[lockorder] server.mutantGate.mu is not released on every return path of tryOpen",
+		"zz_mutant_poll.go",
+		"[ctxpoll] unbounded loop in mutantSweep never polls the context",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mutated run output missing %q\n%s", want, out)
+		}
+	}
+}

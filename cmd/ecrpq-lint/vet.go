@@ -19,18 +19,18 @@ import (
 // passes to a -vettool for each package unit (see
 // x/tools/go/analysis/unitchecker; we only consume what we need).
 type vetConfig struct {
-	ID          string
-	Compiler    string
-	Dir         string
-	ImportPath  string
-	GoFiles     []string
-	NonGoFiles  []string
-	ImportMap   map[string]string
-	PackageFile map[string]string
-	Standard    map[string]bool
-	PackageVetx map[string]string
-	VetxOnly    bool
-	VetxOutput  string
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
 
@@ -115,7 +115,17 @@ func runVetUnit(cfgFile string, stderr io.Writer) int {
 		Types:     tpkg,
 		TypesInfo: info,
 	}
-	all, err := lint.RunAnalyzers([]*lint.Package{pkg}, analyzers)
+	// Vet drives one package unit at a time, so only the per-package
+	// analyzers can run here: the module-wide ones (lockorder,
+	// governcharge, ctxpoll) need the whole package set and a call graph,
+	// and would report nonsense from a single-package view.
+	var perPackage []*lint.Analyzer
+	for _, a := range analyzers {
+		if a.Run != nil {
+			perPackage = append(perPackage, a)
+		}
+	}
+	all, err := lint.RunAnalyzers([]*lint.Package{pkg}, perPackage)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1

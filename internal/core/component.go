@@ -63,6 +63,8 @@ type freeTrack struct {
 // decompose splits a validated query into semantic components and free
 // tracks. The query need not be normalized (universal atoms are skipped
 // either way).
+//
+//ecrpq:charged all allocation is query-sized (components, tracks, union-find), independent of the database
 func decompose(q *query.Query) ([]component, []freeTrack, error) {
 	paths := q.PathVars()
 	pathIdx := make(map[string]int, len(paths))
@@ -75,6 +77,7 @@ func decompose(q *query.Query) ([]component, []freeTrack, error) {
 	}
 	var find func(int) int
 	find = func(x int) int {
+		//ecrpq:bounded union-find with path halving: every step strictly shortens the chain to the root
 		for parent[x] != x {
 			parent[x] = parent[parent[x]]
 			x = parent[x]
@@ -458,6 +461,8 @@ func (v *nfaView) transitions(q int, f func(t alphabet.Tuple, to int)) {
 
 // reconstructPaths rebuilds one database path per track from the parent
 // chain ending at state index goal.
+//
+//ecrpq:charged output-sized: the states/parents arrays it walks were charged by the product search that built them
 func reconstructPaths(c *component, srcs []int, states []productState, parents []stepRecord, goal int) []graphdb.Path {
 	t := len(c.tracks)
 	type step struct {

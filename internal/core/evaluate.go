@@ -230,10 +230,13 @@ func AnswersContext(ctx context.Context, db *graphdb.DB, q *query.Query, opts Op
 }
 
 // anyReach computes the reflexive any-label reachability set from u.
+//
+//ecrpq:charged O(|V|) scratch released at return; callers charge what they retain (addReachRelation charges per reach tuple)
 func anyReach(db *graphdb.DB, u int) []bool {
 	seen := make([]bool, db.NumVertices())
 	seen[u] = true
 	queue := []int{u}
+	//ecrpq:bounded visited-set BFS: every vertex is enqueued at most once
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
@@ -248,6 +251,8 @@ func anyReach(db *graphdb.DB, u int) []bool {
 }
 
 // anyPath returns a shortest any-label path from u to v.
+//
+//ecrpq:charged O(|V|) scratch released at return; the witness path it returns is bounded by |V| edges
 func anyPath(db *graphdb.DB, u, v int) (graphdb.Path, bool) {
 	type prev struct {
 		vert int
@@ -255,6 +260,7 @@ func anyPath(db *graphdb.DB, u, v int) (graphdb.Path, bool) {
 	}
 	seen := map[int]prev{u: {vert: -1}}
 	queue := []int{u}
+	//ecrpq:bounded visited-set BFS: every vertex is enqueued at most once
 	for len(queue) > 0 {
 		x := queue[0]
 		queue = queue[1:]
@@ -280,8 +286,10 @@ func anyPath(db *graphdb.DB, u, v int) (graphdb.Path, bool) {
 }
 
 // eagerMerge pre-merges each component's relations into one automaton
-// (Lemma 4.1), accumulating merged state counts into stats.
-func eagerMerge(q *query.Query, comps []component, stats *Stats) ([]component, error) {
+// (Lemma 4.1), accumulating merged state counts into stats and charging
+// the merged view bytes to the context's govern reservation.
+func eagerMerge(ctx context.Context, q *query.Query, comps []component, stats *Stats) ([]component, error) {
+	res := govern.FromContext(ctx)
 	merged := make([]component, len(comps))
 	for i := range comps {
 		rel, err := mergeComponent(q.Alphabet(), &comps[i])
@@ -294,6 +302,9 @@ func eagerMerge(q *query.Query, comps []component, stats *Stats) ([]component, e
 		}
 		nStates, _ := rel.Size()
 		stats.MergedStatesTotal += nStates
+		if err := res.Grow(int64(nStates)*mergedStateBytes + int64(8*len(comps[i].tracks))); err != nil {
+			return nil, err
+		}
 		allTracks := make([]int, len(comps[i].tracks))
 		for k := range allTracks {
 			allTracks[k] = k
@@ -315,7 +326,7 @@ func evalGeneric(ctx context.Context, db *graphdb.DB, q *query.Query, comps []co
 	workComps := comps
 	if opts.EagerMerge {
 		_, msp := trace.StartSpan(ctx, "core/merge")
-		merged, err := eagerMerge(q, comps, &stats)
+		merged, err := eagerMerge(ctx, q, comps, &stats)
 		msp.SetInt("merged_states", int64(stats.MergedStatesTotal))
 		msp.End()
 		if err != nil {

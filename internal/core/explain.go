@@ -30,6 +30,8 @@ type PlanComponent struct {
 
 // Explain computes the evaluation plan for a query without touching a
 // database (costs depending on |V| are reported symbolically in String).
+//
+//ecrpq:charged the plan summary is query-sized and never touches database-sized state
 func Explain(q *query.Query, opts Options) (*Plan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err

@@ -47,6 +47,9 @@ type fastProduct struct {
 	mem           *govern.Meter
 	chargedStates int
 	chargedFixed  bool
+	// adjBytes is the retained size of the adjacency table, charged with
+	// the other fixed costs on first Run.
+	adjBytes int64
 }
 
 // fastStateBytes estimates the incremental cost of one product state: a
@@ -106,10 +109,14 @@ func newFastProduct(db *graphdb.DB, c *component) *fastProduct {
 	}
 	nsym := db.Alphabet().Size()
 	adj := buildAdjacency(db, nsym)
+	adjBytes := int64(24 * len(adj)) // slice headers
+	for _, succs := range adj {
+		adjBytes += int64(4 * cap(succs))
+	}
 	f := &fastProduct{
 		db: db, c: c, nfas: nfas, t: t,
 		vBits: vBits, qBits: qBits, radix: radix,
-		nsym: nsym, adj: adj,
+		nsym: nsym, adj: adj, adjBytes: adjBytes,
 	}
 	if total <= bitsetMaxBits {
 		f.bitset = make([]uint64, (uint64(1)<<total+63)/64)
@@ -123,6 +130,7 @@ func newFastProduct(db *graphdb.DB, c *component) *fastProduct {
 // vertex-major symbol-indexed table used by expand.
 //
 //ecrpq:bounds-checked
+//ecrpq:charged adjacency bytes (adjBytes) are charged by fastProduct.Run's one-time fixed-cost Grow
 func buildAdjacency(db *graphdb.DB, nsym int) [][]int32 {
 	adj := make([][]int32, db.NumVertices()*nsym)
 	for v := 0; v < db.NumVertices(); v++ {
@@ -197,7 +205,7 @@ func (f *fastProduct) Run(ctx context.Context, srcs []int, accept func(verts []i
 	}
 	if f.mem != nil && !f.chargedFixed {
 		f.chargedFixed = true
-		if err := f.mem.Grow(int64(len(f.bitset)) * 8); err != nil {
+		if err := f.mem.Grow(int64(len(f.bitset))*8 + f.adjBytes); err != nil {
 			return false, fmt.Errorf("core: product search: %w", err)
 		}
 	}

@@ -19,6 +19,8 @@ import (
 // product), but that bound is astronomically large — which is precisely why
 // the paper's algorithms matter. Intended as the comparison baseline for the
 // ablation suite and as a differential-testing oracle.
+//
+//ecrpq:charged deliberately ungoverned baseline oracle; never runs on the served path
 func NaiveBounded(db *graphdb.DB, q *query.Query, maxPathLen int) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err

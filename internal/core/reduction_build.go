@@ -26,14 +26,21 @@ func buildReduction(ctx context.Context, db *graphdb.DB, q *query.Query, comps [
 	return buildReductionMerged(ctx, db, q, comps, merged, mergedStates, frees, pinned, opts)
 }
 
+// mergedStateBytes approximates the footprint of one merged-NFA state
+// (matching the per-state term of Prepared.estimateBytes); mergedViews
+// charges it against the request's reservation as each view is built.
+const mergedStateBytes = 32
+
 // mergedViews applies Lemma 4.1 to every component: each is joined into a
 // single-relation view covering all of its tracks. Returns the views and
 // the total merged NFA state count. Prepared plans compute this once and
 // reuse it across materializations. The whole pass is one core/merge span
-// when ctx carries a trace.
+// when ctx carries a trace, and view bytes are charged to the context's
+// govern reservation as they materialize.
 func mergedViews(ctx context.Context, q *query.Query, comps []component) ([]component, int, error) {
 	_, sp := trace.StartSpan(ctx, "core/merge")
 	defer sp.End()
+	res := govern.FromContext(ctx)
 	merged := make([]component, len(comps))
 	states := 0
 	for ci := range comps {
@@ -44,6 +51,12 @@ func mergedViews(ctx context.Context, q *query.Query, comps []component) ([]comp
 		}
 		st, _ := rel.Size()
 		states += st
+		// The merged automaton dominates the view's footprint; charge a
+		// conservative per-state estimate plus the track-index slice so
+		// the governor sees plan materialization, not just evaluation.
+		if err := res.Grow(int64(st)*mergedStateBytes + int64(8*len(c.tracks))); err != nil {
+			return nil, 0, err
+		}
 		allTracks := make([]int, len(c.tracks))
 		for k := range allTracks {
 			allTracks[k] = k

@@ -18,6 +18,8 @@ import (
 // non-empty — given witness words, a database realizing them always exists:
 // one fresh path per track glued at the endpoint vertices, with endpoint
 // variables identified when a track carries the empty word.
+//
+//ecrpq:charged the canonical database and witness are sized by the query's witness words, not by any input database
 func Satisfiable(q *query.Query) (*graphdb.DB, *Result, bool, error) {
 	if err := q.Validate(); err != nil {
 		return nil, nil, false, err
@@ -58,6 +60,7 @@ func Satisfiable(q *query.Query) (*graphdb.DB, *Result, bool, error) {
 	}
 	var find func(int) int
 	find = func(x int) int {
+		//ecrpq:bounded union-find with path halving: every step strictly shortens the chain to the root
 		for parent[x] != x {
 			parent[x] = parent[parent[x]]
 			x = parent[x]

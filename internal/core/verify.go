@@ -13,6 +13,8 @@ import (
 // of the database connecting the assigned endpoints of its reachability
 // atom, and every relation atom holds on the witness path labels. It returns
 // nil exactly when the witness certifies D ⊨ q.
+//
+//ecrpq:charged verification scratch is witness-sized (one word list per relation atom), released at return
 func VerifyWitness(db *graphdb.DB, q *query.Query, res *Result) error {
 	if res == nil || !res.Sat {
 		return fmt.Errorf("core: result is not satisfying")

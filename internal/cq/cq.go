@@ -84,6 +84,8 @@ func (s *Structure) Contains(name string, tuple ...int) bool {
 }
 
 // RelationNames returns the declared relation names, sorted.
+//
+//ecrpq:charged schema-sized accessor (one string per declared relation)
 func (s *Structure) RelationNames() []string {
 	out := make([]string, 0, len(s.rels))
 	for n := range s.rels {
@@ -130,6 +132,8 @@ type Query struct {
 }
 
 // Vars returns the variables of the query in first-occurrence order.
+//
+//ecrpq:charged query-sized accessor (one entry per distinct variable)
 func (q *Query) Vars() []string {
 	seen := make(map[string]bool)
 	var out []string

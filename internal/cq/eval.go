@@ -13,6 +13,8 @@ type Assignment map[string]int
 // variables constrained by already-grounded atoms, and every fully-grounded
 // atom is checked as soon as possible. Returns a satisfying assignment if
 // one exists.
+//
+//ecrpq:charged per-step scratch is one atom-arity tuple; peak live memory is the assignment map, sized by the query
 func EvalBacktrack(s *Structure, q *Query) (Assignment, bool, error) {
 	if err := q.Validate(s); err != nil {
 		return nil, false, err
@@ -70,6 +72,10 @@ func EvalBacktrack(s *Structure, q *Query) (Assignment, bool, error) {
 	return nil, false, nil
 }
 
+// orderVars greedily orders variables so each next choice is constrained
+// by as many already-grounded atoms as possible.
+//
+//ecrpq:charged query-sized: allocates one ordering over the variable list
 func orderVars(q *Query, vars []string) []string {
 	remaining := make(map[string]bool, len(vars))
 	for _, v := range vars {
@@ -127,6 +133,8 @@ func (t *table) colIndex(c string) int {
 
 // joinTables performs a natural join of two tables (hash join on shared
 // columns).
+//
+//ecrpq:charged intermediate bytes are charged by the caller: EvalTreeDecompBudget reports each bag's table delta through its ChargeFunc
 func joinTables(a, b *table) *table {
 	var shared []int // pairs flattened: a-index, b-index
 	for bi, c := range b.cols {
@@ -173,6 +181,8 @@ func joinTables(a, b *table) *table {
 
 // semijoin removes from a the rows with no matching row in b on shared
 // columns. If no columns are shared, a survives iff b is non-empty.
+//
+//ecrpq:charged never grows beyond its input: output rows are a subset of a's, charged by the caller's bag delta
 func semijoin(a, b *table) *table {
 	var aIdx, bIdx []int
 	for bi, c := range b.cols {
@@ -209,6 +219,8 @@ func semijoin(a, b *table) *table {
 }
 
 // dedup removes duplicate rows in place.
+//
+//ecrpq:charged shrinking pass over an already-charged table; the seen-set scratch is released at return
 func (t *table) dedup() {
 	seen := make(map[string]bool, len(t.rows))
 	out := t.rows[:0]
@@ -224,6 +236,8 @@ func (t *table) dedup() {
 
 // atomTable materializes an atom as a table over its distinct variables,
 // filtering tuples inconsistent with repeated variables.
+//
+//ecrpq:charged intermediate bytes are charged by the caller: EvalTreeDecompBudget reports each bag's table delta through its ChargeFunc
 func atomTable(s *Structure, at Atom) *table {
 	rel := s.Relation(at.Rel)
 	// Distinct variables in order; positions per variable.
@@ -554,6 +568,8 @@ func AllAnswers(s *Structure, q *Query) ([][]int, error) {
 
 // substitute pins free variables to constants by adding singleton unary
 // relations const_<var>=<val> and the corresponding atoms.
+//
+//ecrpq:charged query-sized rewrite: adds one singleton relation and atom per free variable
 func substitute(s *Structure, q *Query, values []int) (*Query, error) {
 	out := &Query{Atoms: append([]Atom(nil), q.Atoms...)}
 	for i, f := range q.Free {

@@ -34,9 +34,16 @@ type expectation struct {
 	matched bool
 }
 
-// Run loads each named fixture package from dir/testdata/src/<name>,
-// applies the analyzer, and reports mismatches between diagnostics and
-// want comments as test errors.
+// Run loads each named fixture from dir/testdata/src/<name>, applies
+// the analyzer, and reports mismatches between diagnostics and want
+// comments as test errors.
+//
+// A fixture is usually one package, but may be a tree: subdirectories
+// of the fixture directory load as additional packages, all analyzed
+// together in one session — the way module-wide analyzers (lockorder,
+// governcharge, ctxpoll) see real code. Fixture packages may import
+// each other by their full module path, and may import real module
+// packages (e.g. ecrpq/internal/govern).
 func Run(t *testing.T, dir string, a *lint.Analyzer, fixtures ...string) {
 	t.Helper()
 	loader, err := lint.NewLoader(dir)
@@ -45,23 +52,22 @@ func Run(t *testing.T, dir string, a *lint.Analyzer, fixtures ...string) {
 	}
 	for _, fixture := range fixtures {
 		pkgdir := filepath.Join(dir, "testdata", "src", fixture)
-		pkgs, err := loader.Load(pkgdir)
+		pkgs, err := loader.Load(pkgdir + "/...")
 		if err != nil {
 			t.Errorf("checktest: loading %s: %v", fixture, err)
 			continue
 		}
-		if len(pkgs) != 1 {
-			t.Errorf("checktest: fixture %s resolved to %d packages, want 1", fixture, len(pkgs))
-			continue
-		}
-		pkg := pkgs[0]
-		for _, perr := range pkg.Errors {
-			t.Errorf("checktest: fixture %s does not type-check: %v", fixture, perr)
-		}
-		expects, err := collectExpectations(pkg)
-		if err != nil {
-			t.Errorf("checktest: fixture %s: %v", fixture, err)
-			continue
+		var expects []*expectation
+		for _, pkg := range pkgs {
+			for _, perr := range pkg.Errors {
+				t.Errorf("checktest: fixture %s does not type-check: %v", fixture, perr)
+			}
+			ex, err := collectExpectations(pkg)
+			if err != nil {
+				t.Errorf("checktest: fixture %s: %v", fixture, err)
+				continue
+			}
+			expects = append(expects, ex...)
 		}
 		findings, err := lint.RunAnalyzers(pkgs, []*lint.Analyzer{a})
 		if err != nil {

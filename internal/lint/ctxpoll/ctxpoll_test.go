@@ -1,0 +1,12 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"ecrpq/internal/lint/checktest"
+	"ecrpq/internal/lint/ctxpoll"
+)
+
+func TestCtxPoll(t *testing.T) {
+	checktest.Run(t, ".", ctxpoll.Analyzer, "violation", "clean", "pollmulti")
+}

@@ -1,0 +1,31 @@
+// Package driver loops forever but polls through another package's
+// helper — only cross-package fact propagation can prove it cancellable.
+package driver
+
+import (
+	"context"
+
+	"ecrpq/internal/lint/ctxpoll/testdata/src/pollmulti/helper"
+)
+
+// Drain polls via helper.Cancelled, so the loop is fine.
+func Drain(ctx context.Context, step func() bool) int {
+	n := 0
+	for {
+		if helper.Cancelled(ctx) || step() {
+			return n
+		}
+		n++
+	}
+}
+
+// Stuck has the same shape without the poll.
+func Stuck(step func() bool) int {
+	n := 0
+	for { // want `unbounded loop in Stuck never polls the context`
+		if step() {
+			return n
+		}
+		n++
+	}
+}

@@ -1,0 +1,10 @@
+// Package helper exposes a cancellation poll used from a sibling fixture
+// package, exercising cross-package callee-fact propagation.
+package helper
+
+import "context"
+
+// Cancelled reports whether ctx is done.
+func Cancelled(ctx context.Context) bool {
+	return ctx.Err() != nil
+}

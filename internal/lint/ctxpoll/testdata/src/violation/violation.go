@@ -1,0 +1,34 @@
+// Package violation holds unbounded loops that never poll the context.
+package violation
+
+func worklist(next func(int) []int) int {
+	frontier := []int{0}
+	n := 0
+	for len(frontier) > 0 { // want `unbounded loop in worklist never polls the context`
+		cur := frontier[0]
+		frontier = frontier[1:]
+		n++
+		frontier = append(frontier, next(cur)...)
+	}
+	return n
+}
+
+func growingIndex(next func(int) []int) int {
+	q := []int{0}
+	n := 0
+	for i := 0; i < len(q); i++ { // want `unbounded loop in growingIndex never polls the context`
+		q = append(q, next(q[i])...)
+		n++
+	}
+	return n
+}
+
+func spin(stop func() bool) int {
+	n := 0
+	for { // want `unbounded loop in spin never polls the context`
+		if stop() {
+			return n
+		}
+		n++
+	}
+}

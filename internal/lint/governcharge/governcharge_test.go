@@ -1,0 +1,12 @@
+package governcharge_test
+
+import (
+	"testing"
+
+	"ecrpq/internal/lint/checktest"
+	"ecrpq/internal/lint/governcharge"
+)
+
+func TestGovernCharge(t *testing.T) {
+	checktest.Run(t, ".", governcharge.Analyzer, "violation", "clean")
+}

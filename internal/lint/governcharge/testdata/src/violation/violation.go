@@ -1,0 +1,20 @@
+// Package violation allocates in loops without any ledger charge.
+package violation
+
+func uncharged(n int) [][]int {
+	out := make([][]int, 0, n)
+	for i := 0; i < n; i++ {
+		row := make([]int, i)  // want `make in a loop of uncharged is not charged to the govern ledger`
+		out = append(out, row) // want `append in a loop of uncharged is not charged to the govern ledger`
+	}
+	return out
+}
+
+func mapInLoop(keys []string) []map[string]int {
+	var out []map[string]int
+	for range keys {
+		m := map[string]int{} // want `map-literal in a loop of mapInLoop is not charged to the govern ledger`
+		out = append(out, m)  // want `append in a loop of mapInLoop is not charged to the govern ledger`
+	}
+	return out
+}

@@ -7,6 +7,14 @@
 // ported to the real framework verbatim once x/tools is vendorable:
 // an Analyzer bundles a name, doc string and a Run function; Run receives
 // a Pass carrying the parsed files, type information and a Report sink.
+//
+// Two analysis granularities exist:
+//
+//   - per-package (Analyzer.Run): the classic go/analysis unit, one
+//     type-checked package at a time; and
+//   - module-wide (Analyzer.RunModule): one pass over every loaded
+//     package at once, with a call graph and per-function summaries
+//     (see ModulePass), for invariants that cross package boundaries.
 package lint
 
 import (
@@ -14,11 +22,11 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"regexp"
-	"strings"
+	"sort"
 )
 
-// Analyzer describes one static check.
+// Analyzer describes one static check. Exactly one of Run and RunModule
+// must be set.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// //ecrpq:ignore suppression comments. It must be a valid identifier.
@@ -29,6 +37,11 @@ type Analyzer struct {
 	// pass.Report. It returns an error only for operational failures
 	// (diagnostics are not errors).
 	Run func(*Pass) error
+	// RunModule applies the check to the whole set of loaded packages at
+	// once. Module analyzers see the cross-package call graph and the
+	// per-function summaries of ModulePass; they are skipped by drivers
+	// that only have a single package in hand (go vet unit mode).
+	RunModule func(*ModulePass) error
 }
 
 // Pass carries one type-checked package through an analyzer.
@@ -57,51 +70,118 @@ type Diagnostic struct {
 	Message string
 }
 
-// ignoreRE matches suppression comments:
-//
-//	//ecrpq:ignore <analyzer>[,<analyzer>...] -- reason
-//
-// placed on the flagged line or on the line immediately above it. The
-// reason is mandatory; "all" suppresses every analyzer.
-var ignoreRE = regexp.MustCompile(`^//ecrpq:ignore\s+([A-Za-z0-9_,-]+)\s+--\s+\S`)
-
-// suppressed reports whether a diagnostic from analyzer name at position
-// pos is silenced by an //ecrpq:ignore comment in file f.
-func suppressed(fset *token.FileSet, f *ast.File, name string, pos token.Pos) bool {
-	line := fset.Position(pos).Line
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			m := ignoreRE.FindStringSubmatch(c.Text)
-			if m == nil {
+// RunAnalyzers applies each analyzer to the loaded packages, filtering
+// suppressed findings, and returns all diagnostics sorted by position.
+// Per-package analyzers run once per package; module analyzers run once
+// over the full package set, sharing a single lazily-built ModulePass.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
+	fset := pkgs[0].Fset
+	supp := buildSuppressionIndex(fset, pkgs)
+	reporter := func(name string) func(Diagnostic) {
+		return func(d Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if supp.suppressed(name, pos) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: name, Position: pos, Message: d.Message})
+		}
+	}
+	for _, pkg := range pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		for _, a := range analyzers {
+			if a.Run == nil {
 				continue
 			}
-			cl := fset.Position(c.Pos()).Line
-			if cl != line && cl != line-1 {
-				continue
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Report:    reporter(a.Name),
 			}
-			for _, n := range strings.Split(m[1], ",") {
-				if n == name || n == "all" {
-					return true
-				}
+			if err := a.Run(pass); err != nil {
+				return findings, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
 	}
-	return false
+	var graph *CallGraph // built once, shared by every module analyzer
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		if graph == nil {
+			graph = BuildCallGraph(pkgs)
+		}
+		mp := &ModulePass{
+			Analyzer: a,
+			Fset:     fset,
+			Pkgs:     pkgs,
+			Graph:    graph,
+			Report:   reporter(a.Name),
+		}
+		if err := a.RunModule(mp); err != nil {
+			return findings, fmt.Errorf("%s (module): %w", a.Name, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if findings[i].Analyzer != findings[j].Analyzer {
+			return findings[i].Analyzer < findings[j].Analyzer
+		}
+		return findings[i].Message < findings[j].Message
+	})
+	return findings, nil
 }
 
-// HasDirective reports whether the doc comment of a declaration contains
-// the given //ecrpq:<directive> marker (e.g. "bounds-checked"). Analyzers
-// use it to recognize sanctioned accessor functions.
-func HasDirective(doc *ast.CommentGroup, directive string) bool {
-	if doc == nil {
-		return false
+// Finding is a resolved diagnostic with its source position.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Position.Filename, f.Position.Line, f.Position.Column, f.Analyzer, f.Message)
+}
+
+// FuncOf resolves id to the function object it uses or defines, nil
+// otherwise. Analyzers use it to map call-site identifiers onto call
+// graph nodes.
+func FuncOf(info *types.Info, id *ast.Ident) *types.Func {
+	return funcOf(info, id)
+}
+
+// IsCtxPoll reports whether fn is (context.Context).Err or .Done — the
+// two methods whose reference constitutes a cancellation poll.
+func IsCtxPoll(fn *types.Func) bool {
+	return isCtxPoll(fn)
+}
+
+// funcOf resolves id to the function object it uses or defines, nil
+// otherwise.
+func funcOf(info *types.Info, id *ast.Ident) *types.Func {
+	if obj, ok := info.Uses[id].(*types.Func); ok {
+		return obj
 	}
-	want := "//ecrpq:" + directive
-	for _, c := range doc.List {
-		text := strings.TrimSpace(c.Text)
-		if text == want || strings.HasPrefix(text, want+" ") {
-			return true
-		}
+	if obj, ok := info.Defs[id].(*types.Func); ok {
+		return obj
 	}
-	return false
+	return nil
 }

@@ -293,70 +293,3 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 	}
 	return l.std.Import(path)
 }
-
-// RunAnalyzers applies each analyzer to each package, filtering
-// suppressed findings, and returns all diagnostics sorted by position.
-func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
-	var findings []Finding
-	for _, pkg := range pkgs {
-		if pkg.Types == nil {
-			continue
-		}
-		fileFor := func(pos token.Pos) *ast.File {
-			for _, f := range pkg.Files {
-				if f.FileStart <= pos && pos <= f.FileEnd {
-					return f
-				}
-			}
-			return nil
-		}
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
-			}
-			pass.Report = func(d Diagnostic) {
-				if f := fileFor(d.Pos); f != nil && suppressed(pkg.Fset, f, a.Name, d.Pos) {
-					return
-				}
-				findings = append(findings, Finding{
-					Analyzer: a.Name,
-					Position: pkg.Fset.Position(d.Pos),
-					Message:  d.Message,
-				})
-			}
-			if err := a.Run(pass); err != nil {
-				return findings, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
-			}
-		}
-	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i].Position, findings[j].Position
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Column != b.Column {
-			return a.Column < b.Column
-		}
-		return findings[i].Analyzer < findings[j].Analyzer
-	})
-	return findings, nil
-}
-
-// Finding is a resolved diagnostic with its source position.
-type Finding struct {
-	Analyzer string
-	Position token.Position
-	Message  string
-}
-
-// String renders the finding in the conventional file:line:col form.
-func (f Finding) String() string {
-	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Position.Filename, f.Position.Line, f.Position.Column, f.Analyzer, f.Message)
-}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"ecrpq/internal/lint/checktest"
+	"ecrpq/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	checktest.Run(t, ".", lockorder.Analyzer, "violation", "clean", "lockmulti")
+}

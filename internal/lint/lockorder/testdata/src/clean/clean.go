@@ -1,0 +1,86 @@
+// Package clean holds lock usage the lockorder analyzer must accept.
+package clean
+
+import "sync"
+
+type box struct {
+	mu    sync.RWMutex
+	items map[string]int
+}
+
+// deferred releases via defer on every path.
+func (b *box) deferred(k string) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.items[k]
+}
+
+// branched releases explicitly on both branches.
+func (b *box) branched(k string, v int) bool {
+	b.mu.Lock()
+	if _, ok := b.items[k]; ok {
+		b.mu.Unlock()
+		return false
+	}
+	b.items[k] = v
+	b.mu.Unlock()
+	return true
+}
+
+// deferredClosure releases inside a deferred function literal.
+func (b *box) deferredClosure(k string, v int) {
+	b.mu.Lock()
+	defer func() {
+		b.items[k] = v
+		b.mu.Unlock()
+	}()
+}
+
+// midSection locks and unlocks around a critical section, then returns.
+func (b *box) midSection(k string) int {
+	b.mu.Lock()
+	n := b.items[k]
+	b.mu.Unlock()
+	return n + 1
+}
+
+// localOnly uses a function-local mutex, which never participates in the
+// cross-function order graph.
+func localOnly() int {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+	return 1
+}
+
+var (
+	muFirst  sync.Mutex
+	muSecond sync.Mutex
+)
+
+// nested acquires the two mutexes in one consistent order everywhere, so
+// the order graph stays acyclic.
+func nested() {
+	muFirst.Lock()
+	muSecond.Lock()
+	muSecond.Unlock()
+	muFirst.Unlock()
+}
+
+func nestedAgain() {
+	muFirst.Lock()
+	muSecond.Lock()
+	muSecond.Unlock()
+	muFirst.Unlock()
+}
+
+// loopLock pairs acquire/release inside a loop body.
+func (b *box) loopLock(keys []string) int {
+	total := 0
+	for _, k := range keys {
+		b.mu.RLock()
+		total += b.items[k]
+		b.mu.RUnlock()
+	}
+	return total
+}

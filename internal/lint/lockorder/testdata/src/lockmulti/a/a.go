@@ -1,0 +1,29 @@
+// Package a closes a cross-package lock-order cycle through an
+// interface: F holds a.mu and calls b.G, which holds b.mu and calls back
+// into a through b.Doer — so a.mu→b.mu→a.mu, invisible to any
+// single-package analysis.
+package a
+
+import (
+	"sync"
+
+	"ecrpq/internal/lint/lockorder/testdata/src/lockmulti/b"
+)
+
+var mu sync.Mutex
+
+type impl struct{}
+
+// Do acquires a's mutex; b.G calls it (through b.Doer) holding b's.
+func (impl) Do() {
+	mu.Lock()
+	mu.Unlock()
+}
+
+// F acquires a's mutex, then calls b.G — which transitively re-acquires
+// a.mu through the interface (self-deadlock) and closes the order cycle.
+func F() {
+	mu.Lock()
+	b.G(impl{}) // want `F calls G while holding a\.mu, which G acquires` `lock-order cycle a\.mu → b\.mu → a\.mu`
+	mu.Unlock()
+}

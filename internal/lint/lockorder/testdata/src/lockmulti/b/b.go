@@ -1,0 +1,20 @@
+// Package b holds its own mutex while invoking an interface method; the
+// implementations live in package a, so only method-set resolution over
+// the module call graph can see what the callee acquires.
+package b
+
+import "sync"
+
+// Doer is implemented by package a's impl type.
+type Doer interface {
+	Do()
+}
+
+var mu sync.Mutex
+
+// G runs d.Do while holding b's mutex.
+func G(d Doer) {
+	mu.Lock()
+	d.Do()
+	mu.Unlock()
+}

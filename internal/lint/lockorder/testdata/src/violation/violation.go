@@ -1,0 +1,50 @@
+// Package violation exercises the lockorder pairing and ordering checks
+// inside one package.
+package violation
+
+import "sync"
+
+type gate struct {
+	mu   sync.Mutex
+	open bool
+}
+
+// leakyOpen returns early while still holding the mutex.
+func (g *gate) leakyOpen() bool {
+	g.mu.Lock() // want `violation\.gate\.mu is not released on every return path of leakyOpen`
+	if g.open {
+		return false
+	}
+	g.open = true
+	g.mu.Unlock()
+	return true
+}
+
+// double re-acquires the same mutex.
+func (g *gate) double() {
+	g.mu.Lock()
+	g.mu.Lock() // want `double acquires violation\.gate\.mu while already holding it`
+	g.open = true
+	g.mu.Unlock()
+}
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// abOrder and baOrder acquire the two package mutexes in opposite
+// orders; the cycle is reported at the lexically-first witness edge.
+func abOrder() {
+	muA.Lock()
+	muB.Lock() // want `lock-order cycle violation\.muA → violation\.muB → violation\.muA`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func baOrder() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// loadModgraph loads the call-graph fixture and builds its graph.
+func loadModgraph(t *testing.T) *CallGraph {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "modgraph"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(dir + "/...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2 (modgraph + dep)", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, perr := range pkg.Errors {
+			t.Fatalf("fixture does not type-check: %v", perr)
+		}
+	}
+	return BuildCallGraph(pkgs)
+}
+
+// funcNode finds a fixture function by name.
+func funcNode(t *testing.T, g *CallGraph, name string) *FuncNode {
+	t.Helper()
+	for _, n := range g.Funcs() {
+		if n.Func.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("function %s not in call graph", name)
+	return nil
+}
+
+func TestCallGraphPollFactPropagation(t *testing.T) {
+	g := loadModgraph(t)
+	if !g.PollsCtx(funcNode(t, g, "pollLeaf").Func) {
+		t.Error("pollLeaf: PollsCtx = false, want true (direct ctx.Err reference)")
+	}
+	if !g.PollsCtx(funcNode(t, g, "pollMid").Func) {
+		t.Error("pollMid: PollsCtx = false, want true (propagated from pollLeaf)")
+	}
+	if g.PollsCtx(funcNode(t, g, "noPoll").Func) {
+		t.Error("noPoll: PollsCtx = true, want false")
+	}
+}
+
+func TestCallGraphChargeFactPropagation(t *testing.T) {
+	g := loadModgraph(t)
+	if !g.Charges(funcNode(t, g, "chargeLeaf").Func) {
+		t.Error("chargeLeaf: Charges = false, want true (direct Meter.Grow)")
+	}
+	if !g.Charges(funcNode(t, g, "chargeMid").Func) {
+		t.Error("chargeMid: Charges = false, want true (propagated from chargeLeaf)")
+	}
+	if !g.Charges(funcNode(t, g, "methodValue").Func) {
+		t.Error("methodValue: Charges = false, want true (method-value reference to Meter.Grow)")
+	}
+	if g.Charges(funcNode(t, g, "noPoll").Func) {
+		t.Error("noPoll: Charges = true, want false")
+	}
+}
+
+func TestCallGraphAcquiresTransitive(t *testing.T) {
+	g := loadModgraph(t)
+	got := g.Acquires(funcNode(t, g, "lockAndCall").Func)
+	want := []string{"dep.Mu", "modgraph.mu"}
+	if len(got) != len(want) {
+		t.Fatalf("Acquires(lockAndCall) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Acquires(lockAndCall) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCallGraphInterfaceResolution(t *testing.T) {
+	g := loadModgraph(t)
+	// useIface only calls Runner.Run; method-set resolution must reach
+	// impl.Run and from there dep.Leaf's lock.
+	got := g.Acquires(funcNode(t, g, "useIface").Func)
+	if len(got) != 1 || got[0] != "dep.Mu" {
+		t.Fatalf("Acquires(useIface) = %v, want [dep.Mu] via interface dispatch", got)
+	}
+}
+
+func TestCallGraphSummaries(t *testing.T) {
+	g := loadModgraph(t)
+	n := funcNode(t, g, "allocInLoop")
+	hot := 0
+	for _, a := range n.Summary.Allocs {
+		if a.InLoop {
+			hot++
+		}
+	}
+	// append(out, make(...)) in the loop body: both sites are hot.
+	if hot != 2 {
+		t.Errorf("allocInLoop: %d hot allocation sites, want 2 (append + make)", hot)
+	}
+	lockLeaf := funcNode(t, g, "Leaf")
+	if len(lockLeaf.Summary.Locks) != 2 {
+		t.Errorf("dep.Leaf: %d lock ops, want 2", len(lockLeaf.Summary.Locks))
+	}
+	for _, op := range lockLeaf.Summary.Locks {
+		if op.Class != "dep.Mu" || !op.Global {
+			t.Errorf("dep.Leaf lock op = %+v, want global class dep.Mu", op)
+		}
+	}
+}

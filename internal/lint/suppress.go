@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// ignoreRE matches suppression comments:
+//
+//	//ecrpq:ignore <analyzer>[,<analyzer>...] -- reason
+//
+// placed on the flagged line or on the line immediately above it. The
+// reason is mandatory; "all" suppresses every analyzer.
+var ignoreRE = regexp.MustCompile(`^//ecrpq:ignore\s+([A-Za-z0-9_,-]+)\s+--\s+\S`)
+
+// suppressionIndex is a precomputed file/line lookup for //ecrpq:ignore
+// comments. The driver builds it once per run — one walk over every
+// file's comment groups — instead of re-scanning all comments for each
+// diagnostic, which made suppression filtering quadratic in the number
+// of findings per file.
+type suppressionIndex struct {
+	// byFile maps filename → line → analyzer names suppressed on that
+	// line. A comment on line L covers diagnostics on L (trailing
+	// comment) and L+1 (comment on the line above).
+	byFile map[string]map[int][]string
+}
+
+// buildSuppressionIndex scans the comments of every file of pkgs.
+func buildSuppressionIndex(fset *token.FileSet, pkgs []*Package) *suppressionIndex {
+	idx := &suppressionIndex{byFile: make(map[string]map[int][]string)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := ignoreRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					lines := idx.byFile[pos.Filename]
+					if lines == nil {
+						lines = make(map[int][]string)
+						idx.byFile[pos.Filename] = lines
+					}
+					names := strings.Split(m[1], ",")
+					lines[pos.Line] = append(lines[pos.Line], names...)
+					lines[pos.Line+1] = append(lines[pos.Line+1], names...)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether a diagnostic from the named analyzer at pos
+// is silenced by an //ecrpq:ignore comment.
+func (idx *suppressionIndex) suppressed(name string, pos token.Position) bool {
+	for _, n := range idx.byFile[pos.Filename][pos.Line] {
+		if n == name || n == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// HasDirective reports whether the doc comment of a declaration contains
+// the given //ecrpq:<directive> marker (e.g. "bounds-checked" or
+// "charged"). Analyzers use it to recognize sanctioned declarations.
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	want := "//ecrpq:" + directive
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == want || strings.HasPrefix(text, want+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// DirectiveLines returns the set of lines of f covered by a standalone
+// //ecrpq:<directive> comment: the comment's own line and the line below
+// it, mirroring the placement rules of //ecrpq:ignore. Statement-level
+// directives (e.g. //ecrpq:bounded on a loop) are looked up here.
+func DirectiveLines(fset *token.FileSet, f *ast.File, directive string) map[int]bool {
+	want := "//ecrpq:" + directive
+	out := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if text != want && !strings.HasPrefix(text, want+" ") {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			out[line] = true
+			out[line+1] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parsePkg wraps source into a Package with just enough state for the
+// suppression index (no type checking).
+func parsePkg(t *testing.T, src string) (*token.FileSet, []*Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, []*Package{{Path: "fixture", Fset: fset, Files: []*ast.File{f}}}
+}
+
+func TestSuppressionSameLineAndLineAbove(t *testing.T) {
+	fset, pkgs := parsePkg(t, `package p
+
+func a() {
+	_ = 1 //ecrpq:ignore panicfree -- same line
+	//ecrpq:ignore spanend -- line above
+	_ = 2
+}
+`)
+	idx := buildSuppressionIndex(fset, pkgs)
+	at := func(line int) token.Position { return token.Position{Filename: "fixture.go", Line: line} }
+
+	if !idx.suppressed("panicfree", at(4)) {
+		t.Error("same-line comment must suppress its own line")
+	}
+	if !idx.suppressed("spanend", at(6)) {
+		t.Error("comment on the line above must suppress the next line")
+	}
+	if idx.suppressed("spanend", at(7)) {
+		t.Error("a comment must not reach two lines below")
+	}
+	if idx.suppressed("panicfree", at(6)) {
+		t.Error("suppression is per-analyzer: spanend comment must not cover panicfree")
+	}
+}
+
+func TestSuppressionCommaListAndAll(t *testing.T) {
+	fset, pkgs := parsePkg(t, `package p
+
+func a() {
+	//ecrpq:ignore panicfree,errcheckstrict -- two analyzers
+	_ = 1
+	//ecrpq:ignore all -- everything
+	_ = 2
+}
+`)
+	idx := buildSuppressionIndex(fset, pkgs)
+	at := func(line int) token.Position { return token.Position{Filename: "fixture.go", Line: line} }
+
+	for _, name := range []string{"panicfree", "errcheckstrict"} {
+		if !idx.suppressed(name, at(5)) {
+			t.Errorf("comma list must suppress %s", name)
+		}
+	}
+	if idx.suppressed("spanend", at(5)) {
+		t.Error("comma list must not suppress analyzers it does not name")
+	}
+	for _, name := range []string{"panicfree", "spanend", "lockorder"} {
+		if !idx.suppressed(name, at(7)) {
+			t.Errorf("'all' must suppress %s", name)
+		}
+	}
+}
+
+func TestSuppressionRequiresReason(t *testing.T) {
+	fset, pkgs := parsePkg(t, `package p
+
+func a() {
+	_ = 1 //ecrpq:ignore panicfree
+	_ = 2 //ecrpq:ignore panicfree --
+	_ = 3 //ecrpq:ignore panicfree -- justified
+}
+`)
+	idx := buildSuppressionIndex(fset, pkgs)
+	at := func(line int) token.Position { return token.Position{Filename: "fixture.go", Line: line} }
+
+	if idx.suppressed("panicfree", at(4)) {
+		t.Error("a comment without '-- reason' must not suppress")
+	}
+	if idx.suppressed("panicfree", at(5)) {
+		t.Error("a comment with an empty reason must not suppress")
+	}
+	if !idx.suppressed("panicfree", at(6)) {
+		t.Error("a comment with a reason must suppress")
+	}
+}
+
+func TestDirectiveLines(t *testing.T) {
+	fset, pkgs := parsePkg(t, `package p
+
+func a() {
+	//ecrpq:bounded queue only shrinks
+	for {
+	}
+}
+`)
+	lines := DirectiveLines(fset, pkgs[0].Files[0], "bounded")
+	if !lines[4] || !lines[5] {
+		t.Errorf("DirectiveLines must cover the comment line and the next; got %v", lines)
+	}
+	if lines[6] {
+		t.Error("DirectiveLines must not reach two lines below the comment")
+	}
+	if other := DirectiveLines(fset, pkgs[0].Files[0], "charged"); len(other) != 0 {
+		t.Errorf("unrelated directive lookup must be empty, got %v", other)
+	}
+}

@@ -1,0 +1,13 @@
+// Package dep is the callee side of the call-graph fixture.
+package dep
+
+import "sync"
+
+// Mu is a package-level mutex acquired by Leaf.
+var Mu sync.Mutex
+
+// Leaf acquires and releases dep's mutex.
+func Leaf() {
+	Mu.Lock()
+	Mu.Unlock()
+}

@@ -1,0 +1,60 @@
+// Package modgraph is the fixture for the module call-graph tests:
+// direct calls, cross-package calls, interface dispatch, context polls,
+// govern charges and lock summaries.
+package modgraph
+
+import (
+	"context"
+	"sync"
+
+	"ecrpq/internal/govern"
+	"ecrpq/internal/lint/testdata/src/modgraph/dep"
+)
+
+var mu sync.Mutex
+
+func pollLeaf(ctx context.Context) bool { return ctx.Err() != nil }
+
+func pollMid(ctx context.Context) bool { return pollLeaf(ctx) }
+
+func noPoll() int { return 1 }
+
+func chargeLeaf(m *govern.Meter) error { return m.Grow(1) }
+
+func chargeMid(m *govern.Meter) error { return chargeLeaf(m) }
+
+func lockAndCall() {
+	mu.Lock()
+	dep.Leaf()
+	mu.Unlock()
+}
+
+// Runner is dispatched through useIface; only method-set resolution can
+// connect it to impl.Run.
+type Runner interface{ Run() }
+
+type impl struct{}
+
+func (impl) Run() { dep.Leaf() }
+
+func useIface(r Runner) { r.Run() }
+
+// methodValue references a charging method without calling it directly.
+func methodValue(m *govern.Meter, n int) error {
+	grow := m.Grow
+	for i := 0; i < n; i++ {
+		if err := grow(8); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allocInLoop has one hot allocation site for the summary test.
+func allocInLoop(n int) [][]int {
+	var out [][]int
+	for i := 0; i < n; i++ {
+		out = append(out, make([]int, i))
+	}
+	return out
+}
