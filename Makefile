@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint lint-json vet fuzz-smoke bench server-test chaos trace-gate govern-gate ci
+.PHONY: all build test race lint lint-json vet fuzz-smoke bench server-test chaos trace-gate govern-gate stream-gate ci
 
 all: build test
 
@@ -65,6 +65,23 @@ govern-gate:
 	echo "$$out" | grep -Eq 'BenchmarkReservationDisabled.*[[:space:]]0 allocs/op' || \
 		{ echo "govern-gate: BenchmarkReservationDisabled allocates on the disabled path"; exit 1; }
 
+## stream-gate guards the streaming enumeration subsystem: the iterator
+## and pipelined-join suites run under the race detector, the
+## first-witness benchmark must stay under a pinned allocation ceiling
+## (the satisfiable fast path must not regress into materializing sweep
+## tables), and the streamclose analyzer proves every stream.Tuples
+## obtained in the hot path is Closed on all return paths.
+stream-gate:
+	$(GO) test -race -count=1 ./internal/stream/ ./internal/cq/
+	@out="$$($(GO) test -run '^$$' -bench BenchmarkEnumerateFirstWitness -benchmem ./internal/core/)"; \
+	echo "$$out"; \
+	allocs=$$(echo "$$out" | awk '/BenchmarkEnumerateFirstWitness/ {for (i=1;i<NF;i++) if ($$(i+1)=="allocs/op") print $$i}'); \
+	bytes=$$(echo "$$out" | awk '/BenchmarkEnumerateFirstWitness/ {for (i=1;i<NF;i++) if ($$(i+1)=="B/op") print $$i}'); \
+	[ -n "$$allocs" ] && [ -n "$$bytes" ] || { echo "stream-gate: benchmark output missing alloc stats"; exit 1; }; \
+	[ "$$allocs" -le 400 ] || { echo "stream-gate: first witness costs $$allocs allocs/op (ceiling 400) — the fast path is materializing"; exit 1; }; \
+	[ "$$bytes" -le 32768 ] || { echo "stream-gate: first witness costs $$bytes B/op (ceiling 32768) — the fast path is materializing"; exit 1; }
+	$(GO) run ./cmd/ecrpq-lint -only streamclose ./internal/core/ ./internal/cq/ ./internal/stream/ ./internal/server/
+
 ## chaos rebuilds the fault-injection build (-tags faultinject) and runs
 ## the deterministic chaos suite under the race detector: injected
 ## persist/cache/pool/core faults must surface as typed errors with no
@@ -73,5 +90,6 @@ chaos:
 	$(GO) test -race -tags faultinject ./internal/faultinject/ ./internal/persist/ ./internal/server/... ./internal/client/ ./internal/govern/
 
 ## ci mirrors the GitHub Actions gate: build, vet, lint, tests, race
-## tests, chaos suite, trace and govern zero-alloc gates.
-ci: build vet lint test race server-test chaos trace-gate govern-gate
+## tests, chaos suite, trace/govern zero-alloc gates, and the streaming
+## enumeration gate.
+ci: build vet lint test race server-test chaos trace-gate govern-gate stream-gate

@@ -35,6 +35,7 @@ import (
 	"ecrpq/internal/lint/panicfree"
 	"ecrpq/internal/lint/spanend"
 	"ecrpq/internal/lint/statebounds"
+	"ecrpq/internal/lint/streamclose"
 )
 
 // analyzers is the full suite, in reporting order: the per-package
@@ -47,6 +48,7 @@ var analyzers = []*lint.Analyzer{
 	boundedrun.Analyzer,
 	errcheckstrict.Analyzer,
 	spanend.Analyzer,
+	streamclose.Analyzer,
 	lockorder.Analyzer,
 	governcharge.Analyzer,
 	ctxpoll.Analyzer,

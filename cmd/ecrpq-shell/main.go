@@ -22,6 +22,8 @@
 //	.use <name>           remote: target queries at database <name>
 //	.dbs                  remote: list the daemon's databases
 //	.drop <name>          remote: drop a database
+//	.limit <n>            remote: page size for .go (0 = materialize fully)
+//	.next                 remote: fetch the next page of the current enumeration
 //	.quit                 exit
 //
 // In remote mode requests go through the fault-tolerant internal/client
@@ -41,6 +43,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 
 	"ecrpq"
@@ -89,6 +92,12 @@ type shell struct {
 	remote   *client.Client
 	remoteDB string
 
+	// Paging (remote mode): .limit sets the page size; a .go with a
+	// non-zero limit streams through /v1/enumerate and .next resumes
+	// from the server-issued cursor.
+	pageLimit int
+	enum      *enumState
+
 	// Tracing: when traceOn, local evaluations are traced and the most
 	// recent trace is kept for .trace last.
 	traceOn   bool
@@ -97,6 +106,18 @@ type shell struct {
 
 func newShell(out io.Writer) *shell {
 	return &shell{out: out, strategy: ecrpq.Auto, registry: make(map[string]*ecrpq.Relation)}
+}
+
+// enumState is an in-flight paged enumeration. It pins the query text,
+// database, and strategy the cursor was minted for, so .next keeps
+// paging the same enumeration even if the user changes .strategy or
+// .use between pages.
+type enumState struct {
+	db       string
+	query    string
+	strategy string
+	cursor   string
+	fetched  int
 }
 
 func (s *shell) repl(in io.Reader) {
@@ -192,6 +213,36 @@ func (s *shell) handle(line string) bool {
 		if s.remoteDB == fields[1] {
 			s.remoteDB = ""
 		}
+	case ".limit":
+		if s.remote == nil {
+			fmt.Fprintln(s.out, "error: .limit needs remote mode (-remote URL); local .go always materializes")
+			return false
+		}
+		if len(fields) != 2 {
+			fmt.Fprintln(s.out, "usage: .limit <n>  (0 turns paging off)")
+			return false
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			fmt.Fprintln(s.out, "error: .limit wants a non-negative integer")
+			return false
+		}
+		s.pageLimit = n
+		if n == 0 {
+			fmt.Fprintln(s.out, "paging: off (.go materializes full answer sets)")
+		} else {
+			fmt.Fprintf(s.out, "page limit: %d (.go streams pages; .next for more)\n", n)
+		}
+	case ".next":
+		if s.remote == nil {
+			fmt.Fprintln(s.out, "error: .next needs remote mode (-remote URL)")
+			return false
+		}
+		if s.enum == nil {
+			fmt.Fprintln(s.out, "error: no enumeration in progress (.limit <n>, then .go)")
+			return false
+		}
+		s.remoteNext()
 	case ".rel":
 		if len(fields) != 2 {
 			fmt.Fprintln(s.out, "usage: .rel <file>")
@@ -334,6 +385,13 @@ func (s *shell) remoteGo() {
 		fmt.Fprintln(s.out, "error: no database selected (.use <name>)")
 		return
 	}
+	if s.pageLimit > 0 {
+		// Paged mode: start a fresh enumeration and fetch its first page.
+		s.enum = &enumState{db: s.remoteDB, query: text, strategy: s.strategy.String()}
+		s.remoteNext()
+		return
+	}
+	s.enum = nil // a materializing .go abandons any paging state
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	resp, err := s.remote.Query(ctx, client.QueryRequest{
@@ -366,6 +424,56 @@ func (s *shell) remoteGo() {
 			fmt.Fprintf(s.out, "  %s: %s\n", p, resp.Paths[p])
 		}
 	}
+}
+
+// remoteNext fetches the next page of the current enumeration via the
+// cursor API. The client retries the request with GET-like idempotent
+// semantics (the server's enumeration order is deterministic, so
+// re-sending the same cursor after a shed or timeout yields the same
+// page). A 410 STALE_CURSOR means the database was re-registered under
+// the cursor; the enumeration cannot resume and must restart with .go.
+func (s *shell) remoteNext() {
+	st := s.enum
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	resp, err := s.remote.Enumerate(ctx, client.EnumerateRequest{
+		DB: st.db, Query: st.query, Strategy: st.strategy,
+		Limit: s.pageLimit, Cursor: st.cursor,
+	})
+	if err != nil {
+		var se *client.StatusError
+		if errors.As(err, &se) && se.ErrCode == "STALE_CURSOR" {
+			s.enum = nil
+			fmt.Fprintln(s.out, "error: cursor went stale (database re-registered mid-enumeration); .go restarts from the first page")
+			return
+		}
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(s.out, "interrupted")
+			return
+		}
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	if len(resp.Free) == 0 {
+		// Boolean query: one empty tuple iff satisfiable; nothing to page.
+		s.enum = nil
+		fmt.Fprintf(s.out, "satisfiable: %t (strategy: %s, cache: %s, %.2fms)\n",
+			resp.Count > 0, resp.Strategy, resp.Cache, resp.ElapsedMs)
+		return
+	}
+	for _, row := range resp.Answers {
+		fmt.Fprintln(s.out, " ", "("+strings.Join(row, ", ")+")")
+	}
+	st.fetched += resp.Count
+	st.cursor = resp.NextCursor
+	if resp.More {
+		fmt.Fprintf(s.out, "%d answer(s) this page, %d so far (.next for more)\n",
+			resp.Count, st.fetched)
+		return
+	}
+	s.enum = nil
+	fmt.Fprintf(s.out, "%d answer(s) this page, %d total — end of results\n",
+		resp.Count, st.fetched)
 }
 
 // remoteMeasures asks the daemon for the block's structural measures.
@@ -542,5 +650,7 @@ remote mode (-remote URL):
   .use <name>              target queries at database <name>
   .dbs                     list the daemon's databases
   .drop <name>             drop a database
+  .limit <n>               page size for .go (0 = materialize fully)
+  .next                    fetch the next page of the current enumeration
   .quit             exit
 `

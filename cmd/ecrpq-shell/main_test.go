@@ -1,11 +1,16 @@
 package main
 
 import (
-	"ecrpq/internal/client"
+	"io"
+	"log"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"ecrpq/internal/client"
+	"ecrpq/internal/server"
 )
 
 func writeTemp(t *testing.T, name, content string) string {
@@ -208,5 +213,85 @@ func TestShellUnnamedRelationRejected(t *testing.T) {
 	out := runScript(t, nil, ".rel "+rel, ".quit")
 	if !strings.Contains(out, "no name") {
 		t.Errorf("transcript:\n%s", out)
+	}
+}
+
+// TestShellPagingCommands drives .limit/.next against a real daemon:
+// a paged .go streams through /v1/enumerate, .next walks the cursor to
+// the end, an extra .next reports no enumeration in progress, and a
+// database re-register mid-enumeration surfaces the stale-cursor
+// restart hint.
+func TestShellPagingCommands(t *testing.T) {
+	srv := server.New(server.Config{Logger: log.New(io.Discard, "", 0)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	db := writeTemp(t, "db.txt", shellDB)
+
+	// shellDB has 9 (x, y) pairs with any (a|b)* path (4 reflexive plus
+	// u->v, u->n, v->w, n->w, u->w), so limit 2 gives pages 2,2,2,2,1.
+	query := []string{
+		".query",
+		"alphabet a b",
+		"free x y",
+		"x -[(a|b)*]-> y",
+		".go",
+	}
+	lines := []string{".register g " + db, ".limit 2"}
+	lines = append(lines, query...)
+	lines = append(lines, ".next", ".next", ".next", ".next", ".next")
+	// Restart the enumeration, then yank the generation out from under
+	// the cursor before the second page.
+	lines = append(lines, query...)
+	lines = append(lines, ".register g "+db, ".next", ".quit")
+	out := runScript(t, func(sh *shell) {
+		sh.remote = client.New(client.Config{BaseURL: ts.URL, MaxRetries: 1})
+	}, lines...)
+
+	for _, want := range []string{
+		"page limit: 2",
+		"(u, v)",
+		"2 answer(s) this page, 2 so far (.next for more)",
+		"1 answer(s) this page, 9 total — end of results",
+		"no enumeration in progress",
+		"cursor went stale",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestShellPagingLocalRejected: the cursor API is daemon-side, so the
+// paging commands refuse to run in local mode.
+func TestShellPagingLocalRejected(t *testing.T) {
+	out := runScript(t, nil, ".limit 2", ".next", ".quit")
+	for _, want := range []string{
+		".limit needs remote mode",
+		".next needs remote mode",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestShellLimitValidation covers usage errors and turning paging off.
+func TestShellLimitValidation(t *testing.T) {
+	srv := server.New(server.Config{Logger: log.New(io.Discard, "", 0)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	out := runScript(t, func(sh *shell) {
+		sh.remote = client.New(client.Config{BaseURL: ts.URL})
+	}, ".limit", ".limit -3", ".limit zero", ".limit 4", ".limit 0", ".next", ".quit")
+	for _, want := range []string{
+		"usage: .limit",
+		"non-negative integer",
+		"page limit: 4",
+		"paging: off",
+		"no enumeration in progress",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
 	}
 }

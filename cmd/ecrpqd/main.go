@@ -11,6 +11,14 @@
 //	       [-data-dir DIR] [-check] [-slow-query 0] [-trace-sample 1]
 //	       [-debug-addr ""] [-mem-budget 0] [-quota 0] [-quota-burst 0]
 //	       [-shed] [-shed-wait 250ms] [-shed-mem 0.9] [-degraded]
+//	       [-enumerate-limit 100] [-enumerate-max-limit 1000]
+//
+// Streaming enumeration: POST /v1/enumerate evaluates lazily and returns
+// one page of answers plus an opaque cursor for the next page; pages are
+// produced without materializing sweep tables, so the first answers
+// arrive in far less time and memory than a full /v1/query.
+// -enumerate-limit is the page size when a request names none, and
+// -enumerate-max-limit caps what a request may ask for.
 //
 // Resource governance: -mem-budget caps the bytes held by live
 // evaluations plus the plan cache (one shared ledger; -1 sizes it from
@@ -45,6 +53,7 @@
 //	DELETE /v1/dbs/{name}   drop a database
 //	GET    /v1/dbs          list databases
 //	POST   /v1/query        evaluate a query ({"db","query","strategy","timeout_ms"})
+//	POST   /v1/enumerate    stream one page of answers with a resumable cursor
 //	POST   /v1/measures     structural measures of a query
 //	GET    /healthz         liveness / drain state
 //	GET    /debug/vars      expvar metrics including the "ecrpqd" registry
@@ -101,6 +110,8 @@ func main() {
 	shedWait := flag.Duration("shed-wait", 0, "queue-wait p99 that triggers shedding (0 = default 250ms)")
 	shedMem := flag.Float64("shed-mem", 0, "reserved/budget fraction that triggers shedding (0 = default 0.9)")
 	degraded := flag.Bool("degraded", false, "answer memory-denied queries with a satisfiability-only degraded result")
+	enumLimit := flag.Int("enumerate-limit", 0, "default /v1/enumerate page size (0 = 100)")
+	enumMaxLimit := flag.Int("enumerate-max-limit", 0, "largest /v1/enumerate page a request may ask for (0 = 1000)")
 	var dbs dbFlags
 	flag.Var(&dbs, "db", "preload a database as name=file (repeatable)")
 	flag.Parse()
@@ -119,23 +130,25 @@ func main() {
 		logger.Printf("event=mem_budget_auto bytes=%d", budget)
 	}
 	if err := run(*addr, server.Config{
-		Workers:            *workers,
-		QueueDepth:         *queue,
-		DefaultTimeout:     *timeout,
-		MaxTimeout:         *maxTimeout,
-		CacheBudgetBytes:   *cacheBudget,
-		MaxProductStates:   *maxStates,
-		Logger:             logger,
-		TraceSampleEvery:   *traceSample,
-		TraceRingSize:      *traceRing,
-		SlowQueryThreshold: *slowQuery,
-		MemBudgetBytes:     budget,
-		QuotaRPS:           *quota,
-		QuotaBurst:         *quotaBurst,
-		ShedEnabled:        *shed,
-		ShedQueueWait:      *shedWait,
-		ShedMemFraction:    *shedMem,
-		DegradedFallback:   *degraded,
+		Workers:               *workers,
+		QueueDepth:            *queue,
+		DefaultTimeout:        *timeout,
+		MaxTimeout:            *maxTimeout,
+		CacheBudgetBytes:      *cacheBudget,
+		MaxProductStates:      *maxStates,
+		Logger:                logger,
+		TraceSampleEvery:      *traceSample,
+		TraceRingSize:         *traceRing,
+		SlowQueryThreshold:    *slowQuery,
+		MemBudgetBytes:        budget,
+		QuotaRPS:              *quota,
+		QuotaBurst:            *quotaBurst,
+		ShedEnabled:           *shed,
+		ShedQueueWait:         *shedWait,
+		ShedMemFraction:       *shedMem,
+		DegradedFallback:      *degraded,
+		EnumerateDefaultLimit: *enumLimit,
+		EnumerateMaxLimit:     *enumMaxLimit,
 	}, dbs, *dataDir, *drainTimeout, *debugAddr, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "ecrpqd:", err)
 		os.Exit(1)

@@ -414,6 +414,49 @@ func (c *Client) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 	return &out, nil
 }
 
+// EnumerateRequest is the POST /v1/enumerate body. Cursor resumes a
+// previous page's NextCursor; empty starts from the first answer.
+type EnumerateRequest struct {
+	DB        string `json:"db"`
+	Query     string `json:"query"`
+	Strategy  string `json:"strategy,omitempty"`
+	Limit     int    `json:"limit,omitempty"`
+	Cursor    string `json:"cursor,omitempty"`
+	TimeoutMs int64  `json:"timeout_ms,omitempty"`
+}
+
+// EnumerateResponse is one page of answers.
+type EnumerateResponse struct {
+	Answers    [][]string `json:"answers"`
+	Free       []string   `json:"free,omitempty"`
+	Count      int        `json:"count"`
+	More       bool       `json:"more"`
+	NextCursor string     `json:"next_cursor,omitempty"`
+	Strategy   string     `json:"strategy"`
+	Cache      string     `json:"cache"`
+	QueryHash  string     `json:"query_hash"`
+	ElapsedMs  float64    `json:"elapsed_ms"`
+}
+
+// Enumerate fetches one page of a streamed answer enumeration. Retried
+// with GET-like semantics: a page read is read-only and the enumeration
+// order is deterministic server-side, so re-sending the same cursor
+// after a timeout or shed returns the same page, never a skipped or
+// doubled one. A 410 STALE_CURSOR (database re-registered mid-
+// enumeration) is not transient and surfaces immediately as a
+// *StatusError for the caller to restart from the first page.
+func (c *Client) Enumerate(ctx context.Context, req EnumerateRequest) (*EnumerateResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding enumerate request: %w", err)
+	}
+	var out EnumerateResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/enumerate", body, true, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Measures reports a query's structural measures. Retried (read-only).
 func (c *Client) Measures(ctx context.Context, queryText string) (map[string]any, error) {
 	body, err := json.Marshal(map[string]string{"query": queryText})

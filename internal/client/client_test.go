@@ -291,3 +291,48 @@ func TestParseRetryAfter(t *testing.T) {
 		}
 	}
 }
+
+// TestEnumerateRetriedIdempotently pins the paging retry contract: a
+// transient 503 on a cursor re-send is retried (same cursor, same page),
+// while a 410 STALE_CURSOR is permanent and surfaces immediately.
+func TestEnumerateRetriedIdempotently(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/enumerate" {
+			t.Errorf("path %s", r.URL.Path)
+		}
+		if n := calls.Add(1); n == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"draining"}`))
+			return
+		}
+		w.Write([]byte(`{"answers":[["u","v"]],"count":1,"more":true,"next_cursor":"abc","strategy":"reduction","cache":"hit","query_hash":"h"}`))
+	}))
+	defer srv.Close()
+	c, _ := testClient(srv.URL, Config{MaxRetries: 3})
+	page, err := c.Enumerate(context.Background(), EnumerateRequest{DB: "g", Query: "q", Cursor: "c0", Limit: 1})
+	if err != nil {
+		t.Fatalf("Enumerate: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls=%d, want a retry after the 503", calls.Load())
+	}
+	if page.NextCursor != "abc" || !page.More || page.Count != 1 {
+		t.Fatalf("page = %+v", page)
+	}
+
+	staleSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusGone)
+		w.Write([]byte(`{"error":"database re-registered","code":"STALE_CURSOR"}`))
+	}))
+	defer staleSrv.Close()
+	c2, slept := testClient(staleSrv.URL, Config{MaxRetries: 3})
+	_, err = c2.Enumerate(context.Background(), EnumerateRequest{DB: "g", Query: "q", Cursor: "old"})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusGone || se.ErrCode != "STALE_CURSOR" {
+		t.Fatalf("err = %v, want 410 STALE_CURSOR", err)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("client slept %v retrying a permanent 410", *slept)
+	}
+}

@@ -532,7 +532,10 @@ func checkComponent(ctx context.Context, db *graphdb.DB, c *component, srcs, dst
 // vertices reachable by satisfying paths — the building block for
 // materializing the Lemma 4.3 relations R'. When fp is non-nil it is used
 // (and reused across calls, e.g. over a source sweep); pass nil to fall back
-// to the general search.
+// to the general search. Tuples are returned in lexicographic order: the
+// product search's discovery order depends on map iteration and would
+// differ run to run, and streaming enumeration (the /v1/enumerate cursor)
+// needs the same sequence on every call.
 func componentReachSet(ctx context.Context, db *graphdb.DB, c *component, fp *fastProduct, srcs []int, maxStates int) ([][]int, error) {
 	seen := make(map[string]bool)
 	var out [][]int
@@ -548,20 +551,33 @@ func componentReachSet(ctx context.Context, db *graphdb.DB, c *component, fp *fa
 		if err != nil {
 			return nil, err
 		}
-		return out, nil
-	}
-	_, _, _, err := productSearch(ctx, db, c, srcs, func(st productState) bool {
-		k := key4(st.verts)
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, append([]int(nil), st.verts...))
+	} else {
+		_, _, _, err := productSearch(ctx, db, c, srcs, func(st productState) bool {
+			k := key4(st.verts)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, append([]int(nil), st.verts...))
+			}
+			return false // keep searching
+		}, maxStates)
+		if err != nil {
+			return nil, err
 		}
-		return false // keep searching
-	}, maxStates)
-	if err != nil {
-		return nil, err
 	}
+	sortTuples(out)
 	return out, nil
+}
+
+// sortTuples orders tuples lexicographically in place.
+func sortTuples(ts [][]int) {
+	sort.Slice(ts, func(i, j int) bool {
+		for k := range ts[i] {
+			if ts[i][k] != ts[j][k] {
+				return ts[i][k] < ts[j][k]
+			}
+		}
+		return false
+	})
 }
 
 func key4(xs []int) string {

@@ -1,0 +1,609 @@
+package core
+
+// Streaming enumeration: the lazy half of the Lemma 4.3 pipeline.
+// Materializing evaluation sweeps all V^t source tuples of every
+// component into R' tables before the CQ join runs; here the same R'
+// rows are produced on demand by pull iterators (internal/stream) feeding
+// the streaming CQ join (cq.StreamAssignments), so the sweep advances
+// only as far as the consumer pulls. First witness and first page become
+// output-sensitive: they cost a prefix of the sweep, not all of it.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ecrpq/internal/cq"
+	"ecrpq/internal/govern"
+	"ecrpq/internal/graphdb"
+	"ecrpq/internal/stream"
+	"ecrpq/internal/trace"
+)
+
+// Per-row charge estimates for streamed relations, matching the
+// materializing path's constants (reduction_build.go) so the governor
+// sees comparable byte counts per row either way.
+const (
+	streamReachRowBytes = 40
+	streamPinRowBytes   = 24
+)
+
+func streamCompRowBytes(t int) int64 { return int64(24 + 16*t) }
+
+// streamQuery builds the CQ the streaming join evaluates: the same atoms
+// as buildReductionMerged, ordered for binding pushdown — pinned
+// singletons first (most selective), then component atoms in index
+// order, then free-track reachability atoms. The order is part of the
+// enumeration contract: it fixes the answer order the /v1/enumerate
+// cursor offsets into.
+//
+//ecrpq:charged plan construction: O(atoms) slices owned by the prepared plan, counted by Prepared.MemBytes
+func streamQuery(comps []component, frees []freeTrack, pinned map[string]int, free []string) *cq.Query {
+	cqq := &cq.Query{Free: append([]string(nil), free...)}
+	pinVars := make([]string, 0, len(pinned))
+	for v := range pinned {
+		pinVars = append(pinVars, v)
+	}
+	sort.Strings(pinVars)
+	for _, v := range pinVars {
+		cqq.Atoms = append(cqq.Atoms, cq.Atom{Rel: "__pin_" + v, Args: []string{v}})
+	}
+	for ci := range comps {
+		c := &comps[ci]
+		args := make([]string, 0, 2*len(c.tracks))
+		for _, tr := range c.tracks {
+			args = append(args, tr.srcVar, tr.dstVar)
+		}
+		cqq.Atoms = append(cqq.Atoms, cq.Atom{Rel: fmt.Sprintf("__comp%d", ci), Args: args})
+	}
+	for _, f := range frees {
+		cqq.Atoms = append(cqq.Atoms, cq.Atom{Rel: "__reach", Args: []string{f.srcVar, f.dstVar}})
+	}
+	return cqq
+}
+
+// sweepSource implements cq.AtomSource over the database: each Open of a
+// __comp relation is a lazy R' sweep (restricted by the bound pattern),
+// __reach streams the any-label reachability relation from a per-source
+// BFS cache, and __pin_v streams a singleton. The source owns the shared
+// scratch — one reusable fast product per component, the reach cache,
+// trace spans — and release() frees all of it; streams returned by Open
+// are independently closeable.
+//
+// Not safe for concurrent use: the streaming join pulls sequentially.
+type sweepSource struct {
+	ctx    context.Context
+	db     *graphdb.DB
+	merged []component
+	pinned map[string]int
+	opts   Options
+	n      int
+
+	res   *govern.Reservation
+	mem   *govern.Meter // reach-cache bytes, released at release()
+	fps   []*fastProduct
+	fpSet []bool
+	reach map[int][]bool
+
+	spans    map[string]*trace.Span
+	spanRows map[string]*int64
+	rows     int64 // total R' rows streamed across all Opens
+	released bool
+}
+
+func newSweepSource(ctx context.Context, db *graphdb.DB, merged []component, pinned map[string]int, opts Options) *sweepSource {
+	res := govern.FromContext(ctx)
+	return &sweepSource{
+		ctx:      ctx,
+		db:       db,
+		merged:   merged,
+		pinned:   pinned,
+		opts:     opts,
+		n:        db.NumVertices(),
+		res:      res,
+		mem:      res.NewMeter(),
+		fps:      make([]*fastProduct, len(merged)),
+		fpSet:    make([]bool, len(merged)),
+		reach:    make(map[int][]bool),
+		spans:    make(map[string]*trace.Span),
+		spanRows: make(map[string]*int64),
+	}
+}
+
+// release frees the product-search scratch, the reach cache's ledger
+// charge, and ends the per-stage spans. Idempotent.
+func (s *sweepSource) release() {
+	if s.released {
+		return
+	}
+	s.released = true
+	for _, fp := range s.fps {
+		if fp != nil {
+			fp.releaseMem()
+		}
+	}
+	s.mem.Close()
+	for name, sp := range s.spans {
+		sp.SetInt("rows", *s.spanRows[name])
+		sp.End()
+	}
+}
+
+// fp returns the component's reusable fast product (nil when the packed
+// representation does not apply; componentReachSet then falls back to
+// the general search).
+func (s *sweepSource) fp(ci int) *fastProduct {
+	if !s.fpSet[ci] {
+		s.fps[ci] = newFastProduct(s.db, &s.merged[ci])
+		s.fpSet[ci] = true
+	}
+	return s.fps[ci]
+}
+
+// reachFor returns (and caches) the any-label reachability set from u,
+// charging the cache against the ledger.
+func (s *sweepSource) reachFor(u int) ([]bool, error) {
+	if r, ok := s.reach[u]; ok {
+		return r, nil
+	}
+	if err := s.mem.Grow(int64(s.n) + 48); err != nil {
+		return nil, err
+	}
+	r := anyReach(s.db, u)
+	s.reach[u] = r
+	return r, nil
+}
+
+// counter returns the streamed-row counter shared by every Open of the
+// named relation, opening that relation's stage span on first use. The
+// span ends at release() — a per-Open span would flood the trace with
+// one span per join probe.
+func (s *sweepSource) counter(rel, spanName string, ci int) *int64 {
+	if c, ok := s.spanRows[rel]; ok {
+		return c
+	}
+	//ecrpq:ignore spanend -- span lifetime is the source's; release() ends every span in s.spans on all paths
+	_, sp := trace.StartSpan(s.ctx, spanName)
+	if ci >= 0 {
+		sp.SetInt("component", int64(ci))
+	}
+	sp.SetStr("mode", "stream")
+	s.spans[rel] = sp
+	c := new(int64)
+	s.spanRows[rel] = c
+	return c
+}
+
+// Open implements cq.AtomSource for the reduction relations.
+func (s *sweepSource) Open(rel string, bound []int) (stream.Tuples, error) {
+	switch {
+	case strings.HasPrefix(rel, "__comp"):
+		ci, err := strconv.Atoi(rel[len("__comp"):])
+		if err != nil || ci < 0 || ci >= len(s.merged) {
+			return nil, fmt.Errorf("core: unknown component relation %q", rel)
+		}
+		t := len(s.merged[ci].tracks)
+		if len(bound) != 2*t {
+			return nil, fmt.Errorf("core: %s bound pattern has %d positions, want %d", rel, len(bound), 2*t)
+		}
+		cs, err := newCompStream(s, ci, bound)
+		if err != nil {
+			return nil, err
+		}
+		return stream.Metered(cs, s.res.NewMeter(), streamCompRowBytes(t)), nil
+	case rel == "__reach":
+		if len(bound) != 2 {
+			return nil, fmt.Errorf("core: __reach bound pattern has %d positions, want 2", len(bound))
+		}
+		rs := &reachStream{s: s, counter: s.counter(rel, "core/reach", -1), u0: bound[0], v0: bound[1], u: -1}
+		return stream.Metered(rs, s.res.NewMeter(), streamReachRowBytes), nil
+	case strings.HasPrefix(rel, "__pin_"):
+		v, ok := s.pinned[rel[len("__pin_"):]]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown pin relation %q", rel)
+		}
+		if len(bound) != 1 {
+			return nil, fmt.Errorf("core: %s bound pattern has %d positions, want 1", rel, len(bound))
+		}
+		if bound[0] >= 0 && bound[0] != v {
+			return stream.Empty(), nil
+		}
+		return stream.Once([]int{v}), nil
+	}
+	return nil, fmt.Errorf("core: unknown streamed relation %q", rel)
+}
+
+// compStream lazily enumerates the rows of one component's R' relation
+// matching a bound pattern: source tuples in the materializing sweep's
+// mixed-radix order (track 0 varies fastest; pinned source positions are
+// skipped, yielding a subsequence of the unbound order), destination
+// tuples per source in lexicographic order (componentReachSet sorts) —
+// exactly the sweepComponent order, produced on demand.
+type compStream struct {
+	s        *sweepSource
+	ci, t    int
+	fixedSrc []int // per track: bound source vertex, or -1
+	boundDst []int // per track: bound destination vertex, or -1
+	freePos  []int // track indices whose source position is free
+	idx      int   // next mixed-radix index over the free positions
+	total    int
+	counter  *int64
+
+	srcs []int   // current source tuple
+	dsts [][]int // destination tuples for the current source
+	di   int
+	row  []int // reused output row
+	err  error
+	done bool
+}
+
+//ecrpq:charged O(tracks) pattern scratch; streamed rows are charged by the stream.Metered wrapper in Open
+func newCompStream(s *sweepSource, ci int, bound []int) (*compStream, error) {
+	t := len(s.merged[ci].tracks)
+	cs := &compStream{
+		s:        s,
+		ci:       ci,
+		t:        t,
+		fixedSrc: make([]int, t),
+		boundDst: make([]int, t),
+		counter:  s.counter(fmt.Sprintf("__comp%d", ci), "core/sweep", ci),
+		srcs:     make([]int, t),
+		row:      make([]int, 2*t),
+	}
+	for k := 0; k < t; k++ {
+		cs.fixedSrc[k] = bound[2*k]
+		cs.boundDst[k] = bound[2*k+1]
+		if bound[2*k] < 0 {
+			cs.freePos = append(cs.freePos, k)
+		}
+	}
+	total := 1
+	for range cs.freePos {
+		if s.n > 0 && total > maxSweepSources/s.n {
+			return nil, fmt.Errorf("core: Lemma 4.3 sweep of %d^%d source tuples exceeds the safety bound", s.n, len(cs.freePos))
+		}
+		total *= s.n
+	}
+	cs.total = total
+	return cs, nil
+}
+
+// decode fills srcs for mixed-radix index idx: pinned positions keep
+// their bound vertex; free positions advance with the lowest track index
+// fastest, matching sweepComponent's decode.
+func (cs *compStream) decode(idx int) {
+	copy(cs.srcs, cs.fixedSrc)
+	for _, k := range cs.freePos {
+		cs.srcs[k] = idx % cs.s.n
+		idx /= cs.s.n
+	}
+}
+
+func (cs *compStream) Next() ([]int, bool) {
+	if cs.err != nil || cs.done {
+		return nil, false
+	}
+	//ecrpq:bounded each iteration either yields a row or advances idx toward total; both are finite
+	for {
+		//ecrpq:bounded di advances through the current source's finite destination list
+		for cs.di < len(cs.dsts) {
+			d := cs.dsts[cs.di]
+			cs.di++
+			if !cs.dstMatches(d) {
+				continue
+			}
+			for k := 0; k < cs.t; k++ {
+				cs.row[2*k] = cs.srcs[k]
+				cs.row[2*k+1] = d[k]
+			}
+			*cs.counter++
+			cs.s.rows++
+			return cs.row, true
+		}
+		if cs.idx >= cs.total {
+			cs.done = true
+			return nil, false
+		}
+		if err := cs.s.ctx.Err(); err != nil {
+			cs.err = err
+			return nil, false
+		}
+		cs.decode(cs.idx)
+		cs.idx++
+		dsts, err := componentReachSet(cs.s.ctx, cs.s.db, &cs.s.merged[cs.ci], cs.s.fp(cs.ci), cs.srcs, cs.s.opts.maxStates())
+		if err != nil {
+			cs.err = err
+			return nil, false
+		}
+		cs.dsts = dsts
+		cs.di = 0
+	}
+}
+
+func (cs *compStream) dstMatches(d []int) bool {
+	for k, want := range cs.boundDst {
+		if want >= 0 && d[k] != want {
+			return false
+		}
+	}
+	return true
+}
+
+func (cs *compStream) Err() error { return cs.err }
+func (cs *compStream) Close()     { cs.done = true; cs.dsts = nil }
+
+// reachStream enumerates the __reach relation lazily: sources ascending,
+// destinations ascending per source — the order addReachRelation
+// materializes in. Bound positions restrict the scan.
+type reachStream struct {
+	s       *sweepSource
+	counter *int64
+	u0, v0  int // bound source/destination, or -1
+	u       int // current source (-1 before the first)
+	v       int // next destination to test
+	cur     []bool
+	row     [2]int
+	err     error
+	done    bool
+}
+
+func (rs *reachStream) Next() ([]int, bool) {
+	if rs.err != nil || rs.done {
+		return nil, false
+	}
+	//ecrpq:bounded the (u, v) cursor advances strictly through the finite n×n grid
+	for {
+		if rs.cur == nil {
+			next := rs.u + 1
+			if rs.u0 >= 0 {
+				if rs.u >= 0 { // the single bound source is exhausted
+					rs.done = true
+					return nil, false
+				}
+				next = rs.u0
+			}
+			if next >= rs.s.n {
+				rs.done = true
+				return nil, false
+			}
+			if err := rs.s.ctx.Err(); err != nil {
+				rs.err = err
+				return nil, false
+			}
+			reach, err := rs.s.reachFor(next)
+			if err != nil {
+				rs.err = err
+				return nil, false
+			}
+			rs.u = next
+			rs.cur = reach
+			rs.v = 0
+		}
+		//ecrpq:bounded v advances through the current source's n destination slots
+		for rs.v < rs.s.n {
+			v := rs.v
+			rs.v++
+			if rs.cur[v] && (rs.v0 < 0 || v == rs.v0) {
+				rs.row[0], rs.row[1] = rs.u, v
+				*rs.counter++
+				rs.s.rows++
+				return rs.row[:], true
+			}
+		}
+		rs.cur = nil
+	}
+}
+
+func (rs *reachStream) Err() error { return rs.err }
+func (rs *reachStream) Close()     { rs.done = true }
+
+// Enumerate streams the query's answers over db incrementally: tuples in
+// q.Free order for a query with free variables, at most one empty tuple
+// for a Boolean query. The enumeration order is deterministic (fixed by
+// the plan), duplicates are suppressed, and answers match AnswersContext
+// as a set. The iterator charges the ledger per chunk when ctx carries a
+// govern reservation, honors ctx cancellation at every Next, and must be
+// Closed on all paths — Close releases all reservations and scratch.
+//
+// Reduction plans stream the R' sweep lazily; Generic plans (and
+// reduction queries whose free variables appear in no component or
+// reachability atom) fall back to lazily pinning candidate tuples in
+// lexicographic order.
+func (p *Prepared) Enumerate(ctx context.Context, db *graphdb.DB) (stream.Tuples, error) {
+	if err := p.checkDB(db); err != nil {
+		return nil, err
+	}
+	if p.strat == Reduction {
+		it, ok, err := p.enumerateReduction(ctx, db)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return it, nil
+		}
+	}
+	return stream.WithContext(ctx, newPinnedEnum(ctx, db, p)), nil
+}
+
+// enumerateReduction builds the streaming Lemma 4.3 pipeline. ok=false
+// means the plan cannot stream (unconstrained free variable) and the
+// caller should fall back to pinned enumeration.
+func (p *Prepared) enumerateReduction(ctx context.Context, db *graphdb.DB) (stream.Tuples, bool, error) {
+	if db.NumVertices() == 0 {
+		if len(p.q.Free) > 0 {
+			return stream.Empty(), true, nil
+		}
+		if emptyDBSat(p) {
+			return stream.Once(nil), true, nil
+		}
+		return stream.Empty(), true, nil
+	}
+	cqq := streamQuery(p.comps, p.frees, nil, p.q.Free)
+	src := newSweepSource(ctx, db, p.merged, nil, p.opts)
+	mem := govern.MeterFrom(ctx) // dedup set + hash-level buffers
+	var charge stream.ChargeFunc
+	if mem != nil {
+		charge = mem.Charge
+	}
+	ans, err := cq.StreamAnswers(src, cqq, charge)
+	if err != nil {
+		src.release()
+		mem.Close()
+		if errors.Is(err, cq.ErrUnconstrained) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	it := stream.WithContext(ctx, stream.OnClose(ans, func() {
+		mem.Close()
+		src.release()
+	}))
+	return it, true, nil
+}
+
+// emptyDBSat mirrors evalReductionMaterialized's empty-database rule:
+// satisfiable only when the query constrains nothing.
+func emptyDBSat(p *Prepared) bool {
+	return len(p.comps) == 0 && len(p.frees) == 0 && len(p.q.Reach) == 0
+}
+
+// evaluateReductionStreaming is the first-witness fast path: enumerate
+// full CQ assignments lazily and stop at the first one, instead of
+// materializing every R' table before the join. Satisfiability of a
+// satisfiable instance costs a prefix of the sweep; unsatisfiable
+// instances still sweep fully (the join must prove exhaustion), matching
+// the materializing path's worst case without retaining its tables.
+func (p *Prepared) evaluateReductionStreaming(ctx context.Context, db *graphdb.DB) (*Result, error) {
+	if db.NumVertices() == 0 {
+		return &Result{Sat: emptyDBSat(p)}, nil
+	}
+	cqq := streamQuery(p.comps, p.frees, nil, nil)
+	src := newSweepSource(ctx, db, p.merged, nil, p.opts)
+	defer src.release()
+	mem := govern.MeterFrom(ctx)
+	defer mem.Close()
+	var charge stream.ChargeFunc
+	if mem != nil {
+		charge = mem.Charge
+	}
+	_, jsp := trace.StartSpan(ctx, "core/cq_join")
+	jsp.SetStr("mode", "stream")
+	asg, vars, err := cq.StreamAssignments(src, cqq, charge)
+	if err != nil {
+		jsp.End()
+		return nil, err
+	}
+	it := stream.WithContext(ctx, asg)
+	defer it.Close()
+	row, ok := it.Next()
+	err = it.Err()
+	jsp.End()
+	if err != nil {
+		return nil, err
+	}
+	stats := Stats{CQTuples: int(src.rows)}
+	if !ok {
+		return &Result{Sat: false, Stats: stats}, nil
+	}
+	res := &Result{Sat: true, Stats: stats, Nodes: make(map[string]int, len(vars))}
+	for i, v := range vars {
+		res.Nodes[v] = row[i]
+	}
+	// Node variables in no CQ atom default to vertex 0, as in
+	// evalReductionMaterialized.
+	for _, v := range p.q.NodeVars() {
+		if _, bound := res.Nodes[v]; !bound {
+			res.Nodes[v] = 0
+		}
+	}
+	if err := recoverWitnesses(ctx, db, p.comps, p.frees, p.opts, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// pinnedEnum enumerates answers by deciding each candidate free-variable
+// tuple separately (lexicographic order, matching AnswersContext's
+// fallback). Boolean queries are a single decision yielding at most one
+// empty tuple.
+type pinnedEnum struct {
+	ctx    context.Context
+	db     *graphdb.DB
+	p      *Prepared
+	tuple  []int
+	out    []int
+	pinned map[string]int
+	idx    int
+	total  int
+	err    error
+	done   bool
+}
+
+func newPinnedEnum(ctx context.Context, db *graphdb.DB, p *Prepared) *pinnedEnum {
+	f := len(p.q.Free)
+	n := db.NumVertices()
+	total := 1
+	for i := 0; i < f; i++ {
+		if n == 0 || total > maxSweepSources/maxInt(n, 1) {
+			total = 0
+			break
+		}
+		total *= n
+	}
+	return &pinnedEnum{
+		ctx:    ctx,
+		db:     db,
+		p:      p,
+		tuple:  make([]int, f),
+		out:    make([]int, f),
+		pinned: make(map[string]int, f),
+		total:  total,
+	}
+}
+
+// decode fills tuple for candidate idx in lexicographic order: the last
+// free variable varies fastest.
+func (pe *pinnedEnum) decode(idx int) {
+	n := pe.db.NumVertices()
+	for i := len(pe.tuple) - 1; i >= 0; i-- {
+		pe.tuple[i] = idx % n
+		idx /= n
+	}
+}
+
+func (pe *pinnedEnum) Next() ([]int, bool) {
+	if pe.err != nil || pe.done {
+		return nil, false
+	}
+	//ecrpq:bounded each iteration consumes one candidate index; total is finite
+	for pe.idx < pe.total {
+		if err := pe.ctx.Err(); err != nil {
+			pe.err = err
+			return nil, false
+		}
+		if len(pe.tuple) > 0 {
+			pe.decode(pe.idx)
+			for i, f := range pe.p.q.Free {
+				pe.pinned[f] = pe.tuple[i]
+			}
+		}
+		pe.idx++
+		res, err := evaluatePinned(pe.ctx, pe.db, pe.p.q, pe.pinned, pe.p.opts)
+		if err != nil {
+			pe.err = err
+			return nil, false
+		}
+		if res.Sat {
+			copy(pe.out, pe.tuple)
+			return pe.out, true
+		}
+	}
+	pe.done = true
+	return nil, false
+}
+
+func (pe *pinnedEnum) Err() error { return pe.err }
+func (pe *pinnedEnum) Close()     { pe.done = true }

@@ -179,9 +179,13 @@ func (p *Prepared) checkDB(db *graphdb.DB) error {
 }
 
 // EvaluateContext evaluates the prepared query on the database. For a
-// Reduction plan, mat supplies a cached Materialization for this database
-// (pass nil to materialize on the fly); Generic plans ignore mat. The
-// result is identical to core.EvaluateContext with the same options.
+// Reduction plan, mat supplies a cached Materialization for this database;
+// passing nil runs the streaming first-witness path instead (enumerate
+// lazily, stop at the first satisfying assignment), which never builds
+// the full R' tables — on satisfiable instances it does a fraction of the
+// sweep, and Stats.CQTuples reports only the rows actually streamed.
+// Generic plans ignore mat. Sat/Nodes/Paths are identical to
+// core.EvaluateContext with the same options either way.
 func (p *Prepared) EvaluateContext(ctx context.Context, db *graphdb.DB, mat *Materialization) (*Result, error) {
 	if err := p.checkDB(db); err != nil {
 		return nil, err
@@ -193,10 +197,8 @@ func (p *Prepared) EvaluateContext(ctx context.Context, db *graphdb.DB, mat *Mat
 		res, err = evalGeneric(ctx, db, p.q, p.comps, p.frees, nil, p.opts)
 	case Reduction:
 		if mat == nil {
-			mat, err = p.Materialize(ctx, db)
-			if err != nil {
-				return nil, err
-			}
+			res, err = p.evaluateReductionStreaming(ctx, db)
+			break
 		}
 		res, err = evalReductionMaterialized(ctx, db, p.q, p.comps, p.frees, nil, p.opts, mat.st, mat.cqq, mat.stats)
 	default:

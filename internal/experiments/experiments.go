@@ -668,7 +668,7 @@ func All(seed int64) []*Table {
 		E1(seed), E1b(seed), E2(seed), E3(seed), E4(seed), E5(seed), E6(seed),
 		E7(), E8(seed), E9(seed), E10(seed), E11(seed), E12(seed),
 		AblationStrategies(seed), AblationCQEval(seed), AblationTreewidth(), AblationParallel(seed), AblationBaseline(seed),
-		StageAttribution(seed), Overload(seed),
+		StageAttribution(seed), Overload(seed), StreamingEnumeration(seed),
 	}
 }
 

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestStreamingEnumerationShape runs A10 and checks the acceptance
+// criterion behind the streaming subsystem: on both regimes the
+// first-witness latency improves at least 5× over materializing, and
+// the peak reserved bytes drop measurably. The thresholds are far below
+// the recorded EXPERIMENTS.md numbers (10³×-scale) so the test stays
+// robust on slow or heavily loaded hosts.
+func TestStreamingEnumerationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping the materializing baseline in -short mode")
+	}
+	tb := StreamingEnumeration(1)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("A10 rows = %d, want 2 (E1 and E8 regimes)", len(tb.Rows))
+	}
+	factor := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "×"), 64)
+		if err != nil {
+			t.Fatalf("unparsable factor cell %q: %v", cell, err)
+		}
+		return v
+	}
+	for _, r := range tb.Rows {
+		if len(r) != len(tb.Headers) {
+			t.Fatalf("row width %d ≠ headers %d: %v", len(r), len(tb.Headers), r)
+		}
+		if speedup := factor(r[4]); speedup < 5 {
+			t.Errorf("%s: first-witness speedup %.1f×, want ≥5×", r[0], speedup)
+		}
+		if ratio := factor(r[7]); ratio <= 1 {
+			t.Errorf("%s: peak reserved bytes ratio %.1f×, want a measurable reduction (>1×)", r[0], ratio)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+// Package streamclose implements the streamclose analyzer: every
+// stream.Tuples iterator obtained from a call must be closed. An
+// iterator that is never Closed keeps its govern reservation charged to
+// the shared ledger for the life of the process — the streaming
+// subsystem's whole contract is that Close releases on all paths, and a
+// leaked iterator silently starves later admissions.
+//
+// The check is syntactic per function body (the mini lint framework has
+// no CFG), with rules mirroring spanend:
+//
+//  1. The iterator result must be bound: a bare call statement or a
+//     blank-identifier assignment makes closing it impossible.
+//  2. The bound variable must have a Close() call — deferred or plain —
+//     somewhere in the enclosing function, unless ownership is
+//     transferred (rule 4).
+//  3. A plain (non-deferred) Close() must not have a return statement
+//     between the acquisition and the Close: an early return would leak
+//     the reservation. Use `defer it.Close()` around early returns.
+//  4. Ownership transfer exempts a variable: passing it as an argument
+//     to another call (combinators like stream.Limit(it, n) adopt their
+//     source and close it through their own Close) or using it in a
+//     return statement (the caller becomes responsible) both count.
+package streamclose
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ecrpq/internal/lint"
+)
+
+// streamPkgSuffix identifies the package whose Tuples interface is the
+// guarded resource.
+const streamPkgSuffix = "internal/stream"
+
+// Analyzer is the streamclose check.
+var Analyzer = &lint.Analyzer{
+	Name: "streamclose",
+	Doc: "every stream.Tuples obtained from a call must be Closed on all paths\n\n" +
+		"A stream.Tuples returned by any call must be bound to a variable with a matching\n" +
+		"Close() — deferred, or plain with no return between acquisition and Close — unless\n" +
+		"ownership is transferred by passing it to another call or returning it.\n" +
+		"Suppress with //ecrpq:ignore streamclose -- <reason>.",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		// Each function body — declarations and literals alike — is its
+		// own analysis unit, so a return inside a nested closure does not
+		// count against an iterator opened in the enclosing function.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// acquisition is one call that binds a Tuples variable.
+type acquisition struct {
+	pos     token.Pos
+	callEnd token.Pos // end of the acquiring call, for ordering
+	fname   string    // called function name, for messages
+	varName string
+}
+
+// checkBody analyzes one function body, treating nested function
+// literals as opaque (they are analyzed as their own units by run).
+func checkBody(pass *lint.Pass, body *ast.BlockStmt) {
+	var acqs []acquisition
+	// closesDefer: iterator variable name → has a deferred Close. Plain
+	// Close calls are collected per variable by collectPlainCloses so the
+	// receiver does not register as a transferred call argument.
+	closesDefer := map[string]bool{}
+	// transferred: variable names whose ownership moved — passed as a
+	// call argument or used in a return statement.
+	transferred := map[string]bool{}
+	var returns []token.Pos
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		// The walk root is the body BlockStmt; any FuncLit below it is a
+		// nested unit handled separately — but a variable captured by a
+		// closure is the closure's to close, so count it as transferred.
+		if lit, ok := n.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					transferred[id.Name] = true
+				}
+				return true
+			})
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			checkAcquireAssign(pass, st, &acqs)
+			// Re-binding an iterator (`it = next`) aliases it: the new
+			// name owns it from here on.
+			for _, rhs := range st.Rhs {
+				if id, ok := rhs.(*ast.Ident); ok {
+					transferred[id.Name] = true
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if fname, ok := tuplesCall(pass, call); ok {
+					pass.Reportf(call.Pos(),
+						"stream.Tuples from %s dropped: bind it and call Close()", fname)
+				}
+			}
+		case *ast.DeferStmt:
+			if v, ok := closeCallReceiver(st.Call); ok {
+				closesDefer[v] = true
+			}
+			if fname, ok := tuplesCall(pass, st.Call); ok {
+				pass.Reportf(st.Pos(),
+					"stream.Tuples from %s discarded by defer statement", fname)
+			}
+		case *ast.GoStmt:
+			if fname, ok := tuplesCall(pass, st.Call); ok {
+				pass.Reportf(st.Pos(),
+					"stream.Tuples from %s discarded by go statement", fname)
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, st.Pos())
+			for _, res := range st.Results {
+				markIdents(res, transferred)
+			}
+		case *ast.CallExpr:
+			// Direct identifier arguments transfer ownership to the
+			// callee (stream combinators adopt and close their source).
+			for _, arg := range st.Args {
+				if id, ok := arg.(*ast.Ident); ok {
+					transferred[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+
+	for _, a := range acqs {
+		if closesDefer[a.varName] || transferred[a.varName] {
+			continue
+		}
+		plains := collectPlainCloses(body, a.varName)
+		if len(plains) == 0 {
+			pass.Reportf(a.pos,
+				"stream.Tuples %q from %s is never closed: add %s.Close() or defer %s.Close()",
+				a.varName, a.fname, a.varName, a.varName)
+			continue
+		}
+		// Rule 3: the first plain Close after this acquisition must not
+		// have a return between them.
+		var firstClose token.Pos
+		for _, p := range plains {
+			if p > a.callEnd && (firstClose == token.NoPos || p < firstClose) {
+				firstClose = p
+			}
+		}
+		if firstClose == token.NoPos {
+			pass.Reportf(a.pos,
+				"stream.Tuples %q from %s has no Close() after the acquisition: add one or defer it",
+				a.varName, a.fname)
+			continue
+		}
+		for _, r := range returns {
+			if r > a.callEnd && r < firstClose {
+				pass.Reportf(a.pos,
+					"stream.Tuples %q from %s may leak: return between acquisition and Close() — use defer %s.Close()",
+					a.varName, a.fname, a.varName)
+				break
+			}
+		}
+	}
+}
+
+// collectPlainCloses finds non-deferred v.Close() calls in body, outside
+// nested function literals.
+func collectPlainCloses(body *ast.BlockStmt, v string) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, ok := closeCallReceiver(call); ok && name == v {
+				out = append(out, call.Pos())
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// markIdents records every identifier inside expr (return expressions may
+// wrap the iterator: `return stream.Limit(it, n), nil`).
+func markIdents(expr ast.Expr, set map[string]bool) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			set[id.Name] = true
+		}
+		return true
+	})
+}
+
+// checkAcquireAssign records `it := stream.Limit(...)` style bindings and
+// flags blank-identifier discards at a Tuples result position.
+func checkAcquireAssign(pass *lint.Pass, as *ast.AssignStmt, acqs *[]acquisition) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fname, positions, ok := tuplesResultCall(pass, call)
+	if !ok {
+		return
+	}
+	for _, i := range positions {
+		if i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if id.Name == "_" {
+			pass.Reportf(as.Pos(),
+				"stream.Tuples from %s assigned to _: bind it and call Close()", fname)
+			continue
+		}
+		*acqs = append(*acqs, acquisition{
+			pos:     as.Pos(),
+			callEnd: call.End(),
+			fname:   fname,
+			varName: id.Name,
+		})
+	}
+}
+
+// tuplesCall reports whether any result of the call is a stream.Tuples
+// (a bare statement or defer/go discards every result, so one Tuples
+// among them is enough to flag), returning a printable callee name.
+func tuplesCall(pass *lint.Pass, call *ast.CallExpr) (string, bool) {
+	fname, _, ok := tuplesResultCall(pass, call)
+	return fname, ok
+}
+
+// tuplesResultCall resolves the callee and reports which result
+// positions carry a stream.Tuples.
+func tuplesResultCall(pass *lint.Pass, call *ast.CallExpr) (string, []int, bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", nil, false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return "", nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", nil, false
+	}
+	var positions []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isTuples(sig.Results().At(i).Type()) {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) == 0 {
+		return "", nil, false
+	}
+	name := fn.Name()
+	if fn.Pkg() != nil {
+		if parts := strings.Split(fn.Pkg().Path(), "/"); len(parts) > 0 {
+			name = parts[len(parts)-1] + "." + name
+		}
+	}
+	return name, positions, true
+}
+
+// isTuples reports whether t is the stream.Tuples interface.
+func isTuples(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Tuples" &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), streamPkgSuffix)
+}
+
+// closeCallReceiver returns the receiver variable name of `it.Close()`.
+func closeCallReceiver(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}

@@ -1,0 +1,12 @@
+package streamclose_test
+
+import (
+	"testing"
+
+	"ecrpq/internal/lint/checktest"
+	"ecrpq/internal/lint/streamclose"
+)
+
+func TestStreamClose(t *testing.T) {
+	checktest.Run(t, ".", streamclose.Analyzer, "violation", "clean")
+}

@@ -1,0 +1,82 @@
+// Package clean holds iterator usages streamclose must accept.
+package clean
+
+import (
+	"ecrpq/internal/stream"
+)
+
+func deferred() ([][]int, error) {
+	it := stream.FromRows([][]int{{1}, {2}})
+	defer it.Close()
+	var out [][]int
+	for {
+		row, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, append([]int(nil), row...))
+	}
+	return out, it.Err()
+}
+
+func plainCloseNoReturn() int {
+	it := stream.FromRows([][]int{{7}})
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		n++
+	}
+	it.Close()
+	return n
+}
+
+// transferredToCombinator: wrapping an iterator hands ownership to the
+// combinator, whose Close closes the source.
+func transferredToCombinator(limit int) ([][]int, error) {
+	inner := stream.FromRows([][]int{{1}, {2}, {3}})
+	page := stream.Limit(inner, limit)
+	defer page.Close()
+	return stream.Collect(page)
+}
+
+// returned: the caller owns what we return.
+func returned() stream.Tuples {
+	it := stream.Empty()
+	return it
+}
+
+// returnedWrapped: ownership moves through the wrapping combinator into
+// the return value.
+func returnedWrapped(n int) stream.Tuples {
+	it := stream.FromRows([][]int{{1}})
+	return stream.Offset(it, n)
+}
+
+// closedInClosure: a captured iterator is the closure's responsibility.
+func closedInClosure() func() {
+	it := stream.Empty()
+	return func() { it.Close() }
+}
+
+// doubleDefer mirrors the server's paging worker: both the raw iterator
+// and its wrapper carry a defer (Close is idempotent).
+func doubleDefer(limit int) ([][]int, error) {
+	it := stream.FromRows([][]int{{1}, {2}})
+	defer it.Close()
+	page := stream.Limit(it, limit)
+	defer page.Close()
+	return stream.Collect(page)
+}
+
+// rebound: StreamAssignments-style wrapping loop — each combinator
+// adopts the previous iterator and the final one is returned.
+func rebound(n int) stream.Tuples {
+	it := stream.Empty()
+	for i := 0; i < n; i++ {
+		next := stream.Offset(it, i)
+		it = next
+	}
+	return it
+}

@@ -1,0 +1,42 @@
+// Package violation exercises every streamclose diagnostic.
+package violation
+
+import (
+	"errors"
+
+	"ecrpq/internal/stream"
+)
+
+func dropped() {
+	stream.Empty() // want `stream\.Tuples from stream\.Empty dropped`
+}
+
+func blankAssigned() {
+	_ = stream.FromRows(nil) // want `stream\.Tuples from stream\.FromRows assigned to _`
+}
+
+func neverClosed() int {
+	it := stream.FromRows([][]int{{1}}) // want `stream\.Tuples "it" from stream\.FromRows is never closed`
+	row, ok := it.Next()
+	if ok {
+		return row[0]
+	}
+	return 0
+}
+
+func returnBetween(fail bool) error {
+	it := stream.Empty() // want `stream\.Tuples "it" from stream\.Empty may leak: return between acquisition and Close`
+	if fail {
+		return errors.New("early exit leaks the reservation")
+	}
+	it.Close()
+	return nil
+}
+
+func deferredAcquire() {
+	defer stream.Empty() // want `stream\.Tuples from stream\.Empty discarded by defer statement`
+}
+
+func goAcquire() {
+	go stream.Empty() // want `stream\.Tuples from stream\.Empty discarded by go statement`
+}

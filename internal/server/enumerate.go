@@ -1,0 +1,291 @@
+package server
+
+// POST /v1/enumerate: paginated streaming answer enumeration. Where
+// /v1/query materializes the full answer set in one response, this
+// endpoint drives core's streaming Enumerate pipeline and returns one
+// page per request, with an opaque resumable cursor. The server stays
+// stateless between pages: the cursor encodes (query hash, database,
+// generation, strategy, offset) and each page re-runs the enumeration,
+// skipping offset tuples — cheap because the pipeline is lazy and the
+// skipped prefix never materializes R' tables it does not touch. The
+// compiled plan (not any materialization) is cached across pages, and
+// the deterministic enumeration order guarantees page k+1 continues
+// exactly where page k stopped.
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ecrpq/internal/core"
+	"ecrpq/internal/govern"
+	"ecrpq/internal/query"
+	"ecrpq/internal/stream"
+	"ecrpq/internal/trace"
+)
+
+// enumerateRequest is the POST /v1/enumerate body. Cursor, when set,
+// must come from a previous response for the same db/query/strategy.
+type enumerateRequest struct {
+	DB        string `json:"db"`
+	Query     string `json:"query"`
+	Strategy  string `json:"strategy"`
+	Limit     int    `json:"limit"`
+	Cursor    string `json:"cursor"`
+	TimeoutMs int64  `json:"timeout_ms"`
+}
+
+// enumerateResponse is one page of answers. More=true means NextCursor
+// resumes the enumeration; a Boolean satisfiable query yields a single
+// page with one empty tuple.
+type enumerateResponse struct {
+	Answers    [][]string `json:"answers"`
+	Free       []string   `json:"free,omitempty"`
+	Count      int        `json:"count"`
+	More       bool       `json:"more"`
+	NextCursor string     `json:"next_cursor,omitempty"`
+	Strategy   string     `json:"strategy"`
+	Cache      string     `json:"cache"`
+	QueryHash  string     `json:"query_hash"`
+	ElapsedMs  float64    `json:"elapsed_ms"`
+}
+
+// enumCursor is the decoded cursor. The generation pins the database
+// snapshot the enumeration order is defined over: a re-registered
+// database invalidates outstanding cursors (410 Gone) rather than
+// silently splicing pages from two different graphs.
+type enumCursor struct {
+	Q   string `json:"q"` // query hash
+	DB  string `json:"db"`
+	Gen uint64 `json:"g"`
+	S   string `json:"s"` // normalized requested strategy
+	Off int    `json:"o"` // tuples already returned
+}
+
+func encodeCursor(c enumCursor) string {
+	b, err := json.Marshal(c)
+	if err != nil {
+		// enumCursor marshals unconditionally; json.Marshal cannot fail here.
+		return ""
+	}
+	return base64.RawURLEncoding.EncodeToString(b)
+}
+
+func decodeCursor(s string) (enumCursor, error) {
+	var c enumCursor
+	b, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return c, fmt.Errorf("cursor is not base64url: %w", err)
+	}
+	if err := json.Unmarshal(b, &c); err != nil {
+		return c, fmt.Errorf("cursor payload: %w", err)
+	}
+	return c, nil
+}
+
+// handleEnumerate is the paginated enumeration endpoint. Admission is
+// identical to /v1/query (drain, quota, shed, memory reservation, pool);
+// the cursor is validated against the request and the live database
+// generation before any evaluation work is admitted.
+func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeDraining(w)
+		return
+	}
+	if !s.admitClient(w, r) {
+		return
+	}
+	var req enumerateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds the %d-byte limit", maxBodyBytes))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	strat, stratName, err := parseStrategy(req.Strategy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	limit := req.Limit
+	if limit <= 0 {
+		limit = s.cfg.EnumerateDefaultLimit
+	}
+	if limit > s.cfg.EnumerateMaxLimit {
+		limit = s.cfg.EnumerateMaxLimit
+	}
+	tctx, tr := s.startTrace(r.Context(), "enumerate")
+	defer s.finishTrace(tr)
+	tr.SetStr("db", req.DB)
+	tr.SetStr("strategy_requested", stratName)
+	psp := tr.Start("server/parse")
+	q, err := query.ParseString(req.Query)
+	psp.End()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	hash := query.Hash(q)
+	entry, ok := s.dbs.get(req.DB)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no database %q (register with POST /v1/dbs/{name})", req.DB))
+		return
+	}
+	offset := 0
+	if req.Cursor != "" {
+		cur, err := decodeCursor(req.Cursor)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if cur.Q != hash || cur.DB != req.DB || cur.S != stratName || cur.Off < 0 {
+			writeError(w, http.StatusBadRequest,
+				"cursor does not belong to this query/database/strategy combination")
+			return
+		}
+		if cur.Gen != entry.gen {
+			// The database was replaced since the cursor was minted: its
+			// enumeration order no longer exists. Clients restart from the
+			// first page.
+			s.mStaleCursors.Inc()
+			writeErrorCode(w, http.StatusGone, "STALE_CURSOR",
+				fmt.Sprintf("database %q was re-registered (generation %d, cursor has %d); restart the enumeration",
+					req.DB, entry.gen, cur.Gen))
+			return
+		}
+		offset = cur.Off
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(tctx, timeout)
+	defer cancel()
+
+	rsp := tr.Start("govern/reserve")
+	res, rerr := s.broker.Reserve(s.cfg.QueryReserveBytes)
+	rsp.End()
+	if rerr != nil {
+		s.mResourceDenied.Inc()
+		w.Header().Set("Retry-After", "2")
+		writeErrorCode(w, http.StatusTooManyRequests, "RESOURCE_EXHAUSTED",
+			"insufficient memory budget to admit query: "+rerr.Error())
+		return
+	}
+	ctx = govern.NewContext(ctx, res)
+
+	s.mEnumerates.Inc()
+	s.inflight.Add(1)
+	s.mInflight.Inc()
+	defer func() {
+		s.inflight.Add(-1)
+		s.mInflight.Dec()
+	}()
+
+	done, admitted := s.dispatch(ctx, tr, res, func() (any, error) {
+		return s.enumerate(ctx, entry, q, hash, strat, stratName, limit, offset)
+	})
+	if !admitted {
+		res.Release()
+		s.mRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeErrorCode(w, http.StatusTooManyRequests, "OVERLOADED",
+			"server at capacity, try again later")
+		return
+	}
+
+	select {
+	case out := <-done:
+		if out.err != nil {
+			s.writeEvalError(w, tr, nil, out.err, timeout)
+			return
+		}
+		tr.SetInt("mem_peak_bytes", res.Peak())
+		writeJSON(w, http.StatusOK, out.resp)
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.mTimeouts.Inc()
+			writeError(w, http.StatusGatewayTimeout,
+				fmt.Sprintf("query exceeded its %s deadline", timeout))
+			return
+		}
+		writeError(w, statusClientClosedRequest, "request cancelled")
+	}
+}
+
+// enumerate runs on a pool worker: plan-cache lookup (plans only — a
+// streamed query never materializes, so there is nothing db-generational
+// to cache), then one lazy page of the enumeration.
+func (s *Server) enumerate(ctx context.Context, entry *dbEntry, q *query.Query, hash string, strat core.Strategy, stratName string, limit, offset int) (*enumerateResponse, error) {
+	start := time.Now()
+	tr := trace.FromContext(ctx)
+	tr.SetStr("query_hash", hash)
+	prepared, resolved, cacheState, err := s.preparedPlan(ctx, q, hash, strat, stratName, s.coreOptions(strat))
+	if err != nil {
+		return nil, err
+	}
+	tr.SetStr("strategy", resolved)
+	tr.SetStr("cache", cacheState)
+	if cacheState == "hit" {
+		s.mCacheHits.Inc()
+	} else {
+		s.mCacheMisses.Inc()
+	}
+
+	it, err := prepared.Enumerate(ctx, entry.db)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	// limit+1 probes for a further page without a count query; the extra
+	// tuple is dropped from the response.
+	page := stream.Limit(stream.Offset(it, offset), limit+1)
+	defer page.Close()
+	rows, err := stream.Collect(page)
+	if err != nil {
+		return nil, err
+	}
+	more := len(rows) > limit
+	if more {
+		rows = rows[:limit]
+	}
+	named := make([][]string, len(rows))
+	for i, tup := range rows {
+		row := make([]string, len(tup))
+		for j, v := range tup {
+			row[j] = entry.db.VertexName(v)
+		}
+		named[i] = row
+	}
+	elapsed := time.Since(start)
+	s.mEvalLatency.Observe(elapsed)
+	resp := &enumerateResponse{
+		Answers:   named,
+		Free:      q.Free,
+		Count:     len(named),
+		More:      more,
+		Strategy:  resolved,
+		Cache:     cacheState,
+		QueryHash: hash,
+		ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+	}
+	if more {
+		resp.NextCursor = encodeCursor(enumCursor{
+			Q: hash, DB: entry.name, Gen: entry.gen, S: stratName, Off: offset + limit,
+		})
+	}
+	return resp, nil
+}

@@ -1,0 +1,45 @@
+//go:build faultinject
+
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"ecrpq/internal/faultinject"
+)
+
+// TestChaosEnumerateGovernDenialMidNext arms the govern.reserve fault
+// site and drives /v1/enumerate with a 1-byte admission floor, so the
+// streaming iterators' first chunked ledger charge (inside Next, well
+// after admission) is denied. The contract: the denial surfaces as a
+// structured 429 RESOURCE_EXHAUSTED, every reservation unwinds (Close
+// releases on the error path), and a clean retry succeeds.
+func TestChaosEnumerateGovernDenialMidNext(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, QueueDepth: 4, QueryReserveBytes: 1})
+	registerDB(t, s, "g", denseDBText(12))
+
+	faultinject.EnableSite("govern.reserve", faultinject.ModeError, 1.0)
+	rec, out := doJSON(t, s, "POST", "/v1/enumerate",
+		map[string]any{"db": "g", "query": reachAllQuery, "strategy": "reduction", "limit": 50})
+	faultinject.Disable()
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("injected denial: %d %s, want 429", rec.Code, rec.Body.String())
+	}
+	if out["code"] != "RESOURCE_EXHAUSTED" {
+		t.Fatalf("code=%v, want RESOURCE_EXHAUSTED", out["code"])
+	}
+	if st, cs := s.GovernStats(), s.CacheStats(); st.ReservedBytes != cs.Bytes {
+		t.Fatalf("ledger holds %d bytes after the denied page (plan cache accounts for %d)",
+			st.ReservedBytes, cs.Bytes)
+	}
+
+	rec, out = doJSON(t, s, "POST", "/v1/enumerate",
+		map[string]any{"db": "g", "query": reachAllQuery, "strategy": "reduction", "limit": 50})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("clean retry: %d %s", rec.Code, rec.Body.String())
+	}
+	if cnt, _ := out["count"].(float64); cnt == 0 {
+		t.Fatal("clean retry returned no answers")
+	}
+}

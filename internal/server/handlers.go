@@ -238,33 +238,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeDraining(w)
 		return
 	}
-	// Per-client quota, before any parsing: an over-quota client should
-	// cost the server as close to nothing as possible.
-	if s.quota != nil {
-		client := r.Header.Get("X-Ecrpq-Client")
-		if client == "" {
-			client = "anonymous"
-		}
-		if ok, retryAfter := s.quota.Allow(client); !ok {
-			s.mQuotaDenied.Inc()
-			secs := int64(retryAfter / time.Second)
-			if retryAfter%time.Second != 0 {
-				secs++
-			}
-			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
-			writeErrorCode(w, http.StatusTooManyRequests, "QUOTA_EXCEEDED",
-				fmt.Sprintf("client %q exceeded its request quota", client))
-			return
-		}
-	}
-	// Adaptive shedding: when queue wait or reserved memory is past its
-	// threshold, low-priority work is turned away so normal and high
-	// priority queries keep their latency.
-	if shed, reason := s.shedder.ShouldShed(govern.ParsePriority(r.Header.Get("X-Ecrpq-Priority"))); shed {
-		s.mShed.Inc()
-		w.Header().Set("Retry-After", "2")
-		writeErrorCode(w, http.StatusTooManyRequests, "SHED",
-			"server overloaded ("+reason+"), low-priority work is being shed")
+	if !s.admitClient(w, r) {
 		return
 	}
 	var req queryRequest
@@ -339,47 +313,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.mInflight.Dec()
 	}()
 
-	type outcome struct {
-		resp *queryResponse
-		err  error
-	}
-	done := make(chan outcome, 1)
-	submitted := time.Now()
-	admitted := s.pool.trySubmitJob(poolJob{
-		ctx:       ctx,
-		submitted: submitted,
-		run: func() {
-			// The reservation is released on every exit from the worker —
-			// success, error, and panic alike — so a wedged ledger can
-			// never outlive its query.
-			defer res.Release()
-			// The queue-wait span covers submit → dequeue: backdated to the
-			// submit instant and ended as soon as a worker picks the job up.
-			tr.StartAt("pool/queue_wait", submitted).End()
-			// Pool workers run outside wrap's recovery (the request goroutine
-			// is parked on the done channel), so an invariant violation raised
-			// during evaluation must be caught here or it kills the process.
-			// Anything that is not an invariant violation is a genuine bug and
-			// re-raised, same policy as wrap.
-			defer func() {
-				if rec := recover(); rec != nil {
-					var viol *invariant.Violation
-					if err, ok := rec.(error); ok && errors.As(err, &viol) {
-						s.mPanics.Inc()
-						s.cfg.Logger.Printf("event=panic_recovered where=pool_worker violation=%q", viol.Error())
-						done <- outcome{nil, viol}
-						return
-					}
-					panic(rec)
-				}
-			}()
-			resp, err := s.evaluate(ctx, entry, q, strat, stratName)
-			done <- outcome{resp, err}
-		},
-		// Dropped at dequeue (deadline passed while queued): the request
-		// goroutine is already answering via ctx.Done, only the ledger
-		// claim needs returning.
-		drop: res.Release,
+	done, admitted := s.dispatch(ctx, tr, res, func() (any, error) {
+		return s.evaluate(ctx, entry, q, strat, stratName)
 	})
 	if !admitted {
 		res.Release()
@@ -393,36 +328,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	select {
 	case out := <-done:
 		if out.err != nil {
-			tr.SetStr("error", out.err.Error())
-			if errors.Is(out.err, context.DeadlineExceeded) {
-				s.mTimeouts.Inc()
-				writeError(w, http.StatusGatewayTimeout,
-					fmt.Sprintf("query exceeded its %s deadline", timeout))
-				return
-			}
-			if errors.Is(out.err, context.Canceled) {
-				writeError(w, statusClientClosedRequest, "request cancelled")
-				return
-			}
-			if errors.Is(out.err, govern.ErrResourceExhausted) {
-				// The evaluation outgrew the memory budget mid-flight and
-				// unwound cleanly; the reservation is already released.
-				s.mResourceDenied.Inc()
-				if s.degradedAnswer(w, tr, q, "evaluation") {
-					return
-				}
-				w.Header().Set("Retry-After", "2")
-				writeErrorCode(w, http.StatusTooManyRequests, "RESOURCE_EXHAUSTED", out.err.Error())
-				return
-			}
-			var viol *invariant.Violation
-			if errors.As(out.err, &viol) {
-				writeError(w, http.StatusInternalServerError,
-					"internal invariant violation: "+viol.Msg)
-				return
-			}
-			s.mErrors.Inc()
-			writeError(w, http.StatusUnprocessableEntity, out.err.Error())
+			s.writeEvalError(w, tr, q, out.err, timeout)
 			return
 		}
 		tr.SetInt("mem_peak_bytes", res.Peak())
@@ -443,6 +349,128 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // statusClientClosedRequest is nginx's convention for a client that went
 // away before the response was ready.
 const statusClientClosedRequest = 499
+
+// admitClient runs the pre-parse admission gates shared by the
+// evaluation endpoints: the per-client quota (an over-quota client
+// should cost the server as close to nothing as possible) and adaptive
+// shedding (when queue wait or reserved memory is past its threshold,
+// low-priority work is turned away so normal and high priority queries
+// keep their latency). Returns false with the refusal already written.
+func (s *Server) admitClient(w http.ResponseWriter, r *http.Request) bool {
+	if s.quota != nil {
+		client := r.Header.Get("X-Ecrpq-Client")
+		if client == "" {
+			client = "anonymous"
+		}
+		if ok, retryAfter := s.quota.Allow(client); !ok {
+			s.mQuotaDenied.Inc()
+			secs := int64(retryAfter / time.Second)
+			if retryAfter%time.Second != 0 {
+				secs++
+			}
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+			writeErrorCode(w, http.StatusTooManyRequests, "QUOTA_EXCEEDED",
+				fmt.Sprintf("client %q exceeded its request quota", client))
+			return false
+		}
+	}
+	if shed, reason := s.shedder.ShouldShed(govern.ParsePriority(r.Header.Get("X-Ecrpq-Priority"))); shed {
+		s.mShed.Inc()
+		w.Header().Set("Retry-After", "2")
+		writeErrorCode(w, http.StatusTooManyRequests, "SHED",
+			"server overloaded ("+reason+"), low-priority work is being shed")
+		return false
+	}
+	return true
+}
+
+// evalOutcome carries a pool worker's result back to the request
+// goroutine.
+type evalOutcome struct {
+	resp any
+	err  error
+}
+
+// dispatch submits run to the worker pool under the request's memory
+// reservation. The reservation is released on every worker exit —
+// success, error, panic, and drop-at-dequeue alike — so a wedged ledger
+// can never outlive its query. Returns admitted=false when the pool is
+// full; the caller then releases the reservation and answers 429.
+func (s *Server) dispatch(ctx context.Context, tr *trace.Trace, res *govern.Reservation, run func() (any, error)) (<-chan evalOutcome, bool) {
+	done := make(chan evalOutcome, 1)
+	submitted := time.Now()
+	admitted := s.pool.trySubmitJob(poolJob{
+		ctx:       ctx,
+		submitted: submitted,
+		run: func() {
+			defer res.Release()
+			// The queue-wait span covers submit → dequeue: backdated to the
+			// submit instant and ended as soon as a worker picks the job up.
+			tr.StartAt("pool/queue_wait", submitted).End()
+			// Pool workers run outside wrap's recovery (the request goroutine
+			// is parked on the done channel), so an invariant violation raised
+			// during evaluation must be caught here or it kills the process.
+			// Anything that is not an invariant violation is a genuine bug and
+			// re-raised, same policy as wrap.
+			defer func() {
+				if rec := recover(); rec != nil {
+					var viol *invariant.Violation
+					if err, ok := rec.(error); ok && errors.As(err, &viol) {
+						s.mPanics.Inc()
+						s.cfg.Logger.Printf("event=panic_recovered where=pool_worker violation=%q", viol.Error())
+						done <- evalOutcome{nil, viol}
+						return
+					}
+					panic(rec)
+				}
+			}()
+			resp, err := run()
+			done <- evalOutcome{resp, err}
+		},
+		// Dropped at dequeue (deadline passed while queued): the request
+		// goroutine is already answering via ctx.Done, only the ledger
+		// claim needs returning.
+		drop: res.Release,
+	})
+	return done, admitted
+}
+
+// writeEvalError maps a worker error to the daemon's typed responses.
+// q non-nil enables the degraded satisfiability fallback on memory
+// denial (the /v1/query contract; enumeration pages have no meaningful
+// degraded form, so /v1/enumerate passes nil).
+func (s *Server) writeEvalError(w http.ResponseWriter, tr *trace.Trace, q *query.Query, err error, timeout time.Duration) {
+	tr.SetStr("error", err.Error())
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.mTimeouts.Inc()
+		writeError(w, http.StatusGatewayTimeout,
+			fmt.Sprintf("query exceeded its %s deadline", timeout))
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		writeError(w, statusClientClosedRequest, "request cancelled")
+		return
+	}
+	if errors.Is(err, govern.ErrResourceExhausted) {
+		// The evaluation outgrew the memory budget mid-flight and
+		// unwound cleanly; the reservation is already released.
+		s.mResourceDenied.Inc()
+		if q != nil && s.degradedAnswer(w, tr, q, "evaluation") {
+			return
+		}
+		w.Header().Set("Retry-After", "2")
+		writeErrorCode(w, http.StatusTooManyRequests, "RESOURCE_EXHAUSTED", err.Error())
+		return
+	}
+	var viol *invariant.Violation
+	if errors.As(err, &viol) {
+		writeError(w, http.StatusInternalServerError,
+			"internal invariant violation: "+viol.Msg)
+		return
+	}
+	s.mErrors.Inc()
+	writeError(w, http.StatusUnprocessableEntity, err.Error())
+}
 
 // degradedAnswer serves the satisfiability-only fallback when the memory
 // budget cannot cover the full evaluation. The paper's satisfiability
@@ -473,6 +501,47 @@ func (s *Server) degradedAnswer(w http.ResponseWriter, tr *trace.Trace, q *query
 		DegradedReason: reason,
 	})
 	return true
+}
+
+// preparedPlan resolves the compiled plan for (q, strat) through the
+// plan cache. Plans are keyed by the *resolved* strategy, so the same
+// query requested via "auto" and via the strategy auto picks shares one
+// plan (resolution depends only on the query, so this is sound). The
+// auto→resolved mapping is itself memoized under the "auto"
+// pseudo-strategy; a warm auto request therefore still skips Prepare.
+// cacheState is "hit" or "miss"; db-generational artifacts
+// (materializations) are the caller's concern.
+func (s *Server) preparedPlan(ctx context.Context, q *query.Query, hash string, strat core.Strategy, stratName string, opts core.Options) (prepared *core.Prepared, resolved, cacheState string, err error) {
+	planKeyFor := func(name string) plancache.Key {
+		return plancache.Key{QueryHash: hash, Strategy: name, DBGen: 0}
+	}
+	resolved = stratName
+	resolvedKnown := strat != core.Auto
+	if !resolvedKnown {
+		if v, ok := s.cacheGet(ctx, planKeyFor("auto")); ok {
+			resolved, resolvedKnown = v.(string), true
+		}
+	}
+	cacheState = "hit"
+	if resolvedKnown {
+		if v, ok := s.cacheGet(ctx, planKeyFor(resolved)); ok {
+			prepared = v.(*core.Prepared)
+		}
+	}
+	if prepared == nil {
+		cacheState = "miss"
+		p, perr := core.PrepareContext(ctx, q, opts)
+		if perr != nil {
+			return nil, "", "", perr
+		}
+		prepared = p
+		resolved = p.Strategy().String()
+		s.cachePut(ctx, planKeyFor(resolved), p, p.MemBytes())
+		if strat == core.Auto {
+			s.cachePut(ctx, planKeyFor("auto"), resolved, len(hash)+len(resolved))
+		}
+	}
+	return prepared, resolved, cacheState, nil
 }
 
 // evaluate runs on a pool worker: plan-cache lookup/population, then
@@ -513,41 +582,9 @@ func (s *Server) evaluate(ctx context.Context, entry *dbEntry, q *query.Query, s
 		}, nil
 	}
 
-	// Plans and materializations are keyed by the *resolved* strategy, so
-	// the same query requested via "auto" and via the strategy auto picks
-	// shares one plan and one Lemma 4.3 materialization (resolution
-	// depends only on the query, so this is sound). The auto→resolved
-	// mapping is itself memoized under the "auto" pseudo-strategy; a warm
-	// auto request therefore still skips Prepare.
-	planKeyFor := func(name string) plancache.Key {
-		return plancache.Key{QueryHash: hash, Strategy: name, DBGen: 0}
-	}
-	resolved := stratName
-	resolvedKnown := strat != core.Auto
-	if !resolvedKnown {
-		if v, ok := s.cacheGet(ctx, planKeyFor("auto")); ok {
-			resolved, resolvedKnown = v.(string), true
-		}
-	}
-	cacheState := "hit"
-	var prepared *core.Prepared
-	if resolvedKnown {
-		if v, ok := s.cacheGet(ctx, planKeyFor(resolved)); ok {
-			prepared = v.(*core.Prepared)
-		}
-	}
-	if prepared == nil {
-		cacheState = "miss"
-		p, err := core.PrepareContext(ctx, q, opts)
-		if err != nil {
-			return nil, err
-		}
-		prepared = p
-		resolved = p.Strategy().String()
-		s.cachePut(ctx, planKeyFor(resolved), p, p.MemBytes())
-		if strat == core.Auto {
-			s.cachePut(ctx, planKeyFor("auto"), resolved, len(hash)+len(resolved))
-		}
+	prepared, resolved, cacheState, err := s.preparedPlan(ctx, q, hash, strat, stratName, opts)
+	if err != nil {
+		return nil, err
 	}
 
 	var mat *core.Materialization

@@ -12,6 +12,7 @@
 //	DELETE /v1/dbs/{name}   drop a database
 //	GET    /v1/dbs          list registered databases
 //	POST   /v1/query        evaluate a query (JSON body, see queryRequest)
+//	POST   /v1/enumerate    stream one page of answers with a resumable cursor
 //	GET    /v1/measures     structural measures + regimes of a query
 //	GET    /healthz         liveness and drain state
 //	GET    /debug/vars      expvar JSON including the "ecrpqd" registry
@@ -107,6 +108,11 @@ type Config struct {
 	// satisfiability-only decision (near-constant memory, db-independent)
 	// marked degraded, instead of a bare 429.
 	DegradedFallback bool
+	// EnumerateDefaultLimit is the /v1/enumerate page size when the
+	// request names none (default 100).
+	EnumerateDefaultLimit int
+	// EnumerateMaxLimit caps any requested page size (default 1000).
+	EnumerateMaxLimit int
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +151,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueryReserveBytes <= 0 {
 		c.QueryReserveBytes = 256 << 10
+	}
+	if c.EnumerateDefaultLimit <= 0 {
+		c.EnumerateDefaultLimit = 100
+	}
+	if c.EnumerateMaxLimit <= 0 {
+		c.EnumerateMaxLimit = 1000
 	}
 	return c
 }
@@ -203,6 +215,8 @@ type Server struct {
 	mDroppedExpired *metrics.Counter   // jobs dropped at dequeue: deadline passed while queued
 	mDegraded       *metrics.Counter   // queries answered via the satisfiability fallback
 	mQueueWait      *metrics.Histogram // pool submit→dequeue latency
+	mEnumerates     *metrics.Counter   // /v1/enumerate pages served or attempted
+	mStaleCursors   *metrics.Counter   // enumerate cursors refused: database re-registered
 }
 
 // New returns a ready-to-serve daemon. Callers own the HTTP listener
@@ -252,6 +266,8 @@ func New(cfg Config) *Server {
 	s.mDroppedExpired = s.reg.Counter("dropped_expired_total")
 	s.mDegraded = s.reg.Counter("degraded_answers_total")
 	s.mQueueWait = s.reg.Histogram("queue_wait_seconds", nil)
+	s.mEnumerates = s.reg.Counter("enumerates_total")
+	s.mStaleCursors = s.reg.Counter("stale_cursors_total")
 	// The pool is built after the metrics and shedder it feeds.
 	s.pool = newWorkerPool(cfg.Workers, cfg.QueueDepth,
 		func() { s.mDroppedExpired.Inc() },
@@ -281,6 +297,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/dbs/{name}", s.wrap(s.handleDropDB))
 	s.mux.HandleFunc("GET /v1/dbs", s.wrap(s.handleListDBs))
 	s.mux.HandleFunc("POST /v1/query", s.wrap(s.handleQuery))
+	s.mux.HandleFunc("POST /v1/enumerate", s.wrap(s.handleEnumerate))
 	s.mux.HandleFunc("GET /v1/measures", s.wrap(s.handleMeasures))
 	s.mux.HandleFunc("POST /v1/measures", s.wrap(s.handleMeasures))
 	s.mux.HandleFunc("GET /healthz", s.wrap(s.handleHealthz))

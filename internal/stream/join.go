@@ -1,0 +1,171 @@
+package stream
+
+// Pipelined joins. Both joins pull lazily from their probe/outer side,
+// so downstream early termination (Limit, first-witness) stops upstream
+// work immediately; neither spawns goroutines.
+
+// NestedLoop is the pipelined nested-loop join with binding pushdown:
+// for every outer tuple it opens an inner stream — the open callback
+// sees the outer tuple and is expected to push its bindings down into
+// the inner scan — and yields the inner stream's tuples. The outer
+// tuple passed to open is only valid until the next outer pull; open
+// must copy what it retains.
+func NestedLoop(outer Tuples, open func(outerRow []int) (Tuples, error)) Tuples {
+	return &nestedLoopStream{outer: outer, open: open}
+}
+
+type nestedLoopStream struct {
+	outer Tuples
+	open  func([]int) (Tuples, error)
+	inner Tuples
+	err   error
+	done  bool
+}
+
+func (s *nestedLoopStream) Next() ([]int, bool) {
+	if s.done || s.err != nil {
+		return nil, false
+	}
+	//ecrpq:bounded each iteration either yields, consumes one outer tuple, or terminates; both sides are finite
+	for {
+		if s.inner == nil {
+			orow, ok := s.outer.Next()
+			if !ok {
+				s.done = true
+				s.err = s.outer.Err()
+				return nil, false
+			}
+			inner, err := s.open(orow)
+			if err != nil {
+				s.err = err
+				return nil, false
+			}
+			s.inner = inner
+		}
+		row, ok := s.inner.Next()
+		if ok {
+			return row, true
+		}
+		err := s.inner.Err()
+		s.inner.Close()
+		s.inner = nil
+		if err != nil {
+			s.err = err
+			return nil, false
+		}
+	}
+}
+
+func (s *nestedLoopStream) Err() error { return s.err }
+
+func (s *nestedLoopStream) Close() {
+	if s.inner != nil {
+		s.inner.Close()
+		s.inner = nil
+	}
+	s.done = true
+	s.outer.Close()
+}
+
+// hashRowBytes approximates the buffered cost of one build-side row.
+func hashRowBytes(row []int) int64 { return 48 + 16*int64(len(row)) }
+
+// HashJoin equi-joins probe against build on the given key columns and
+// yields probe+build concatenations, probe-major so a deterministic
+// probe side stays deterministic. The build side is drained and indexed
+// on the first pull (charged row by row through charge; nil disables
+// accounting); the probe side is pipelined, so early termination only
+// pays for the build table. Empty key slices yield the cross product —
+// the degenerate case core uses for atoms that share no variables with
+// the join prefix, where re-running the sweep per outer tuple would be
+// quadratic.
+func HashJoin(probe, build Tuples, probeKey, buildKey []int, charge ChargeFunc) Tuples {
+	return &hashJoinStream{probe: probe, build: build, pk: probeKey, bk: buildKey, charge: charge}
+}
+
+type hashJoinStream struct {
+	probe, build Tuples
+	pk, bk       []int
+	charge       ChargeFunc
+	table        map[string][][]int
+	matches      [][]int // build rows matching the current probe row
+	mi           int
+	cur          []int // current probe row (copied)
+	buf          []int // reused output buffer
+	keyBuf       []int // reused key projection buffer
+	err          error
+	built        bool
+}
+
+func (s *hashJoinStream) buildTable() error {
+	s.table = make(map[string][][]int)
+	//ecrpq:bounded each iteration consumes one build-side tuple; the build side is finite
+	for {
+		row, ok := s.build.Next()
+		if !ok {
+			return s.build.Err()
+		}
+		if s.charge != nil {
+			if err := s.charge(hashRowBytes(row)); err != nil {
+				return err
+			}
+		}
+		k := s.key(row, s.bk)
+		s.table[k] = append(s.table[k], append([]int(nil), row...))
+	}
+}
+
+func (s *hashJoinStream) key(row []int, cols []int) string {
+	s.keyBuf = s.keyBuf[:0]
+	for _, c := range cols {
+		s.keyBuf = append(s.keyBuf, row[c])
+	}
+	return rowKey(s.keyBuf)
+}
+
+func (s *hashJoinStream) Next() ([]int, bool) {
+	if s.err != nil {
+		return nil, false
+	}
+	if !s.built {
+		s.built = true
+		if err := s.buildTable(); err != nil {
+			s.err = err
+			return nil, false
+		}
+	}
+	//ecrpq:bounded each iteration either yields a match or consumes one probe tuple; both sides are finite
+	for {
+		if s.mi < len(s.matches) {
+			b := s.matches[s.mi]
+			s.mi++
+			s.buf = s.buf[:0]
+			s.buf = append(s.buf, s.cur...)
+			s.buf = append(s.buf, b...)
+			return s.buf, true
+		}
+		row, ok := s.probe.Next()
+		if !ok {
+			return nil, false
+		}
+		s.matches = s.table[s.key(row, s.pk)]
+		s.mi = 0
+		if len(s.matches) > 0 {
+			s.cur = append(s.cur[:0], row...)
+		}
+	}
+}
+
+func (s *hashJoinStream) Err() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.probe.Err()
+}
+
+func (s *hashJoinStream) Close() {
+	s.probe.Close()
+	s.build.Close()
+	s.table = nil
+	s.matches = nil
+}
