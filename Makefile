@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint lint-json vet fuzz-smoke bench server-test chaos trace-gate govern-gate stream-gate ci
+.PHONY: all build test race lint lint-json vet fuzz-smoke bench server-test chaos trace-gate govern-gate stream-gate cluster-gate ci
 
 all: build test
 
@@ -87,9 +87,19 @@ stream-gate:
 ## persist/cache/pool/core faults must surface as typed errors with no
 ## corruption and no goroutine leaks.
 chaos:
-	$(GO) test -race -tags faultinject ./internal/faultinject/ ./internal/persist/ ./internal/server/... ./internal/client/ ./internal/govern/
+	$(GO) test -race -tags faultinject ./internal/faultinject/ ./internal/persist/ ./internal/server/... ./internal/client/ ./internal/govern/ ./internal/cluster/
+
+## cluster-gate guards multi-node operation: the ring/placement and
+## failure-detector suites plus the in-process cluster tests run under
+## the race detector with fault injection compiled in (partition,
+## replication-lag and mid-replication-crash chaos), then the
+## multi-process acceptance test boots three real daemons, measures
+## read scaling, and kill -9s the owner.
+cluster-gate:
+	$(GO) test -race -count=1 -tags faultinject ./internal/cluster/ ./internal/server/
+	$(GO) test -count=1 -run TestClusterThroughputAndFailover -v ./cmd/ecrpqd/
 
 ## ci mirrors the GitHub Actions gate: build, vet, lint, tests, race
-## tests, chaos suite, trace/govern zero-alloc gates, and the streaming
-## enumeration gate.
-ci: build vet lint test race server-test chaos trace-gate govern-gate stream-gate
+## tests, chaos suite, trace/govern zero-alloc gates, the streaming
+## enumeration gate, and the multi-node cluster gate.
+ci: build vet lint test race server-test chaos trace-gate govern-gate stream-gate cluster-gate

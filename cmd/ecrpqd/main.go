@@ -12,6 +12,21 @@
 //	       [-debug-addr ""] [-mem-budget 0] [-quota 0] [-quota-burst 0]
 //	       [-shed] [-shed-wait 250ms] [-shed-mem 0.9] [-degraded]
 //	       [-enumerate-limit 100] [-enumerate-max-limit 1000]
+//	       [-node-id ID -peers id=url,...] [-replicas 2]
+//	       [-probe-interval 1s] [-catchup-interval 2s]
+//
+// Cluster mode: with -node-id and -peers (a comma-separated id=url list
+// naming every node, including this one), the daemon joins a static
+// multi-node cluster. Database names are placed on a consistent-hash
+// ring: writes (register/drop) are routed to the owning node with a 307
+// redirect, committed registrations are replicated to -replicas holders
+// by shipping journal records over POST /v1/replicate (with pull-based
+// catch-up repairing any missed pushes), and reads are answered locally
+// by any holder or forwarded to one — failing over between replicas
+// when the preferred node is down (per-peer /readyz probes plus passive
+// failure marking). Replicated generations equal the owner's, so the
+// /v1/enumerate staleness contract (410 STALE_CURSOR) holds across
+// nodes. GET /v1/cluster reports placement and peer health.
 //
 // Streaming enumeration: POST /v1/enumerate evaluates lazily and returns
 // one page of answers plus an opaque cursor for the next page; pages are
@@ -77,10 +92,21 @@ import (
 	"time"
 
 	"ecrpq/internal/client"
+	"ecrpq/internal/cluster"
 	"ecrpq/internal/graphdb"
 	"ecrpq/internal/persist"
 	"ecrpq/internal/server"
 )
+
+// clusterFlags carries the cluster-mode command line into run. Empty
+// NodeID (the default) means single-node operation.
+type clusterFlags struct {
+	NodeID          string
+	Peers           string
+	Replicas        int
+	ProbeInterval   time.Duration
+	CatchupInterval time.Duration
+}
 
 // dbFlags collects repeated -db name=file arguments.
 type dbFlags []string
@@ -112,6 +138,11 @@ func main() {
 	degraded := flag.Bool("degraded", false, "answer memory-denied queries with a satisfiability-only degraded result")
 	enumLimit := flag.Int("enumerate-limit", 0, "default /v1/enumerate page size (0 = 100)")
 	enumMaxLimit := flag.Int("enumerate-max-limit", 0, "largest /v1/enumerate page a request may ask for (0 = 1000)")
+	nodeID := flag.String("node-id", "", "this node's id in -peers (empty = single-node mode)")
+	peers := flag.String("peers", "", "static cluster membership as id=url,id=url,... (must include -node-id)")
+	replicas := flag.Int("replicas", 0, "copies kept of each database, owner included (0 = default 2)")
+	probeInterval := flag.Duration("probe-interval", 0, "peer health probe period (0 = default 1s)")
+	catchupInterval := flag.Duration("catchup-interval", 0, "replication catch-up pull period (0 = default 2s)")
 	var dbs dbFlags
 	flag.Var(&dbs, "db", "preload a database as name=file (repeatable)")
 	flag.Parse()
@@ -149,7 +180,13 @@ func main() {
 		DegradedFallback:      *degraded,
 		EnumerateDefaultLimit: *enumLimit,
 		EnumerateMaxLimit:     *enumMaxLimit,
-	}, dbs, *dataDir, *drainTimeout, *debugAddr, logger); err != nil {
+	}, dbs, *dataDir, *drainTimeout, *debugAddr, clusterFlags{
+		NodeID:          *nodeID,
+		Peers:           *peers,
+		Replicas:        *replicas,
+		ProbeInterval:   *probeInterval,
+		CatchupInterval: *catchupInterval,
+	}, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "ecrpqd:", err)
 		os.Exit(1)
 	}
@@ -220,7 +257,7 @@ func runCheck(addr string) error {
 	return nil
 }
 
-func run(addr string, cfg server.Config, dbs []string, dataDir string, drainTimeout time.Duration, debugAddr string, logger *log.Logger) error {
+func run(addr string, cfg server.Config, dbs []string, dataDir string, drainTimeout time.Duration, debugAddr string, cf clusterFlags, logger *log.Logger) error {
 	srv := server.New(cfg)
 	srv.Metrics().Publish("ecrpqd")
 
@@ -258,6 +295,34 @@ func run(addr string, cfg server.Config, dbs []string, dataDir string, drainTime
 		}
 		logger.Printf("event=persist_open dir=%s restored=%d max_gen=%d warnings=%d",
 			dataDir, restored, st.MaxGen(), len(st.Warnings()))
+	}
+
+	// Cluster attach comes after the store (restored databases replicate
+	// via catch-up) and before preloads (a -db preload of a name this node
+	// does not own is a placement mistake and should fail loudly).
+	if cf.NodeID != "" || cf.Peers != "" {
+		if cf.NodeID == "" || cf.Peers == "" {
+			return fmt.Errorf("cluster mode needs both -node-id and -peers")
+		}
+		ps, err := cluster.ParsePeers(cf.Peers)
+		if err != nil {
+			return fmt.Errorf("parsing -peers: %w", err)
+		}
+		c, err := cluster.New(cluster.Config{
+			NodeID:            cf.NodeID,
+			Peers:             ps,
+			ReplicationFactor: cf.Replicas,
+			ProbeInterval:     cf.ProbeInterval,
+			CatchupInterval:   cf.CatchupInterval,
+			Logger:            logger,
+		})
+		if err != nil {
+			return fmt.Errorf("building cluster: %w", err)
+		}
+		if err := srv.AttachCluster(c); err != nil {
+			return fmt.Errorf("attaching cluster: %w", err)
+		}
+		logger.Printf("event=cluster_join node=%s peers=%d replicas=%d", cf.NodeID, len(ps), c.ReplicationFactor())
 	}
 
 	for _, spec := range dbs {

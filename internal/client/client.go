@@ -180,6 +180,10 @@ func (c *Client) backoffDelay(attempt int) time.Duration {
 }
 
 // parseRetryAfter reads a Retry-After header (delta-seconds or HTTP-date).
+// The result is never negative: a negative delta-seconds value or an
+// HTTP-date in the past clamps to zero, because a negative duration fed
+// into the backoff arithmetic would shorten the computed delay and
+// corrupt the retry-budget accounting.
 func parseRetryAfter(h string, now time.Time) time.Duration {
 	if h == "" {
 		return 0
@@ -188,9 +192,11 @@ func parseRetryAfter(h string, now time.Time) time.Duration {
 		return time.Duration(secs) * time.Second
 	}
 	if t, err := http.ParseTime(h); err == nil {
-		if d := t.Sub(now); d > 0 {
-			return d
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
 		}
+		return d
 	}
 	return 0
 }
@@ -333,6 +339,19 @@ func (c *Client) Health(ctx context.Context) (*Health, error) {
 	return &h, nil
 }
 
+// Ready probes the daemon's readiness (GET /readyz): 200 means the node
+// is accepting work, 503 means it is up but draining. Cluster probers use
+// this instead of Health because a draining node must be routed around
+// exactly like a dead one. Retried under the client's policy; failure
+// detectors should configure MaxRetries: -1 so one probe is one verdict.
+func (c *Client) Ready(ctx context.Context) (*Health, error) {
+	var h Health
+	if err := c.do(ctx, http.MethodGet, "/readyz", nil, true, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
 // DBInfo is one row of GET /v1/dbs.
 type DBInfo struct {
 	Name         string    `json:"name"`
@@ -377,12 +396,16 @@ func (c *Client) DropDB(ctx context.Context, name string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/dbs/"+url.PathEscape(name), nil, true, nil)
 }
 
-// QueryRequest is the POST /v1/query body.
+// QueryRequest is the POST /v1/query body. Forwarded marks one
+// cluster-internal routing hop: a node that receives a forwarded request
+// for a database it does not hold answers 404 instead of forwarding
+// again, so a stale ring view cannot create a routing loop.
 type QueryRequest struct {
 	DB        string `json:"db"`
 	Query     string `json:"query"`
 	Strategy  string `json:"strategy,omitempty"`
 	TimeoutMs int64  `json:"timeout_ms,omitempty"`
+	Forwarded bool   `json:"fwd,omitempty"`
 }
 
 // QueryResponse mirrors the daemon's success body. Stats stays raw JSON so
@@ -423,6 +446,7 @@ type EnumerateRequest struct {
 	Limit     int    `json:"limit,omitempty"`
 	Cursor    string `json:"cursor,omitempty"`
 	TimeoutMs int64  `json:"timeout_ms,omitempty"`
+	Forwarded bool   `json:"fwd,omitempty"`
 }
 
 // EnumerateResponse is one page of answers.
@@ -452,6 +476,72 @@ func (c *Client) Enumerate(ctx context.Context, req EnumerateRequest) (*Enumerat
 	}
 	var out EnumerateResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/enumerate", body, true, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ReplicateRecord is one journal record shipped between cluster nodes:
+// the owner pushes it to replicas after committing locally (POST
+// /v1/replicate), and catch-up pulls return the same shape. Snapshot is
+// the internal/persist snapshot encoding of the database (base64 in
+// JSON); it is empty for drops.
+type ReplicateRecord struct {
+	Op       string `json:"op"` // "register" | "drop"
+	Name     string `json:"name"`
+	Gen      uint64 `json:"gen"`
+	UnixNano int64  `json:"unix_nano,omitempty"`
+	Snapshot []byte `json:"snapshot,omitempty"`
+}
+
+// ReplicateResult reports what the replica did with a shipped record.
+type ReplicateResult struct {
+	Applied bool   `json:"applied"`
+	Reason  string `json:"reason,omitempty"` // e.g. "stale" when the replica is already at or past Gen
+}
+
+// Replicate ships one journal record to a replica. Retried: apply is
+// generation-monotonic on the receiving side (a record at or below the
+// replica's current generation is a no-op), so re-sending after a timeout
+// can never double-apply or reorder.
+func (c *Client) Replicate(ctx context.Context, rec ReplicateRecord) (*ReplicateResult, error) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding replicate record: %w", err)
+	}
+	var out ReplicateResult
+	if err := c.do(ctx, http.MethodPost, "/v1/replicate", body, true, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PullRequest asks an owner for the replication records the caller is
+// missing. Node is the caller's cluster ID; Have maps each database the
+// caller holds (among those the callee owns) to its local generation.
+type PullRequest struct {
+	Node string            `json:"node"`
+	Have map[string]uint64 `json:"have"`
+}
+
+// PullResponse is the owner's catch-up answer: full records for every
+// owned database the caller should hold but is missing or behind on, and
+// the names the caller reported that the owner no longer has (the caller
+// drops them).
+type PullResponse struct {
+	Records []ReplicateRecord `json:"records"`
+	Absent  []string          `json:"absent,omitempty"`
+}
+
+// ReplicatePull performs one catch-up round-trip against an owner.
+// Retried (read-only on the owner; apply on the caller is monotonic).
+func (c *Client) ReplicatePull(ctx context.Context, req PullRequest) (*PullResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding pull request: %w", err)
+	}
+	var out PullResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/replicate/pull", body, true, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

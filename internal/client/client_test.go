@@ -2,10 +2,12 @@ package client
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -293,20 +295,37 @@ func TestParseRetryAfter(t *testing.T) {
 }
 
 // TestEnumerateRetriedIdempotently pins the paging retry contract: a
-// transient 503 on a cursor re-send is retried (same cursor, same page),
-// while a 410 STALE_CURSOR is permanent and surfaces immediately.
+// transient 503 on a cursor re-send is retried with the cursor bytes
+// re-sent verbatim — so the retried attempt asks for exactly the same
+// page and the enumeration neither skips nor duplicates a page — while
+// a 410 STALE_CURSOR is permanent and surfaces immediately.
 func TestEnumerateRetriedIdempotently(t *testing.T) {
 	var calls atomic.Int32
+	var mu sync.Mutex
+	var cursorsSeen []string
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/v1/enumerate" {
 			t.Errorf("path %s", r.URL.Path)
 		}
-		if n := calls.Add(1); n == 1 {
+		var req EnumerateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decoding enumerate body: %v", err)
+		}
+		mu.Lock()
+		cursorsSeen = append(cursorsSeen, req.Cursor)
+		mu.Unlock()
+		switch calls.Add(1) {
+		case 1:
+			// Transient failure on the first attempt for page one.
 			w.WriteHeader(http.StatusServiceUnavailable)
 			w.Write([]byte(`{"error":"draining"}`))
-			return
+		case 2:
+			// Retried attempt: must carry cursor "c0" again (checked below).
+			w.Write([]byte(`{"answers":[["u","v"]],"count":1,"more":true,"next_cursor":"abc","strategy":"reduction","cache":"hit","query_hash":"h"}`))
+		default:
+			// Page two, requested with the cursor page one returned.
+			w.Write([]byte(`{"answers":[["x","y"]],"count":1,"more":false,"strategy":"reduction","cache":"hit","query_hash":"h"}`))
 		}
-		w.Write([]byte(`{"answers":[["u","v"]],"count":1,"more":true,"next_cursor":"abc","strategy":"reduction","cache":"hit","query_hash":"h"}`))
 	}))
 	defer srv.Close()
 	c, _ := testClient(srv.URL, Config{MaxRetries: 3})
@@ -319,6 +338,29 @@ func TestEnumerateRetriedIdempotently(t *testing.T) {
 	}
 	if page.NextCursor != "abc" || !page.More || page.Count != 1 {
 		t.Fatalf("page = %+v", page)
+	}
+	page2, err := c.Enumerate(context.Background(), EnumerateRequest{DB: "g", Query: "q", Cursor: page.NextCursor, Limit: 1})
+	if err != nil {
+		t.Fatalf("Enumerate page 2: %v", err)
+	}
+	if page2.More || page2.Count != 1 || page2.Answers[0][0] != "x" {
+		t.Fatalf("page 2 = %+v", page2)
+	}
+	mu.Lock()
+	got := append([]string(nil), cursorsSeen...)
+	mu.Unlock()
+	// The failed attempt and its retry both carried "c0" byte-for-byte:
+	// the server can hand out the same page twice without the client ever
+	// skipping past it or double-counting it. Page two then advanced with
+	// the freshly minted cursor, exactly once.
+	want := []string{"c0", "c0", "abc"}
+	if len(got) != len(want) {
+		t.Fatalf("cursors seen = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cursor on attempt %d = %q, want %q (full sequence %q)", i+1, got[i], want[i], got)
+		}
 	}
 
 	staleSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Peer is one member of the static cluster: a stable identifier and the
+// base URL its ecrpqd listens on.
+type Peer struct {
+	ID  string
+	URL string
+}
+
+// ParsePeers parses the -peers flag format: a comma-separated list of
+// id=url entries, e.g. "n1=http://10.0.0.1:8377,n2=http://10.0.0.2:8377".
+// IDs must be unique and non-empty; URLs must carry a scheme.
+func ParsePeers(spec string) ([]Peer, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	seen := make(map[string]bool)
+	var peers []Peer
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, u, ok := strings.Cut(part, "=")
+		if !ok || id == "" || u == "" {
+			return nil, fmt.Errorf("cluster: peer %q is not id=url", part)
+		}
+		if !strings.Contains(u, "://") {
+			return nil, fmt.Errorf("cluster: peer %q URL has no scheme (want e.g. http://host:port)", part)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", id)
+		}
+		seen[id] = true
+		peers = append(peers, Peer{ID: id, URL: strings.TrimRight(u, "/")})
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	return peers, nil
+}
+
+// vnodesPerPeer is how many virtual nodes each peer contributes to the
+// ring. 128 keeps the ownership shares of a small static cluster within a
+// few percent of even without making ring construction or lookup slow.
+const vnodesPerPeer = 128
+
+// vnode is one virtual point on the hash ring.
+type vnode struct {
+	hash uint64
+	peer int // index into Ring.peers
+}
+
+// Ring is a consistent-hash placement of database names over a static
+// peer list. It is immutable after construction and safe for concurrent
+// use. The same peer set (in any order) always builds the same ring, so
+// every node computes identical placements without coordination.
+type Ring struct {
+	peers  []Peer
+	vnodes []vnode
+}
+
+// NewRing builds the ring. Peers are sorted by ID first so construction
+// is order-independent.
+func NewRing(peers []Peer) *Ring {
+	sorted := make([]Peer, len(peers))
+	copy(sorted, peers)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	r := &Ring{peers: sorted}
+	r.vnodes = make([]vnode, 0, len(sorted)*vnodesPerPeer)
+	for pi, p := range sorted {
+		for v := 0; v < vnodesPerPeer; v++ {
+			r.vnodes = append(r.vnodes, vnode{
+				hash: fnv64(fmt.Sprintf("%s#%d", p.ID, v)),
+				peer: pi,
+			})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool { return r.vnodes[i].hash < r.vnodes[j].hash })
+	return r
+}
+
+// Peers returns the ring's members sorted by ID.
+func (r *Ring) Peers() []Peer { return r.peers }
+
+// Owner returns the peer that owns name: the first virtual node clockwise
+// of the name's hash. The owner is the only node that accepts writes
+// (register/drop) for the name.
+func (r *Ring) Owner(name string) Peer {
+	return r.peers[r.vnodes[r.successor(fnv64(name))].peer]
+}
+
+// Holders returns the n distinct peers that hold name, owner first,
+// walking the ring clockwise. n is clamped to the peer count.
+func (r *Ring) Holders(name string, n int) []Peer {
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(r.peers) {
+		n = len(r.peers)
+	}
+	out := make([]Peer, 0, n)
+	seen := make(map[int]bool, n)
+	i := r.successor(fnv64(name))
+	for len(out) < n {
+		pi := r.vnodes[i].peer
+		if !seen[pi] {
+			seen[pi] = true
+			out = append(out, r.peers[pi])
+		}
+		i++
+		if i == len(r.vnodes) {
+			i = 0
+		}
+	}
+	return out
+}
+
+// successor returns the index of the first vnode with hash >= h, wrapping
+// to 0 past the end.
+func (r *Ring) successor(h uint64) int {
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if i == len(r.vnodes) {
+		return 0
+	}
+	return i
+}
+
+// fnv64 is FNV-1a (inlined to avoid a hash.Hash allocation per lookup)
+// followed by a murmur3-style finalizer. The finalizer matters: ring
+// position is decided by the high bits of the hash, and raw FNV-1a of
+// short keys ("n1#7", "db-42") avalanches poorly into the high bits,
+// which measurably skews ownership shares.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

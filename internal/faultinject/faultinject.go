@@ -6,6 +6,14 @@
 // fault and what kind (error, delay, or panic through the internal/invariant
 // gateway).
 //
+// Cluster mode adds network-shaped sites: "cluster.partition" guards
+// every inter-node call (health probes, read forwards, replication
+// pushes, catch-up pulls) so enabling it simulates a full partition;
+// "cluster.replicate.send" and "cluster.replicate.apply" fault the two
+// halves of journal shipping independently (replication lag vs a
+// crashed apply); and "cluster.catchup" suppresses the pull-based
+// repair loop so lag persists until the site is disabled.
+//
 // The package compiles in two modes:
 //
 //   - Default ("production") builds: Point is a constant-nil function and

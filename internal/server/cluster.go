@@ -1,0 +1,651 @@
+package server
+
+// Cluster mode: this file is the router and replication layer that turns
+// independent ecrpqd processes into one replicated deployment.
+//
+// Placement is single-writer: internal/cluster's consistent-hash ring
+// names one owner per database, and only the owner accepts registers and
+// drops (other nodes answer 307 to the owner, or 503 OWNER_DOWN while it
+// is unreachable). Reads scale out: every holder (owner + replicas)
+// serves queries over its local copy, and a node that does not hold the
+// database forwards the request to a healthy holder, rotating across
+// replicas for fan-out and failing over to the next holder on transport
+// errors.
+//
+// Replication ships the same journal records internal/persist writes:
+// after a register/drop commits locally (journal fsynced when a store is
+// attached), the owner pushes {op, name, gen, snapshot} to each replica
+// (POST /v1/replicate), which applies it generation-monotonically —
+// records at or below the replica's current generation are no-ops, so
+// re-sends and reorderings converge. A replica with its own -data-dir
+// journals the applied record locally before installing it, making
+// replicas crash-safe with the owner's generations intact. Push losses
+// (partitions, dropped ship-queue entries, a replica that was down) are
+// repaired by the pull-based catch-up loop: every CatchupInterval each
+// node asks each owner for records it is missing (POST
+// /v1/replicate/pull), so the cluster converges without any node keeping
+// per-peer retransmission state.
+//
+// Staleness keeps the /v1/enumerate contract: generations are allocated
+// only by the owner and preserved verbatim through replication, so a
+// cursor minted on any holder is valid on every holder at the same
+// generation, and a replica that is behind (or ahead) answers 410
+// STALE_CURSOR exactly as a re-registered single node does.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ecrpq/internal/client"
+	"ecrpq/internal/cluster"
+	"ecrpq/internal/faultinject"
+	"ecrpq/internal/govern"
+	"ecrpq/internal/graphdb"
+	"ecrpq/internal/persist"
+	"ecrpq/internal/trace"
+)
+
+// shipQueueDepth bounds the async push-replication queue. Overflow drops
+// the push (metric: cluster_replicate_ship_dropped_total) and leaves the
+// repair to catch-up, so a slow replica cannot wedge registrations.
+const shipQueueDepth = 256
+
+// shipTask is one queued push: the encoded record plus the ledger
+// reservation charging its buffer to the process memory budget.
+type shipTask struct {
+	rec client.ReplicateRecord
+	res *govern.Reservation
+}
+
+// clusterState bundles everything AttachCluster installs, published
+// through one atomic pointer so a node can join a cluster while already
+// serving traffic (handlers may read mid-attach) without a lock on the
+// request path.
+type clusterState struct {
+	c      *cluster.Cluster
+	shipCh chan shipTask
+	cancel context.CancelFunc
+}
+
+// clusterHandle returns the attached membership handle, nil in
+// single-node mode.
+func (s *Server) clusterHandle() *cluster.Cluster {
+	if st := s.clu.Load(); st != nil {
+		return st.c
+	}
+	return nil
+}
+
+// AttachCluster wires cluster membership into the server and starts the
+// prober, the push shipper, and the catch-up loop. May be called on a
+// serving node (a late joiner catches up via pulls); Shutdown stops
+// everything it starts.
+func (s *Server) AttachCluster(c *cluster.Cluster) error {
+	if c == nil {
+		return fmt.Errorf("server: nil cluster")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	st := &clusterState{c: c, shipCh: make(chan shipTask, shipQueueDepth), cancel: cancel}
+	if !s.clu.CompareAndSwap(nil, st) {
+		cancel()
+		return fmt.Errorf("server: a cluster is already attached")
+	}
+	c.Start()
+	s.clusterWG.Add(2)
+	go s.shipLoop(ctx, st)
+	go s.catchupLoop(ctx, st)
+	s.cfg.Logger.Printf("event=cluster_start node=%s peers=%d rf=%d probe_ms=%d",
+		c.Self().ID, len(c.Peers()), c.ReplicationFactor(), c.ProbeInterval().Milliseconds())
+	return nil
+}
+
+// stopCluster halts the prober, shipper, and catch-up loop (idempotent;
+// no-op when no cluster is attached). Called from Shutdown.
+func (s *Server) stopCluster() {
+	st := s.clu.Load()
+	if st == nil {
+		return
+	}
+	st.cancel()
+	st.c.Stop()
+	s.clusterWG.Wait()
+}
+
+// routeWrite enforces single-writer placement for register/drop: when
+// another node owns name, the request is 307-redirected there (the
+// client re-sends the body; Go's http.Client follows 307 with GetBody
+// automatically), and while the owner is unreachable writes fail fast
+// with 503 OWNER_DOWN rather than silently diverging generations.
+// Returns true when the response has been written.
+func (s *Server) routeWrite(w http.ResponseWriter, r *http.Request, name string) bool {
+	c := s.clusterHandle()
+	if c == nil {
+		return false
+	}
+	owner := c.Owner(name)
+	if owner.ID == c.Self().ID {
+		return false
+	}
+	if !c.Healthy(owner.ID) {
+		s.mOwnerDown.Inc()
+		w.Header().Set("Retry-After", "2")
+		writeErrorCode(w, http.StatusServiceUnavailable, "OWNER_DOWN",
+			fmt.Sprintf("node %s owns %q and is unreachable; retry when it returns", owner.ID, name))
+		return true
+	}
+	s.mRedirects.Inc()
+	loc := owner.URL + r.URL.EscapedPath()
+	w.Header().Set("Location", loc)
+	writeJSON(w, http.StatusTemporaryRedirect, map[string]string{"owner": owner.ID, "location": loc})
+	return true
+}
+
+// shipRegister queues a committed register/replace for push replication.
+// Called from doRegister under persistMu; no-op in single-node mode.
+func (s *Server) shipRegister(name string, gen uint64, at time.Time, db *graphdb.DB) {
+	st := s.clu.Load()
+	if st == nil {
+		return
+	}
+	s.enqueueShip(st, client.ReplicateRecord{
+		Op: "register", Name: name, Gen: gen,
+		UnixNano: at.UnixNano(), Snapshot: persist.EncodeSnapshot(db),
+	})
+}
+
+// shipDrop queues a committed drop for push replication. Called from
+// doDrop under persistMu; no-op in single-node mode.
+func (s *Server) shipDrop(name string, gen uint64) {
+	st := s.clu.Load()
+	if st == nil {
+		return
+	}
+	s.enqueueShip(st, client.ReplicateRecord{Op: "drop", Name: name, Gen: gen})
+}
+
+// enqueueShip queues one journal record for async push replication. The
+// record's buffer is charged to the process ledger while queued; when the
+// ledger or the queue is full the push is dropped (catch-up repairs) so
+// replication can never wedge or OOM the write path. Called under
+// persistMu, immediately after the local commit, so the queue order
+// matches commit order.
+func (s *Server) enqueueShip(st *clusterState, rec client.ReplicateRecord) {
+	res, err := s.broker.Reserve(int64(len(rec.Snapshot)) + 256)
+	if err != nil {
+		s.mShipDropped.Inc()
+		s.cfg.Logger.Printf("event=replicate_ship_dropped db=%s gen=%d reason=ledger err=%q", rec.Name, rec.Gen, err)
+		return
+	}
+	select {
+	case st.shipCh <- shipTask{rec: rec, res: res}:
+	default:
+		res.Release()
+		s.mShipDropped.Inc()
+		s.cfg.Logger.Printf("event=replicate_ship_dropped db=%s gen=%d reason=queue_full", rec.Name, rec.Gen)
+	}
+}
+
+// shipLoop drains the push queue in commit order, one record at a time.
+func (s *Server) shipLoop(ctx context.Context, st *clusterState) {
+	defer s.clusterWG.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			// Return the queued buffers to the ledger; the records are
+			// already durable locally and catch-up re-ships them.
+			for {
+				select {
+				case t := <-st.shipCh:
+					t.res.Release()
+				default:
+					return
+				}
+			}
+		case t := <-st.shipCh:
+			s.shipOne(ctx, st.c, t.rec)
+			t.res.Release()
+		}
+	}
+}
+
+// shipOne pushes one record to every other holder of its database.
+// Failures are counted and logged, never retried here beyond the client's
+// own policy: catch-up owns durability of replication.
+func (s *Server) shipOne(ctx context.Context, c *cluster.Cluster, rec client.ReplicateRecord) {
+	for _, p := range c.Holders(rec.Name) {
+		if p.ID == c.Self().ID {
+			continue
+		}
+		if err := faultinject.Point("cluster.partition"); err != nil {
+			s.mShipErrors.Inc()
+			continue
+		}
+		if err := faultinject.Point("cluster.replicate.send"); err != nil {
+			s.mShipErrors.Inc()
+			continue
+		}
+		sctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		_, err := c.ClientFor(p.ID).Replicate(sctx, rec)
+		cancel()
+		if err != nil {
+			s.mShipErrors.Inc()
+			s.cfg.Logger.Printf("event=replicate_ship_failed peer=%s db=%s gen=%d err=%q",
+				p.ID, rec.Name, rec.Gen, err)
+			var se *client.StatusError
+			if !errors.As(err, &se) {
+				// Transport-level failure: feed the failure detector so the
+				// router stops picking this peer before the next probe.
+				c.MarkFailure(p.ID)
+			}
+			continue
+		}
+		s.mShipped.Inc()
+	}
+}
+
+// catchupLoop periodically pulls missed replication records from each
+// owner. This is the convergence backstop: it repairs partitions, ship
+// drops, and replicas that were down, and it bootstraps a freshly wiped
+// (or late-joining) node from nothing.
+func (s *Server) catchupLoop(ctx context.Context, st *clusterState) {
+	defer s.clusterWG.Done()
+	tick := time.NewTicker(st.c.CatchupInterval())
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		s.catchupOnce(ctx, st.c)
+	}
+}
+
+// catchupOnce performs one pull round against every healthy peer.
+func (s *Server) catchupOnce(ctx context.Context, c *cluster.Cluster) {
+	if err := faultinject.Point("cluster.catchup"); err != nil {
+		return
+	}
+	self := c.Self().ID
+	for _, p := range c.Peers() {
+		if p.ID == self || !c.Healthy(p.ID) {
+			continue
+		}
+		if err := faultinject.Point("cluster.partition"); err != nil {
+			continue
+		}
+		// have reports every local database this peer owns, so the owner
+		// can answer with exactly the records we are missing or behind on.
+		have := make(map[string]uint64)
+		for _, e := range s.dbs.list() {
+			if c.Owner(e.name).ID == p.ID {
+				have[e.name] = e.gen
+			}
+		}
+		pctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		resp, err := c.ClientFor(p.ID).ReplicatePull(pctx, client.PullRequest{Node: self, Have: have})
+		cancel()
+		if err != nil {
+			s.cfg.Logger.Printf("event=catchup_failed peer=%s err=%q", p.ID, err)
+			continue
+		}
+		s.mCatchupPulls.Inc()
+		for _, rec := range resp.Records {
+			applied, _, err := s.applyReplicated(ctx, rec)
+			if err != nil {
+				s.cfg.Logger.Printf("event=catchup_apply_failed db=%s gen=%d err=%q", rec.Name, rec.Gen, err)
+				continue
+			}
+			if applied {
+				s.mCatchupApplied.Inc()
+				s.cfg.Logger.Printf("event=catchup_applied db=%s gen=%d from=%s", rec.Name, rec.Gen, p.ID)
+			}
+		}
+		for _, name := range resp.Absent {
+			e, ok := s.dbs.get(name)
+			if !ok {
+				continue
+			}
+			if _, _, err := s.applyReplicated(ctx, client.ReplicateRecord{Op: "drop", Name: name, Gen: e.gen}); err != nil {
+				s.cfg.Logger.Printf("event=catchup_drop_failed db=%s err=%q", name, err)
+			}
+		}
+	}
+}
+
+// applyReplicated installs one shipped journal record, preserving the
+// owner's generation. Apply is generation-monotonic and idempotent: a
+// record at or below the local generation for its name is a no-op
+// ("stale"), so pushes and catch-up pulls may race or repeat freely. When
+// a persistence store is attached the record is journaled locally before
+// it becomes visible — the same memory ⊆ disk invariant doRegister keeps.
+func (s *Server) applyReplicated(ctx context.Context, rec client.ReplicateRecord) (applied bool, reason string, err error) {
+	if rec.Name == "" || rec.Gen == 0 {
+		return false, "", fmt.Errorf("replicate: record needs name and generation")
+	}
+	switch rec.Op {
+	case "register":
+		// Cheap staleness pre-check before decoding a possibly large
+		// snapshot; re-checked under persistMu before installing.
+		if e, ok := s.dbs.get(rec.Name); ok && e.gen >= rec.Gen {
+			return false, "stale", nil
+		}
+		db, derr := persist.DecodeSnapshot(rec.Snapshot)
+		if derr != nil {
+			return false, "", fmt.Errorf("replicate: decoding snapshot for %q gen %d: %w", rec.Name, rec.Gen, derr)
+		}
+		at := time.Unix(0, rec.UnixNano)
+		s.persistMu.Lock()
+		defer s.persistMu.Unlock()
+		if e, ok := s.dbs.get(rec.Name); ok && e.gen >= rec.Gen {
+			return false, "stale", nil
+		}
+		if s.store != nil {
+			if err := s.store.AppendRegisterContext(ctx, rec.Name, rec.Gen, at, db); err != nil {
+				return false, "", fmt.Errorf("replicate: persisting %q: %w", rec.Name, err)
+			}
+		}
+		_, replacedGen, replaced := s.dbs.installWithGen(rec.Name, db, rec.Gen, at)
+		if replaced {
+			s.cache.InvalidateGeneration(replacedGen)
+		}
+		return true, "", nil
+	case "drop":
+		s.persistMu.Lock()
+		defer s.persistMu.Unlock()
+		e, ok := s.dbs.get(rec.Name)
+		if !ok || e.gen > rec.Gen {
+			return false, "stale", nil
+		}
+		if s.store != nil {
+			if err := s.store.AppendDropContext(ctx, rec.Name, e.gen); err != nil {
+				return false, "", fmt.Errorf("replicate: persisting drop of %q: %w", rec.Name, err)
+			}
+		}
+		gen, dropped := s.dbs.drop(rec.Name)
+		if dropped {
+			s.cache.InvalidateGeneration(gen)
+		}
+		return dropped, "", nil
+	default:
+		return false, "", fmt.Errorf("replicate: unknown op %q", rec.Op)
+	}
+}
+
+// handleReplicate is the push-replication endpoint: a holder applies one
+// journal record shipped by the owner. The request buffer is charged to
+// the process ledger for the life of the apply, so a replication burst
+// competes with queries for the same memory budget instead of bypassing
+// it.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	if s.clusterHandle() == nil {
+		writeError(w, http.StatusNotFound, "not running in cluster mode")
+		return
+	}
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	res, rerr := s.broker.Reserve(int64(len(body)) * 2) // raw JSON + decoded graph
+	if rerr != nil {
+		s.mResourceDenied.Inc()
+		w.Header().Set("Retry-After", "2")
+		writeErrorCode(w, http.StatusTooManyRequests, "RESOURCE_EXHAUSTED",
+			"insufficient memory budget to apply replication record: "+rerr.Error())
+		return
+	}
+	defer res.Release()
+	var rec client.ReplicateRecord
+	if err := json.Unmarshal(body, &rec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding replicate record: "+err.Error())
+		return
+	}
+	if err := faultinject.Point("cluster.replicate.apply"); err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "replication apply unavailable: "+err.Error())
+		return
+	}
+	ctx, tr := s.startTrace(r.Context(), "replicate")
+	defer s.finishTrace(tr)
+	tr.SetStr("db", rec.Name)
+	tr.SetInt("gen", int64(rec.Gen))
+	_, sp := trace.StartSpan(ctx, "cluster/replicate_apply")
+	applied, reason, err := s.applyReplicated(ctx, rec)
+	sp.End()
+	if err != nil {
+		s.cfg.Logger.Printf("event=replicate_apply_failed db=%s gen=%d err=%q", rec.Name, rec.Gen, err)
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	if applied {
+		s.mApplied.Inc()
+		s.cfg.Logger.Printf("event=replicate_applied db=%s gen=%d op=%s", rec.Name, rec.Gen, rec.Op)
+	} else {
+		s.mApplyStale.Inc()
+	}
+	writeJSON(w, http.StatusOK, client.ReplicateResult{Applied: applied, Reason: reason})
+}
+
+// handleReplicatePull is the owner side of catch-up: answer with full
+// records for every database this node owns that the caller should hold
+// and is missing or behind on, plus the names the caller holds that no
+// longer exist here.
+func (s *Server) handleReplicatePull(w http.ResponseWriter, r *http.Request) {
+	c := s.clusterHandle()
+	if c == nil {
+		writeError(w, http.StatusNotFound, "not running in cluster mode")
+		return
+	}
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req client.PullRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding pull request: "+err.Error())
+		return
+	}
+	if req.Node == "" {
+		writeError(w, http.StatusBadRequest, "pull request needs the caller's node id")
+		return
+	}
+	self := c.Self().ID
+	resp := client.PullResponse{Records: []client.ReplicateRecord{}}
+	for _, e := range s.dbs.list() {
+		if c.Owner(e.name).ID != self {
+			continue
+		}
+		caller := false
+		for _, h := range c.Holders(e.name) {
+			if h.ID == req.Node {
+				caller = true
+				break
+			}
+		}
+		if !caller || req.Have[e.name] >= e.gen {
+			continue
+		}
+		resp.Records = append(resp.Records, client.ReplicateRecord{
+			Op:       "register",
+			Name:     e.name,
+			Gen:      e.gen,
+			UnixNano: e.registeredAt.UnixNano(),
+			Snapshot: persist.EncodeSnapshot(e.db),
+		})
+	}
+	for name := range req.Have {
+		if c.Owner(name).ID != self {
+			continue
+		}
+		if _, ok := s.dbs.get(name); !ok {
+			resp.Absent = append(resp.Absent, name)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleClusterStatus reports membership, per-peer health, and the
+// placement of every locally held database.
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	c := s.clusterHandle()
+	if c == nil {
+		writeError(w, http.StatusNotFound, "not running in cluster mode")
+		return
+	}
+	type dbRow struct {
+		Name       string   `json:"name"`
+		Generation uint64   `json:"generation"`
+		Owner      string   `json:"owner"`
+		Holders    []string `json:"holders"`
+	}
+	entries := s.dbs.list()
+	rows := make([]dbRow, 0, len(entries))
+	for _, e := range entries {
+		holders := c.Holders(e.name)
+		ids := make([]string, len(holders))
+		for i, h := range holders {
+			ids[i] = h.ID
+		}
+		rows = append(rows, dbRow{Name: e.name, Generation: e.gen, Owner: c.Owner(e.name).ID, Holders: ids})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"node_id":            c.Self().ID,
+		"replication_factor": c.ReplicationFactor(),
+		"probe_interval_ms":  c.ProbeInterval().Milliseconds(),
+		"peers":              c.Status(),
+		"databases":          rows,
+	})
+}
+
+// forwardTargets orders the candidate peers for a read of db: healthy
+// holders first, rotated by a round-robin counter so reads fan out across
+// replicas instead of pinning the owner, then unhealthy holders as a last
+// resort (the failure detector may be stale; a refused connection is
+// cheap and the truth).
+func (s *Server) forwardTargets(c *cluster.Cluster, db string) []cluster.Peer {
+	holders := c.Holders(db)
+	self := c.Self().ID
+	var healthy, down []cluster.Peer
+	for _, p := range holders {
+		if p.ID == self {
+			continue
+		}
+		if c.Healthy(p.ID) {
+			healthy = append(healthy, p)
+		} else {
+			down = append(down, p)
+		}
+	}
+	out := make([]cluster.Peer, 0, len(healthy)+len(down))
+	if len(healthy) > 1 {
+		off := int(s.forwardRR.Add(1) % uint64(len(healthy)))
+		out = append(out, healthy[off:]...)
+		out = append(out, healthy[:off]...)
+	} else {
+		out = append(out, healthy...)
+	}
+	return append(out, down...)
+}
+
+// forward routes a read to another holder of db, failing over across
+// targets on transport errors. A peer that answers — success or a typed
+// refusal (stale cursor, bad query, overload) — ends the attempt: its
+// decision would be the same everywhere, so failing over on it would just
+// multiply load. The response is re-encoded verbatim for the caller.
+func (s *Server) forward(ctx context.Context, c *cluster.Cluster, w http.ResponseWriter, db string, call func(context.Context, *client.Client) (any, error)) {
+	fctx, sp := trace.StartSpan(ctx, "cluster/forward")
+	defer sp.End()
+	targets := s.forwardTargets(c, db)
+	var lastErr error
+	for _, p := range targets {
+		if err := faultinject.Point("cluster.partition"); err != nil {
+			s.mForwardErrors.Inc()
+			lastErr = err
+			continue
+		}
+		if err := faultinject.Point("cluster.forward"); err != nil {
+			s.mForwardErrors.Inc()
+			lastErr = err
+			continue
+		}
+		out, err := call(fctx, c.ClientFor(p.ID))
+		if err == nil {
+			s.mForwards.Inc()
+			c.MarkSuccess(p.ID)
+			writeJSON(w, http.StatusOK, out)
+			return
+		}
+		var se *client.StatusError
+		if errors.As(err, &se) {
+			s.mForwards.Inc()
+			if se.RetryAfter > 0 {
+				secs := int64((se.RetryAfter + time.Second - 1) / time.Second)
+				w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+			}
+			if se.ErrCode != "" {
+				writeErrorCode(w, se.Code, se.ErrCode, se.Msg)
+			} else {
+				writeError(w, se.Code, se.Msg)
+			}
+			return
+		}
+		s.mForwardErrors.Inc()
+		c.MarkFailure(p.ID)
+		lastErr = err
+	}
+	w.Header().Set("Retry-After", "2")
+	if lastErr != nil {
+		writeErrorCode(w, http.StatusServiceUnavailable, "NO_REPLICA",
+			fmt.Sprintf("no reachable replica holds %q: %v", db, lastErr))
+		return
+	}
+	writeErrorCode(w, http.StatusServiceUnavailable, "NO_REPLICA",
+		fmt.Sprintf("no reachable replica holds %q", db))
+}
+
+// forwardTimeout bounds one forwarded hop: the peer's own deadline plus
+// margin for transport and queueing.
+func (s *Server) forwardTimeout(timeoutMs int64) time.Duration {
+	t := s.cfg.DefaultTimeout
+	if timeoutMs > 0 {
+		t = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if t > s.cfg.MaxTimeout {
+		t = s.cfg.MaxTimeout
+	}
+	return t + 5*time.Second
+}
+
+// forwardQuery proxies a /v1/query for a database this node does not
+// hold.
+func (s *Server) forwardQuery(ctx context.Context, c *cluster.Cluster, w http.ResponseWriter, req queryRequest) {
+	creq := client.QueryRequest{
+		DB: req.DB, Query: req.Query, Strategy: req.Strategy,
+		TimeoutMs: req.TimeoutMs, Forwarded: true,
+	}
+	s.forward(ctx, c, w, req.DB, func(fctx context.Context, cl *client.Client) (any, error) {
+		cctx, cancel := context.WithTimeout(fctx, s.forwardTimeout(req.TimeoutMs))
+		defer cancel()
+		return cl.Query(cctx, creq)
+	})
+}
+
+// forwardEnumerate proxies a /v1/enumerate page, cursor included
+// verbatim; the serving holder validates the cursor's generation against
+// its own copy, which is what makes a behind replica answer 410
+// STALE_CURSOR instead of splicing pages from two snapshots.
+func (s *Server) forwardEnumerate(ctx context.Context, c *cluster.Cluster, w http.ResponseWriter, req enumerateRequest) {
+	creq := client.EnumerateRequest{
+		DB: req.DB, Query: req.Query, Strategy: req.Strategy,
+		Limit: req.Limit, Cursor: req.Cursor, TimeoutMs: req.TimeoutMs, Forwarded: true,
+	}
+	s.forward(ctx, c, w, req.DB, func(fctx context.Context, cl *client.Client) (any, error) {
+		cctx, cancel := context.WithTimeout(fctx, s.forwardTimeout(req.TimeoutMs))
+		defer cancel()
+		return cl.Enumerate(cctx, creq)
+	})
+}

@@ -37,6 +37,9 @@ type enumerateRequest struct {
 	Limit     int    `json:"limit"`
 	Cursor    string `json:"cursor"`
 	TimeoutMs int64  `json:"timeout_ms"`
+	// Forwarded marks a request relayed by another cluster node (see
+	// queryRequest.Forwarded).
+	Forwarded bool `json:"fwd,omitempty"`
 }
 
 // enumerateResponse is one page of answers. More=true means NextCursor
@@ -137,6 +140,13 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	hash := query.Hash(q)
 	entry, ok := s.dbs.get(req.DB)
 	if !ok {
+		// Not held here: relay to a holder, cursor included verbatim. The
+		// serving holder validates the cursor's generation, so a stale
+		// cursor still gets its 410 no matter which node answers.
+		if c := s.clusterHandle(); c != nil && !req.Forwarded {
+			s.forwardEnumerate(tctx, c, w, req)
+			return
+		}
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no database %q (register with POST /v1/dbs/{name})", req.DB))
 		return
 	}

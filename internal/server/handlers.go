@@ -33,6 +33,10 @@ type queryRequest struct {
 	// TimeoutMs overrides the server's default per-request timeout,
 	// clamped to the configured maximum.
 	TimeoutMs int64 `json:"timeout_ms"`
+	// Forwarded marks a request relayed by another cluster node. A
+	// forwarded request is never forwarded again — if the database is not
+	// here either, that is a 404, not a routing loop.
+	Forwarded bool `json:"fwd,omitempty"`
 }
 
 // queryResponse is the POST /v1/query success body.
@@ -120,6 +124,9 @@ func (s *Server) handleRegisterDB(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "database name required")
 		return
 	}
+	if s.routeWrite(w, r, name) {
+		return
+	}
 	body, ok := readBody(w, r)
 	if !ok {
 		return
@@ -157,6 +164,9 @@ func (s *Server) handleRegisterDB(w http.ResponseWriter, r *http.Request) {
 // journaling the drop first when persistence is attached.
 func (s *Server) handleDropDB(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if s.routeWrite(w, r, name) {
+		return
+	}
 	ctx, tr := s.startTrace(r.Context(), "drop")
 	defer s.finishTrace(tr)
 	tr.SetStr("db", name)
@@ -272,6 +282,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	entry, ok := s.dbs.get(req.DB)
 	if !ok {
+		// Not held here: in cluster mode relay the read to a holder (one
+		// hop only — a forwarded request that still misses is a 404).
+		if c := s.clusterHandle(); c != nil && !req.Forwarded {
+			s.forwardQuery(tctx, c, w, req)
+			return
+		}
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no database %q (register with POST /v1/dbs/{name})", req.DB))
 		return
 	}

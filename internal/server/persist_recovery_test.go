@@ -222,7 +222,7 @@ func TestDrainRetryAfter(t *testing.T) {
 	}{
 		{"POST", "/v1/query", map[string]any{"db": "g", "query": quickQuery}},
 		{"POST", "/v1/dbs/h", denseDBText(5)},
-		{"GET", "/healthz", nil},
+		{"GET", "/readyz", nil},
 	}
 	for _, c := range checks {
 		rec, body := doJSON(t, s, c.method, c.path, c.body)

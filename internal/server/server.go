@@ -14,7 +14,11 @@
 //	POST   /v1/query        evaluate a query (JSON body, see queryRequest)
 //	POST   /v1/enumerate    stream one page of answers with a resumable cursor
 //	GET    /v1/measures     structural measures + regimes of a query
-//	GET    /healthz         liveness and drain state
+//	GET    /healthz         liveness (always 200 while the process is up)
+//	GET    /readyz          readiness (503 while draining)
+//	GET    /v1/cluster      membership, peer health, and placement (cluster mode)
+//	POST   /v1/replicate    apply one shipped journal record (cluster mode)
+//	POST   /v1/replicate/pull  catch-up pull of missed records (cluster mode)
 //	GET    /debug/vars      expvar JSON including the "ecrpqd" registry
 package server
 
@@ -182,6 +186,15 @@ type Server struct {
 	store     *persist.Store
 	persistMu sync.Mutex
 
+	// Cluster mode. clu is nil in single-node mode; AttachCluster
+	// publishes the whole bundle (membership, ship queue, loop cancel)
+	// atomically so even a node already serving traffic can join. The
+	// ship and catch-up loops are tracked by clusterWG; forwardRR rotates
+	// read forwards across healthy holders.
+	clu       atomic.Pointer[clusterState]
+	clusterWG sync.WaitGroup
+	forwardRR atomic.Uint64
+
 	// tracer samples per-request traces into a ring buffer for
 	// /debug/trace/{recent,chrome} and the slow-query log. Nil when
 	// tracing is disabled (TraceSampleEvery < 0); every use is nil-safe.
@@ -217,6 +230,18 @@ type Server struct {
 	mQueueWait      *metrics.Histogram // pool submit→dequeue latency
 	mEnumerates     *metrics.Counter   // /v1/enumerate pages served or attempted
 	mStaleCursors   *metrics.Counter   // enumerate cursors refused: database re-registered
+
+	mForwards       *metrics.Counter // reads answered by another holder (incl. typed refusals)
+	mForwardErrors  *metrics.Counter // forward attempts that failed at the transport level
+	mRedirects      *metrics.Counter // writes 307-redirected to the owning node
+	mOwnerDown      *metrics.Counter // writes refused: owner unreachable
+	mShipped        *metrics.Counter // replication records pushed successfully
+	mShipErrors     *metrics.Counter // replication pushes that failed (catch-up repairs)
+	mShipDropped    *metrics.Counter // replication pushes dropped at enqueue (queue/ledger full)
+	mApplied        *metrics.Counter // replication records applied locally
+	mApplyStale     *metrics.Counter // replication records ignored: at/below local generation
+	mCatchupPulls   *metrics.Counter // catch-up pull rounds completed
+	mCatchupApplied *metrics.Counter // records repaired via catch-up
 }
 
 // New returns a ready-to-serve daemon. Callers own the HTTP listener
@@ -268,6 +293,17 @@ func New(cfg Config) *Server {
 	s.mQueueWait = s.reg.Histogram("queue_wait_seconds", nil)
 	s.mEnumerates = s.reg.Counter("enumerates_total")
 	s.mStaleCursors = s.reg.Counter("stale_cursors_total")
+	s.mForwards = s.reg.Counter("cluster_forwards_total")
+	s.mForwardErrors = s.reg.Counter("cluster_forward_errors_total")
+	s.mRedirects = s.reg.Counter("cluster_write_redirects_total")
+	s.mOwnerDown = s.reg.Counter("cluster_owner_down_total")
+	s.mShipped = s.reg.Counter("cluster_replicate_shipped_total")
+	s.mShipErrors = s.reg.Counter("cluster_replicate_ship_errors_total")
+	s.mShipDropped = s.reg.Counter("cluster_replicate_ship_dropped_total")
+	s.mApplied = s.reg.Counter("cluster_replicate_applied_total")
+	s.mApplyStale = s.reg.Counter("cluster_replicate_stale_total")
+	s.mCatchupPulls = s.reg.Counter("cluster_catchup_pulls_total")
+	s.mCatchupApplied = s.reg.Counter("cluster_catchup_applied_total")
 	// The pool is built after the metrics and shedder it feeds.
 	s.pool = newWorkerPool(cfg.Workers, cfg.QueueDepth,
 		func() { s.mDroppedExpired.Inc() },
@@ -301,6 +337,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/measures", s.wrap(s.handleMeasures))
 	s.mux.HandleFunc("POST /v1/measures", s.wrap(s.handleMeasures))
 	s.mux.HandleFunc("GET /healthz", s.wrap(s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.wrap(s.handleReadyz))
+	s.mux.HandleFunc("GET /v1/cluster", s.wrap(s.handleClusterStatus))
+	s.mux.HandleFunc("POST /v1/replicate", s.wrap(s.handleReplicate))
+	s.mux.HandleFunc("POST /v1/replicate/pull", s.wrap(s.handleReplicatePull))
 	s.mux.HandleFunc("GET /debug/vars", s.wrap(s.handleDebugVars))
 	s.mux.HandleFunc("GET /debug/trace/recent", s.wrap(s.handleTraceRecent))
 	s.mux.HandleFunc("GET /debug/trace/chrome", s.wrap(s.handleTraceChrome))
@@ -320,6 +360,12 @@ func (s *Server) Metrics() *metrics.Registry { return s.reg }
 func (s *Server) RegisterDB(name string, db *graphdb.DB) error {
 	if name == "" {
 		return fmt.Errorf("server: database name required")
+	}
+	// In cluster mode only the ring owner may mint generations for a name;
+	// a preload on the wrong node would silently diverge from replication.
+	if c := s.clusterHandle(); c != nil && !c.IsOwner(name) {
+		return fmt.Errorf("server: node %s does not own %q (owner is %s); preload it there",
+			c.Self().ID, name, c.Owner(name).ID)
 	}
 	entry, replaced, err := s.doRegister(context.Background(), name, db)
 	if err != nil {
@@ -379,6 +425,7 @@ func (s *Server) doRegister(ctx context.Context, name string, db *graphdb.DB) (e
 	if replaced {
 		s.cache.InvalidateGeneration(replacedGen)
 	}
+	s.shipRegister(name, gen, at, db)
 	return entry, replaced, nil
 }
 
@@ -402,6 +449,7 @@ func (s *Server) doDrop(ctx context.Context, name string) (gen uint64, ok bool, 
 	gen, ok = s.dbs.drop(name)
 	if ok {
 		s.cache.InvalidateGeneration(gen)
+		s.shipDrop(name, gen)
 	}
 	return gen, ok, nil
 }
@@ -426,6 +474,10 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // concurrently; Shutdown is idempotent.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	// Stop cluster machinery first: probers, the replication shipper, and
+	// the catch-up loop must not keep calling peers (or applying records)
+	// while the registry is being torn down.
+	s.stopCluster()
 	tick := time.NewTicker(5 * time.Millisecond)
 	defer tick.Stop()
 	for s.inflight.Load() > 0 {
@@ -489,9 +541,28 @@ func (s *Server) wrap(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// handleHealthz reports liveness; a draining server answers 503 so load
-// balancers stop routing to it while in-flight work completes.
+// handleHealthz reports liveness: always 200 while the process is up,
+// with the drain state in the body. Liveness and readiness are split so
+// an orchestrator (or a cluster peer) can tell "draining, let it finish"
+// from "dead, restart it" — a liveness probe that fails during drain
+// would get a graceful shutdown kill -9'd.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         status,
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"databases":      s.dbs.size(),
+		"inflight":       s.inflight.Load(),
+	})
+}
+
+// handleReadyz reports readiness to take traffic: 503 once draining
+// begins, so load balancers and cluster peer probes stop routing here
+// while in-flight work completes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
 	code := http.StatusOK
 	if s.draining.Load() {

@@ -313,8 +313,15 @@ func TestGracefulShutdown(t *testing.T) {
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Errorf("query during drain: code=%d, want 503", rec.Code)
 	}
-	if rec, _ := doJSON(t, s, "GET", "/healthz", nil); rec.Code != http.StatusServiceUnavailable {
-		t.Errorf("healthz during drain: code=%d, want 503", rec.Code)
+	// Liveness stays up through the drain (the process is healthy, just
+	// not ready); readiness flips to 503 so routers stop sending work.
+	if rec, body := doJSON(t, s, "GET", "/healthz", nil); rec.Code != http.StatusOK {
+		t.Errorf("healthz during drain: code=%d, want 200", rec.Code)
+	} else if body["status"] != "draining" {
+		t.Errorf("healthz status during drain: %v, want draining", body["status"])
+	}
+	if rec, _ := doJSON(t, s, "GET", "/readyz", nil); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz during drain: code=%d, want 503", rec.Code)
 	}
 
 	if err := <-shutdownDone; err != nil {
@@ -327,6 +334,44 @@ func TestGracefulShutdown(t *testing.T) {
 		}
 	default:
 		t.Error("Shutdown returned before the in-flight request finished")
+	}
+}
+
+// TestLivenessReadinessSplit pins the probe contract both endpoints
+// serve: /healthz answers 200 for as long as the process is up (liveness
+// — "don't restart me"), /readyz flips to 503 the moment draining starts
+// (readiness — "don't route to me"). An orchestrator that can't tell
+// these apart would kill -9 a graceful shutdown.
+func TestLivenessReadinessSplit(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if rec, body := doJSON(t, s, "GET", "/healthz", nil); rec.Code != http.StatusOK {
+		t.Errorf("healthz up: code=%d, want 200", rec.Code)
+	} else if body["status"] != "ok" {
+		t.Errorf("healthz up: status=%v, want ok", body["status"])
+	}
+	if rec, body := doJSON(t, s, "GET", "/readyz", nil); rec.Code != http.StatusOK {
+		t.Errorf("readyz up: code=%d, want 200", rec.Code)
+	} else if body["status"] != "ok" {
+		t.Errorf("readyz up: status=%v, want ok", body["status"])
+	}
+
+	s.draining.Store(true)
+	rec, body := doJSON(t, s, "GET", "/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz draining: code=%d, want 200 (liveness must not fail during drain)", rec.Code)
+	}
+	if body["status"] != "draining" {
+		t.Errorf("healthz draining: status=%v, want draining", body["status"])
+	}
+	rec, body = doJSON(t, s, "GET", "/readyz", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz draining: code=%d, want 503", rec.Code)
+	}
+	if body["status"] != "draining" {
+		t.Errorf("readyz draining: status=%v, want draining", body["status"])
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("readyz draining: no Retry-After header")
 	}
 }
 
