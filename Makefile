@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint lint-json vet fuzz-smoke bench server-test chaos trace-gate govern-gate stream-gate cluster-gate ci
+.PHONY: all build test race lint lint-json vet fuzz-smoke bench server-test chaos trace-gate govern-gate stream-gate cluster-gate plan-gate ci
 
 all: build test
 
@@ -99,7 +99,20 @@ cluster-gate:
 	$(GO) test -race -count=1 -tags faultinject ./internal/cluster/ ./internal/server/
 	$(GO) test -count=1 -run TestClusterThroughputAndFailover -v ./cmd/ecrpqd/
 
+## plan-gate guards the cost-based planner: the statistics catalog,
+## planner and plan-cache suites run under the race detector, the
+## planstats analyzer proves the planner reads database facts only
+## through the stats.Catalog API (never raw graph scans), and the A12
+## ablation re-runs its acceptance bar — the cost model must beat the
+## fixed track-count rule ≥1.5× on the fan regime with no work
+## regression on E1/E3 (the bars are invariant-asserted inside the
+## experiment, so a violation fails the test).
+plan-gate:
+	$(GO) test -race -count=1 ./internal/stats/ ./internal/planner/ ./internal/plancache/
+	$(GO) run ./cmd/ecrpq-lint -only planstats ./...
+	$(GO) test -count=1 -run TestPlannerAblationBar ./internal/experiments/
+
 ## ci mirrors the GitHub Actions gate: build, vet, lint, tests, race
 ## tests, chaos suite, trace/govern zero-alloc gates, the streaming
-## enumeration gate, and the multi-node cluster gate.
-ci: build vet lint test race server-test chaos trace-gate govern-gate stream-gate cluster-gate
+## enumeration gate, the planner gate, and the multi-node cluster gate.
+ci: build vet lint test race server-test chaos trace-gate govern-gate stream-gate plan-gate cluster-gate

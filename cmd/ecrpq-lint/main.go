@@ -33,6 +33,7 @@ import (
 	"ecrpq/internal/lint/governcharge"
 	"ecrpq/internal/lint/lockorder"
 	"ecrpq/internal/lint/panicfree"
+	"ecrpq/internal/lint/planstats"
 	"ecrpq/internal/lint/spanend"
 	"ecrpq/internal/lint/statebounds"
 	"ecrpq/internal/lint/streamclose"
@@ -52,6 +53,7 @@ var analyzers = []*lint.Analyzer{
 	lockorder.Analyzer,
 	governcharge.Analyzer,
 	ctxpoll.Analyzer,
+	planstats.Analyzer,
 }
 
 func main() {

@@ -14,7 +14,10 @@
 //	.strategy <name>      auto | generic | reduction
 //	.query                start a query block; finish with .go (or .explain)
 //	.go                   evaluate the current query block
-//	.explain              print the plan of the current query block (local only)
+//	.explain [run]        print the plan of the current query block; in remote
+//	                      mode the daemon's cost-based planner answers, and
+//	                      ".explain run" also executes the query so measured
+//	                      per-stage times appear next to the estimates
 //	.measures             print measures + regimes of the current query block
 //	.sat                  database-independent satisfiability (local only)
 //	.trace on|off|last    toggle evaluation tracing / show the last trace
@@ -280,7 +283,7 @@ func (s *shell) handle(line string) bool {
 		s.withQuery(func(q *ecrpq.Query) { s.evaluate(q) })
 	case ".explain":
 		if s.remote != nil {
-			fmt.Fprintln(s.out, "error: .explain is local-mode only (plans are server-side in remote mode)")
+			s.remoteExplain(len(fields) == 2 && fields[1] == "run")
 			return false
 		}
 		s.withQuery(func(q *ecrpq.Query) {
@@ -476,6 +479,57 @@ func (s *shell) remoteNext() {
 		resp.Count, st.fetched)
 }
 
+// remoteExplain asks the daemon which plan it would run for the current
+// query block — the cost-based planner's decision with per-stage
+// estimates. With execute set (".explain run") the daemon also evaluates
+// the query and the table gains a measured-actual column, making
+// estimate-vs-actual error visible at the prompt.
+func (s *shell) remoteExplain(execute bool) {
+	text, ok := s.takeQuery()
+	if !ok {
+		return
+	}
+	if s.remoteDB == "" {
+		fmt.Fprintln(s.out, "error: no database selected (.use <name>)")
+		return
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	resp, err := s.remote.Explain(ctx, client.ExplainRequest{
+		DB: s.remoteDB, Query: text, Strategy: s.strategy.String(), Execute: execute,
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(s.out, "interrupted")
+			return
+		}
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	fmt.Fprintf(s.out, "strategy: %s (%s)  generation=%d", resp.Strategy, resp.StrategySource, resp.Generation)
+	if resp.StatsGeneration > 0 {
+		fmt.Fprintf(s.out, "  stats_gen=%d", resp.StatsGeneration)
+	}
+	fmt.Fprintln(s.out)
+	fmt.Fprint(s.out, resp.Plan)
+	if len(resp.Stages) > 0 {
+		fmt.Fprintln(s.out, "stages (cost model units; ms estimated vs measured):")
+		for _, st := range resp.Stages {
+			line := fmt.Sprintf("  %-22s cost %12.0f  est %8.3f ms", st.Stage, st.Cost, st.EstimatedMs)
+			if st.Measured {
+				line += fmt.Sprintf("  actual %8.3f ms", st.ActualMs)
+			}
+			fmt.Fprintln(s.out, line)
+			if st.Detail != "" {
+				fmt.Fprintf(s.out, "    %s\n", st.Detail)
+			}
+		}
+	}
+	if resp.Executed && resp.Sat != nil {
+		fmt.Fprintf(s.out, "executed: satisfiable=%t (%.2fms)\n", *resp.Sat, resp.ElapsedMs)
+	}
+}
+
 // remoteMeasures asks the daemon for the block's structural measures.
 func (s *shell) remoteMeasures() {
 	text, ok := s.takeQuery()
@@ -640,7 +694,9 @@ const helpText = `commands:
   .strategy <name>  auto | generic | reduction
   .query            start a query block (DSL lines follow)
   .go               evaluate the block against the database
-  .explain          print the evaluation plan of the block (local only)
+  .explain          print the evaluation plan of the block
+                    (remote: planner decision + cost estimates;
+                     .explain run also executes and shows actual times)
   .measures         print structural measures + theorem regimes
   .sat              database-independent satisfiability (local only)
   .trace on|off     trace subsequent evaluations (local only)

@@ -27,6 +27,8 @@ import (
 	"time"
 
 	"ecrpq"
+	"ecrpq/internal/planner"
+	"ecrpq/internal/stats"
 	"ecrpq/internal/trace"
 )
 
@@ -38,12 +40,13 @@ func main() {
 	relFiles := flag.String("rel", "", "comma-separated custom relation files (synchro text format); atom names resolve against these before built-ins")
 	timeout := flag.Duration("timeout", 0, "abort evaluation after this long (0 = no limit)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event dump of the evaluation to this file")
+	explain := flag.Bool("explain", false, "print the cost-based plan (database statistics + planner decision) and, after evaluating, the measured per-stage times next to the estimates")
 	flag.Parse()
 	if *dbPath == "" || *queryPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: ecrpq -db <file> -query <file> [-strategy auto|generic|reduction] [-witness] [-rel r1.txt,r2.txt] [-trace out.json]")
+		fmt.Fprintln(os.Stderr, "usage: ecrpq -db <file> -query <file> [-strategy auto|generic|reduction] [-witness] [-explain] [-rel r1.txt,r2.txt] [-trace out.json]")
 		os.Exit(2)
 	}
-	if err := run(*dbPath, *queryPath, *strategy, *witness, *relFiles, *timeout, *traceOut); err != nil {
+	if err := run(*dbPath, *queryPath, *strategy, *witness, *explain, *relFiles, *timeout, *traceOut); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintln(os.Stderr, "ecrpq: evaluation exceeded the", *timeout, "timeout")
 			os.Exit(3)
@@ -104,7 +107,80 @@ func writeTrace(tr *trace.Trace, path string) error {
 	return nil
 }
 
-func run(dbPath, queryPath, strategy string, witness bool, relFiles string, timeout time.Duration, traceOut string) error {
+// printExplain computes the database's statistics catalog, runs the
+// cost-based planner on the query, prints the decision with per-stage
+// estimates, and returns the decision so the caller can evaluate with
+// the planner's strategy. Mirrors the daemon's POST /v1/explain for the
+// offline CLI.
+func printExplain(ctx context.Context, db *ecrpq.DB, q *ecrpq.Query, opts ecrpq.Options) (*planner.Decision, error) {
+	cat, err := stats.Compute(ctx, db, 1)
+	if err != nil {
+		return nil, fmt.Errorf("computing statistics: %v", err)
+	}
+	plan, err := ecrpq.Explain(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	dec := planner.Resolve(cat, plan, opts, planner.Config{})
+	source := "planner"
+	if opts.Strategy != ecrpq.Auto {
+		source = "requested"
+	} else if dec.UsedFallback {
+		source = "fixed-rule"
+	}
+	fmt.Printf("strategy: %s (%s)\n", dec.Strategy, source)
+	rendered, err := ecrpq.Explain(q, ecrpq.Options{
+		Strategy:         dec.Strategy,
+		MaxProductStates: opts.MaxProductStates,
+		Parallelism:      opts.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Print(rendered.String())
+	fmt.Printf("costs: generic=%.0f reduction=%.0f (|V|=%d, any-reach selectivity %.4f)\n",
+		dec.GenericCost, dec.ReductionCost, cat.Vertices, cat.AnyReachSelectivity)
+	for _, st := range dec.Stages {
+		fmt.Printf("  %-22s cost %12.0f  est %8.3f ms\n", st.Stage, st.Cost, st.EstimatedMs)
+		if st.Detail != "" {
+			fmt.Printf("    %s\n", st.Detail)
+		}
+	}
+	return dec, nil
+}
+
+// printActuals prints the traced per-stage self-times next to the
+// planner's estimates after an explained evaluation.
+func printActuals(dec *planner.Decision, data trace.TraceData) {
+	selfMs := make(map[string]float64)
+	for _, st := range data.Breakdown() {
+		if strings.HasPrefix(st.Name, "core/") {
+			selfMs[st.Name] = st.SelfUs / 1000
+		}
+	}
+	fmt.Println("measured (estimate vs actual):")
+	seen := make(map[string]bool)
+	for _, st := range dec.Stages {
+		seen[st.Stage] = true
+		if ms, ok := selfMs[st.Stage]; ok {
+			fmt.Printf("  %-22s est %8.3f ms  actual %8.3f ms\n", st.Stage, st.EstimatedMs, ms)
+		} else {
+			fmt.Printf("  %-22s est %8.3f ms  actual        - (stage did not run)\n", st.Stage, st.EstimatedMs)
+		}
+	}
+	var extra []string
+	for name := range selfMs {
+		if !seen[name] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Printf("  %-22s est        -     actual %8.3f ms\n", name, selfMs[name])
+	}
+}
+
+func run(dbPath, queryPath, strategy string, witness, explain bool, relFiles string, timeout time.Duration, traceOut string) error {
 	dbFile, err := os.Open(dbPath)
 	if err != nil {
 		return err
@@ -146,17 +222,35 @@ func run(dbPath, queryPath, strategy string, witness bool, relFiles string, time
 		defer cancel()
 	}
 
+	// -explain needs a trace even without -trace: the measured per-stage
+	// times printed next to the estimates come from it.
 	var tr *trace.Trace
-	if traceOut != "" {
+	if traceOut != "" || explain {
 		tr = trace.New("ecrpq")
 		tr.SetStr("db", dbPath)
 		tr.SetStr("query", queryPath)
 		tr.SetStr("strategy_requested", strategy)
 		ctx = trace.NewContext(ctx, tr)
+		if traceOut != "" {
+			defer func() {
+				if werr := writeTrace(tr, traceOut); werr != nil {
+					fmt.Fprintln(os.Stderr, "ecrpq: writing trace:", werr)
+				}
+			}()
+		}
+	}
+
+	if explain {
+		dec, err := printExplain(ctx, db, q, opts)
+		if err != nil {
+			return err
+		}
+		// Evaluate with the planner's choice so the measured times belong
+		// to the plan just printed.
+		opts.Strategy = dec.Strategy
 		defer func() {
-			if werr := writeTrace(tr, traceOut); werr != nil {
-				fmt.Fprintln(os.Stderr, "ecrpq: writing trace:", werr)
-			}
+			tr.Finish()
+			printActuals(dec, tr.Snapshot())
 		}()
 	}
 

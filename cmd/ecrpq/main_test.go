@@ -26,7 +26,7 @@ func TestRunBoolean(t *testing.T) {
 	db := writeTemp(t, "db.txt", testDB)
 	q := writeTemp(t, "q.txt", "alphabet a b\nx -[ab]-> y\n")
 	for _, strat := range []string{"auto", "generic", "reduction"} {
-		if err := run(db, q, strat, true, "", 0, ""); err != nil {
+		if err := run(db, q, strat, true, false, "", 0, ""); err != nil {
 			t.Errorf("strategy %s: %v", strat, err)
 		}
 	}
@@ -36,7 +36,7 @@ func TestRunTraceOutput(t *testing.T) {
 	db := writeTemp(t, "db.txt", testDB)
 	q := writeTemp(t, "q.txt", "alphabet a b\nx -[ab]-> y\n")
 	out := filepath.Join(t.TempDir(), "out.json")
-	if err := run(db, q, "reduction", false, "", 0, out); err != nil {
+	if err := run(db, q, "reduction", false, false, "", 0, out); err != nil {
 		t.Fatalf("traced run: %v", err)
 	}
 	raw, err := os.ReadFile(out)
@@ -63,7 +63,7 @@ func TestRunTraceOutput(t *testing.T) {
 func TestRunAnswers(t *testing.T) {
 	db := writeTemp(t, "db.txt", testDB)
 	q := writeTemp(t, "q.txt", "alphabet a b\nfree x\nx -[a]-> y\n")
-	if err := run(db, q, "auto", false, "", 0, ""); err != nil {
+	if err := run(db, q, "auto", false, false, "", 0, ""); err != nil {
 		t.Errorf("answers: %v", err)
 	}
 }
@@ -71,21 +71,21 @@ func TestRunAnswers(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	db := writeTemp(t, "db.txt", testDB)
 	q := writeTemp(t, "q.txt", "alphabet a b\nx -[ab]-> y\n")
-	if err := run("/nonexistent", q, "auto", false, "", 0, ""); err == nil {
+	if err := run("/nonexistent", q, "auto", false, false, "", 0, ""); err == nil {
 		t.Error("missing db should error")
 	}
-	if err := run(db, "/nonexistent", "auto", false, "", 0, ""); err == nil {
+	if err := run(db, "/nonexistent", "auto", false, false, "", 0, ""); err == nil {
 		t.Error("missing query should error")
 	}
-	if err := run(db, q, "bogus", false, "", 0, ""); err == nil {
+	if err := run(db, q, "bogus", false, false, "", 0, ""); err == nil {
 		t.Error("unknown strategy should error")
 	}
 	badQ := writeTemp(t, "bad.txt", "not a query")
-	if err := run(db, badQ, "auto", false, "", 0, ""); err == nil {
+	if err := run(db, badQ, "auto", false, false, "", 0, ""); err == nil {
 		t.Error("malformed query should error")
 	}
 	badDB := writeTemp(t, "baddb.txt", "junk")
-	if err := run(badDB, q, "auto", false, "", 0, ""); err == nil {
+	if err := run(badDB, q, "auto", false, false, "", 0, ""); err == nil {
 		t.Error("malformed db should error")
 	}
 }
@@ -107,14 +107,14 @@ x -[$p1]-> y
 x -[$p2]-> y
 rel myeq(p1, p2)
 `)
-	if err := run(db, q, "auto", true, rel, 0, ""); err != nil {
+	if err := run(db, q, "auto", true, false, rel, 0, ""); err != nil {
 		t.Errorf("custom relation: %v", err)
 	}
-	if err := run(db, q, "auto", false, "/nonexistent.txt", 0, ""); err == nil {
+	if err := run(db, q, "auto", false, false, "/nonexistent.txt", 0, ""); err == nil {
 		t.Error("missing relation file should error")
 	}
 	badRel := writeTemp(t, "bad.txt", "garbage")
-	if err := run(db, q, "auto", false, badRel, 0, ""); err == nil {
+	if err := run(db, q, "auto", false, false, badRel, 0, ""); err == nil {
 		t.Error("malformed relation file should error")
 	}
 	// Relation without a name line gets name "rel"... actually Parse
@@ -124,7 +124,7 @@ rel myeq(p1, p2)
 alphabet a b
 universal
 `)
-	if err := run(db, q, "auto", false, noName, 0, ""); err == nil {
+	if err := run(db, q, "auto", false, false, noName, 0, ""); err == nil {
 		t.Error("unnamed relation should error")
 	}
 }

@@ -492,6 +492,11 @@ type ReplicateRecord struct {
 	Gen      uint64 `json:"gen"`
 	UnixNano int64  `json:"unix_nano,omitempty"`
 	Snapshot []byte `json:"snapshot,omitempty"`
+	// Stats is the owner's encoded statistics catalog for this
+	// registration (internal/stats JSON), shipped so replicas cost plans
+	// from the same numbers and EXPLAIN agrees cluster-wide. Optional:
+	// absent on drops and on ships from stats-disabled owners.
+	Stats []byte `json:"stats,omitempty"`
 }
 
 // ReplicateResult reports what the replica did with a shipped record.
@@ -545,6 +550,70 @@ func (c *Client) ReplicatePull(ctx context.Context, req PullRequest) (*PullRespo
 		return nil, err
 	}
 	return &out, nil
+}
+
+// ExplainRequest is the POST /v1/explain body. Execute asks the server
+// to also run the query and attach measured per-stage times next to the
+// planner's estimates.
+type ExplainRequest struct {
+	DB        string `json:"db"`
+	Query     string `json:"query"`
+	Strategy  string `json:"strategy,omitempty"`
+	Execute   bool   `json:"execute,omitempty"`
+	TimeoutMs int64  `json:"timeout_ms,omitempty"`
+	Forwarded bool   `json:"fwd,omitempty"`
+}
+
+// ExplainStage is one plan stage with the planner's cost estimate and,
+// when the query was executed, the traced actual self-time.
+type ExplainStage struct {
+	Stage       string  `json:"stage"`
+	Detail      string  `json:"detail,omitempty"`
+	Cost        float64 `json:"cost"`
+	EstimatedMs float64 `json:"estimated_ms"`
+	ActualMs    float64 `json:"actual_ms,omitempty"`
+	Measured    bool    `json:"measured,omitempty"`
+}
+
+// ExplainResponse is the chosen plan with its cost breakdown. Decision
+// stays raw JSON so the client does not depend on the planner's shape.
+type ExplainResponse struct {
+	Strategy        string          `json:"strategy"`
+	StrategySource  string          `json:"strategy_source"` // "planner" | "fixed-rule" | "requested"
+	QueryHash       string          `json:"query_hash"`
+	Generation      uint64          `json:"generation"`
+	StatsGeneration uint64          `json:"stats_generation,omitempty"`
+	Plan            string          `json:"plan"`
+	Stages          []ExplainStage  `json:"stages,omitempty"`
+	Decision        json.RawMessage `json:"decision,omitempty"`
+	Executed        bool            `json:"executed,omitempty"`
+	Sat             *bool           `json:"sat,omitempty"`
+	ElapsedMs       float64         `json:"elapsed_ms"`
+}
+
+// Explain asks the server which plan it would (or did) run for a query.
+// Retried (read-only; execute=true evaluations are idempotent).
+func (c *Client) Explain(ctx context.Context, req ExplainRequest) (*ExplainResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding explain request: %w", err)
+	}
+	var out ExplainResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/explain", body, true, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches the statistics catalog of a database held by the server.
+// Retried (read-only). The shape is internal/stats' Catalog JSON, kept
+// raw here.
+func (c *Client) Stats(ctx context.Context, db string) (json.RawMessage, error) {
+	var out json.RawMessage
+	if err := c.do(ctx, http.MethodGet, "/v1/stats/"+url.PathEscape(db), nil, true, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Measures reports a query's structural measures. Retried (read-only).

@@ -90,6 +90,32 @@ func (o Options) maxReductionTracks() int {
 	return o.MaxReductionTracks
 }
 
+// AutoStrategy is the fixed rule the Auto strategy resolves by: Reduction
+// exactly when every component's track count is at most
+// MaxReductionTracks (the V^t materialization of Lemma 4.3 stays
+// affordable), else Generic. trackCounts holds one entry per semantic
+// component. Exported so cost-based planners (internal/planner) can fall
+// back to the same rule — and so EXPLAIN and execution can never disagree
+// on what "auto" means: every resolution site in this package goes
+// through this one function.
+func AutoStrategy(trackCounts []int, opts Options) Strategy {
+	for _, t := range trackCounts {
+		if t > opts.maxReductionTracks() {
+			return Generic
+		}
+	}
+	return Reduction
+}
+
+// resolveAuto applies AutoStrategy to decomposed components.
+func resolveAuto(comps []component, opts Options) Strategy {
+	counts := make([]int, len(comps))
+	for i := range comps {
+		counts[i] = len(comps[i].tracks)
+	}
+	return AutoStrategy(counts, opts)
+}
+
 // Result is the outcome of Boolean evaluation, with a full witness when
 // satisfied.
 type Result struct {
@@ -142,18 +168,12 @@ func evaluatePinned(ctx context.Context, db *graphdb.DB, q *query.Query, pinned 
 	}
 	strat := opts.Strategy
 	if strat == Auto {
-		strat = Reduction
-		for _, c := range comps {
-			if len(c.tracks) > opts.maxReductionTracks() {
-				strat = Generic
-				break
-			}
-		}
+		strat = resolveAuto(comps, opts)
 	}
 	var res *Result
 	switch strat {
 	case Generic:
-		res, err = evalGeneric(ctx, db, q, comps, frees, pinned, opts)
+		res, err = evalGeneric(ctx, db, q, comps, frees, pinned, opts, nil)
 	case Reduction:
 		res, err = evalReduction(ctx, db, q, comps, frees, pinned, opts)
 	default:
@@ -319,9 +339,55 @@ func eagerMerge(ctx context.Context, q *query.Query, comps []component, stats *S
 	return merged, nil
 }
 
+// PlanHints carries db-dependent decisions from a cost-based planner
+// (internal/planner) into a Generic evaluation. Hints are advisory and
+// never affect the answer, only the order and size of the search:
+//
+//   - ComponentOrder permutes the sequence in which the backtracking
+//     completes components (indices into the plan's component list, a
+//     permutation of 0..n-1; ignored when malformed).
+//   - Candidates restricts the vertex domain tried for a node variable to
+//     a sound superset of its satisfying assignments (ascending vertex
+//     ids, typically from Prepared.PushdownCandidates). Variables absent
+//     from the map range over all vertices.
+//
+// The streaming enumeration path deliberately takes no hints: its tuple
+// order is a public cursor contract (see internal/server /v1/enumerate)
+// and must not depend on per-database planner state.
+type PlanHints struct {
+	ComponentOrder []int
+	Candidates     map[string][]int
+}
+
+// candidatesFor returns the hinted domain for a node variable.
+func (h *PlanHints) candidatesFor(v string) ([]int, bool) {
+	if h == nil || h.Candidates == nil {
+		return nil, false
+	}
+	c, ok := h.Candidates[v]
+	return c, ok
+}
+
+// componentOrder validates and returns the hinted permutation, or nil.
+func (h *PlanHints) componentOrder(n int) []int {
+	if h == nil || len(h.ComponentOrder) != n {
+		return nil
+	}
+	seen := make([]bool, n)
+	for _, i := range h.ComponentOrder {
+		if i < 0 || i >= n || seen[i] {
+			return nil
+		}
+		seen[i] = true
+	}
+	return h.ComponentOrder
+}
+
 // evalGeneric backtracks over node variables and checks each component's
-// product as soon as all of its node variables are assigned.
-func evalGeneric(ctx context.Context, db *graphdb.DB, q *query.Query, comps []component, frees []freeTrack, pinned map[string]int, opts Options) (*Result, error) {
+// product as soon as all of its node variables are assigned. hints (may
+// be nil) reorder the component completion sequence and restrict node
+// variable domains; they never change the decision or the witness shape.
+func evalGeneric(ctx context.Context, db *graphdb.DB, q *query.Query, comps []component, frees []freeTrack, pinned map[string]int, opts Options, hints *PlanHints) (*Result, error) {
 	stats := Stats{}
 	workComps := comps
 	if opts.EagerMerge {
@@ -336,7 +402,9 @@ func evalGeneric(ctx context.Context, db *graphdb.DB, q *query.Query, comps []co
 	}
 
 	// Node variable universe and ordering: pinned first, then component by
-	// component so components complete early.
+	// component so components complete early. A planner hint permutes the
+	// component sequence so the most selective (or cheapest) component's
+	// variables are assigned — and its product checked — first.
 	nodeVars := q.NodeVars()
 	var order []string
 	inOrder := make(map[string]bool)
@@ -349,8 +417,15 @@ func evalGeneric(ctx context.Context, db *graphdb.DB, q *query.Query, comps []co
 	for v := range pinned {
 		add(v)
 	}
-	for i := range workComps {
-		for _, v := range workComps[i].nodeVars {
+	compSeq := hints.componentOrder(len(workComps))
+	if compSeq == nil {
+		compSeq = make([]int, len(workComps))
+		for i := range compSeq {
+			compSeq[i] = i
+		}
+	}
+	for _, ci := range compSeq {
+		for _, v := range workComps[ci].nodeVars {
 			add(v)
 		}
 	}
@@ -451,6 +526,20 @@ func evalGeneric(ctx context.Context, db *graphdb.DB, q *query.Query, comps []co
 			stats.NodeAssignments++
 			if check(i+1) && rec(i+1) {
 				return true
+			}
+			delete(assign, v)
+			return false
+		}
+		if cand, ok := hints.candidatesFor(v); ok {
+			for _, d := range cand {
+				if d < 0 || d >= db.NumVertices() {
+					continue
+				}
+				assign[v] = d
+				stats.NodeAssignments++
+				if check(i+1) && rec(i+1) {
+					return true
+				}
 			}
 			delete(assign, v)
 			return false

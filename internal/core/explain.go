@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"ecrpq/internal/query"
@@ -26,6 +27,17 @@ type PlanComponent struct {
 	NodeVars       []string
 	Relations      int
 	RelationStates int // sum of member NFA states (pre-merge)
+	// TrackSources maps each path variable to the node variable at its
+	// source endpoint; TrackTargets likewise for the destination.
+	TrackSources map[string]string `json:",omitempty"`
+	TrackTargets map[string]string `json:",omitempty"`
+	// TrackFirstLabels maps a path variable to the sorted label names its
+	// witness path may start with, derived from the component's relation
+	// automata (see trackFirstLabels). A variable absent from the map is
+	// unrestricted. Planners turn this into source-vertex pushdown: the
+	// track's source variable only needs vertices with an out-edge carrying
+	// one of these labels.
+	TrackFirstLabels map[string][]string `json:",omitempty"`
 }
 
 // Explain computes the evaluation plan for a query without touching a
@@ -42,27 +54,45 @@ func Explain(q *query.Query, opts Options) (*Plan, error) {
 	}
 	strat := opts.Strategy
 	if strat == Auto {
-		strat = Reduction
-		for _, c := range comps {
-			if len(c.tracks) > opts.maxReductionTracks() {
-				strat = Generic
-				break
-			}
-		}
+		strat = resolveAuto(comps, opts)
 	}
 	p := &Plan{
 		Strategy:      strat,
 		Measures:      twolevel.QueryMeasures(q),
 		NodeVariables: q.NodeVars(),
 	}
-	for _, c := range comps {
-		pc := PlanComponent{NodeVars: c.nodeVars, Relations: len(c.rels)}
+	a := q.Alphabet()
+	for ci := range comps {
+		c := &comps[ci]
+		pc := PlanComponent{
+			NodeVars:     c.nodeVars,
+			Relations:    len(c.rels),
+			TrackSources: make(map[string]string, len(c.tracks)),
+			TrackTargets: make(map[string]string, len(c.tracks)),
+		}
 		for _, tr := range c.tracks {
 			pc.PathVars = append(pc.PathVars, tr.pathVar)
+			pc.TrackSources[tr.pathVar] = tr.srcVar
+			pc.TrackTargets[tr.pathVar] = tr.dstVar
 		}
 		for _, r := range c.rels {
 			st, _ := r.Size()
 			pc.RelationStates += st
+		}
+		firsts := trackFirstLabels(c)
+		for k, tr := range c.tracks {
+			if firsts[k] == nil {
+				continue
+			}
+			var names []string
+			for sym := range firsts[k] {
+				names = append(names, a.Name(sym))
+			}
+			sort.Strings(names)
+			if pc.TrackFirstLabels == nil {
+				pc.TrackFirstLabels = make(map[string][]string)
+			}
+			pc.TrackFirstLabels[tr.pathVar] = names
 		}
 		p.Components = append(p.Components, pc)
 	}

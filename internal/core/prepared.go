@@ -54,13 +54,7 @@ func PrepareContext(ctx context.Context, q *query.Query, opts Options) (*Prepare
 	}
 	strat := opts.Strategy
 	if strat == Auto {
-		strat = Reduction
-		for _, c := range comps {
-			if len(c.tracks) > opts.maxReductionTracks() {
-				strat = Generic
-				break
-			}
-		}
+		strat = resolveAuto(comps, opts)
 	}
 	if strat != Generic && strat != Reduction {
 		return nil, fmt.Errorf("core: unknown strategy %v", opts.Strategy)
@@ -187,6 +181,14 @@ func (p *Prepared) checkDB(db *graphdb.DB) error {
 // Generic plans ignore mat. Sat/Nodes/Paths are identical to
 // core.EvaluateContext with the same options either way.
 func (p *Prepared) EvaluateContext(ctx context.Context, db *graphdb.DB, mat *Materialization) (*Result, error) {
+	return p.EvaluateContextHinted(ctx, db, mat, nil)
+}
+
+// EvaluateContextHinted is EvaluateContext with planner hints. Hints only
+// affect the Generic strategy (component completion order and node-variable
+// candidate domains); Reduction plans ignore them. nil hints is exactly
+// EvaluateContext.
+func (p *Prepared) EvaluateContextHinted(ctx context.Context, db *graphdb.DB, mat *Materialization, hints *PlanHints) (*Result, error) {
 	if err := p.checkDB(db); err != nil {
 		return nil, err
 	}
@@ -194,7 +196,7 @@ func (p *Prepared) EvaluateContext(ctx context.Context, db *graphdb.DB, mat *Mat
 	var err error
 	switch p.strat {
 	case Generic:
-		res, err = evalGeneric(ctx, db, p.q, p.comps, p.frees, nil, p.opts)
+		res, err = evalGeneric(ctx, db, p.q, p.comps, p.frees, nil, p.opts, hints)
 	case Reduction:
 		if mat == nil {
 			res, err = p.evaluateReductionStreaming(ctx, db)

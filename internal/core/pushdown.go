@@ -1,0 +1,143 @@
+package core
+
+// Predicate pushdown for the Generic strategy: derive, from a component's
+// relation automata alone, the set of labels a track's witness path can
+// start with, and turn that into a restricted candidate domain for the
+// track's source node variable. The analysis exploits the convolution
+// normal form (padding is suffix-only — see expandTracks): in any accepted
+// convolution a track's first letter appears in the FIRST joint letter
+// unless the track's word is empty, and an empty word pads the track from
+// position 0 on. So reading the start-state transitions of a relation NFA
+// over-approximates the first letters of every track the relation spans.
+
+import (
+	"ecrpq/internal/alphabet"
+	"ecrpq/internal/graphdb"
+)
+
+// trackFirstLabels computes, per component track, the set of labels an
+// accepted witness path for that track may start with, or nil when the
+// track is unrestricted. A track is unrestricted when some relation
+// spanning it admits an empty word there (a start state is accepting, or a
+// start-state transition pads the position); otherwise the sets from all
+// spanning relations are intersected. The result is a sound
+// over-approximation: every satisfying assignment's witness starts with a
+// returned label.
+//
+//ecrpq:charged output is bounded by the query's relation automata (first-letter sets ⊆ alphabet), never database-sized
+func trackFirstLabels(c *component) []map[alphabet.Symbol]bool {
+	t := len(c.tracks)
+	firsts := make([]map[alphabet.Symbol]bool, t)
+	restricted := make([]bool, t)
+	for ri, r := range c.rels {
+		view := newNFAView(r)
+		arity := len(c.relTracks[ri])
+		relFirst := make([]map[alphabet.Symbol]bool, arity)
+		relOpen := make([]bool, arity) // position may start empty/padded
+		for _, q := range view.starts {
+			if view.accept[q] {
+				// The all-empty tuple is accepted: every position may be
+				// empty, so this relation restricts nothing.
+				for j := range relOpen {
+					relOpen[j] = true
+				}
+				break
+			}
+		}
+		for _, q := range view.starts {
+			for _, tr := range view.trans[q] {
+				for j, sym := range tr.tuple {
+					if sym == alphabet.Pad {
+						relOpen[j] = true
+						continue
+					}
+					if relFirst[j] == nil {
+						relFirst[j] = make(map[alphabet.Symbol]bool)
+					}
+					relFirst[j][sym] = true
+				}
+			}
+		}
+		for j, ct := range c.relTracks[ri] {
+			if relOpen[j] {
+				continue
+			}
+			if relFirst[j] == nil {
+				// No start transition touches this position at all: the
+				// relation accepts nothing, so the empty label set is the
+				// (vacuously sound) restriction.
+				relFirst[j] = make(map[alphabet.Symbol]bool)
+			}
+			if !restricted[ct] {
+				restricted[ct] = true
+				cp := make(map[alphabet.Symbol]bool, len(relFirst[j]))
+				for s := range relFirst[j] {
+					cp[s] = true
+				}
+				firsts[ct] = cp
+				continue
+			}
+			for s := range firsts[ct] {
+				if !relFirst[j][s] {
+					delete(firsts[ct], s)
+				}
+			}
+		}
+	}
+	for k := range firsts {
+		if !restricted[k] {
+			firsts[k] = nil
+		}
+	}
+	return firsts
+}
+
+// PushdownCandidates computes restricted candidate domains for node
+// variables of this plan against a concrete database: a variable that is
+// the source of a first-label-restricted track only needs vertices with an
+// out-edge carrying one of those labels. Variables sourcing several
+// restricted tracks get the intersection. The returned map (variable →
+// ascending vertex ids) feeds PlanHints.Candidates; variables absent from
+// it are unrestricted. The result is db-generation-specific — do not cache
+// it across re-registrations.
+//
+//ecrpq:charged one O(|V|) pass per restricted variable; the candidate slices are request-scoped and bounded by |V|, accounted by the query reservation
+func (p *Prepared) PushdownCandidates(db *graphdb.DB) map[string][]int {
+	restrict := make(map[string]map[alphabet.Symbol]bool)
+	for ci := range p.comps {
+		c := &p.comps[ci]
+		firsts := trackFirstLabels(c)
+		for k, tr := range c.tracks {
+			if firsts[k] == nil {
+				continue
+			}
+			cur, ok := restrict[tr.srcVar]
+			if !ok {
+				restrict[tr.srcVar] = firsts[k]
+				continue
+			}
+			for s := range cur {
+				if !firsts[k][s] {
+					delete(cur, s)
+				}
+			}
+		}
+	}
+	if len(restrict) == 0 {
+		return nil
+	}
+	out := make(map[string][]int, len(restrict))
+	for v, labels := range restrict {
+		cand := []int{}
+		for d := 0; d < db.NumVertices(); d++ {
+			for _, e := range db.Out(d) {
+				if labels[e.Label] {
+					cand = append(cand, d)
+					break
+				}
+			}
+		}
+		out[v] = cand
+	}
+	return out
+}

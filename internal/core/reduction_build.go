@@ -183,13 +183,7 @@ func answersReduction(ctx context.Context, db *graphdb.DB, q *query.Query, opts 
 	}
 	strat := opts.Strategy
 	if strat == Auto {
-		strat = Reduction
-		for _, c := range comps {
-			if len(c.tracks) > opts.maxReductionTracks() {
-				strat = Generic
-				break
-			}
-		}
+		strat = resolveAuto(comps, opts)
 	}
 	if strat != Reduction {
 		return nil, false, nil

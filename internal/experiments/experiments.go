@@ -669,6 +669,7 @@ func All(seed int64) []*Table {
 		E7(), E8(seed), E9(seed), E10(seed), E11(seed), E12(seed),
 		AblationStrategies(seed), AblationCQEval(seed), AblationTreewidth(), AblationParallel(seed), AblationBaseline(seed),
 		StageAttribution(seed), Overload(seed), StreamingEnumeration(seed),
+		PlannerAblation(seed),
 	}
 }
 

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestPlannerAblationBar runs A12 and checks the acceptance criteria:
+// the invariants inside PlannerAblation enforce the ≥1.5× work bar on
+// the E8 fan regime and the no-regression bar on E1/E3 (an invariant
+// violation panics, failing the test); here we additionally pin the
+// table shape and that the win row actually flipped strategies.
+func TestPlannerAblationBar(t *testing.T) {
+	tb := PlannerAblation(1)
+	if tb.ID != "A12" {
+		t.Fatalf("table ID = %q, want A12", tb.ID)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("A12 rows = %d, want 3 (E1, E3 and E8 regimes)", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if len(row) != len(tb.Headers) {
+			t.Fatalf("row %v has %d cells, want %d", row, len(row), len(tb.Headers))
+		}
+	}
+	fan := tb.Rows[2]
+	if fan[1] != "reduction / generic" {
+		t.Fatalf("fan regime strategies = %q, want fixed reduction flipped to generic", fan[1])
+	}
+	// The ratio cell is "%.1f×"; re-parse and re-check the bar so a
+	// future reformat of the invariant can't silently drop it.
+	var ratio float64
+	if _, err := fmt.Sscanf(fan[len(fan)-1], "%f", &ratio); err != nil {
+		t.Fatalf("cannot parse work ratio %q: %v", fan[len(fan)-1], err)
+	}
+	if ratio < 1.5 {
+		t.Fatalf("fan regime work ratio %.2f below the 1.5× acceptance bar", ratio)
+	}
+}
+
+// TestPlannerAblationSeeds re-runs the ablation across seeds: the
+// strategy flip on the fan regime is a structural property of the cost
+// model, not a lucky instance.
+func TestPlannerAblationSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed ablation is slow")
+	}
+	for _, seed := range []int64{2, 7} {
+		tb := PlannerAblation(seed)
+		if got := tb.Rows[2][1]; got != "reduction / generic" {
+			t.Fatalf("seed %d: fan regime strategies = %q", seed, got)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Package planstats implements the planstats analyzer: the cost-based
+// planner must read database statistics only through the stats.Catalog
+// API, never by scanning the graph itself.
+//
+// The planner's costs must be O(query) to compute — a plan decision that
+// walks database-sized state (internal/graphdb edges, adjacency, BFS)
+// would cost as much as the evaluation it is trying to avoid, and would
+// silently diverge from the snapshot the statistics catalog was built
+// over. Anything the planner needs from the database belongs in
+// internal/stats, computed once per registration and versioned by
+// generation.
+package planstats
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"ecrpq/internal/lint"
+)
+
+// Analyzer is the planstats check.
+var Analyzer = &lint.Analyzer{
+	Name: "planstats",
+	Doc: "the planner must read statistics through the stats.Catalog API, not raw graph scans\n\n" +
+		"Applies to internal/planner: importing internal/graphdb (or internal/persist,\n" +
+		"which decodes databases) is a violation — extend internal/stats with the\n" +
+		"missing aggregate instead. Suppress with //ecrpq:ignore planstats -- <reason>.",
+	Run: run,
+}
+
+// forbidden lists the import paths that would give the planner access to
+// database-sized state.
+var forbidden = []string{
+	"ecrpq/internal/graphdb",
+	"ecrpq/internal/persist",
+}
+
+func inScope(path string) bool {
+	return strings.HasSuffix(path, "internal/planner") ||
+		strings.Contains(path, "planstats/testdata/")
+}
+
+func run(pass *lint.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			for _, bad := range forbidden {
+				if path == bad || strings.HasSuffix(path, strings.TrimPrefix(bad, "ecrpq/")) {
+					pass.Reportf(imp.Pos(),
+						"planner imports %s: plan costs must be O(query), read database facts through stats.Catalog (extend internal/stats if an aggregate is missing)",
+						path)
+				}
+			}
+		}
+		// Belt and braces: a dot-import or vendored alias could hide the
+		// path; also flag selector uses of an identifier named graphdb.
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "graphdb" {
+				pass.Reportf(sel.Pos(),
+					"planner touches graphdb.%s: database-sized state is off limits, use the stats.Catalog", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

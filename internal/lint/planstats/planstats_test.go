@@ -1,0 +1,12 @@
+package planstats_test
+
+import (
+	"testing"
+
+	"ecrpq/internal/lint/checktest"
+	"ecrpq/internal/lint/planstats"
+)
+
+func TestPlanstats(t *testing.T) {
+	checktest.Run(t, ".", planstats.Analyzer, "violation", "clean")
+}

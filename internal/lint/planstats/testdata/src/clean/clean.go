@@ -1,0 +1,19 @@
+// Package clean must produce no planstats diagnostics: plan decisions
+// read database facts only through the statistics catalog.
+package clean
+
+import (
+	"ecrpq/internal/stats"
+)
+
+func cost(cat *stats.Catalog, tracks int) float64 {
+	if cat == nil {
+		return 0
+	}
+	v := float64(cat.Vertices)
+	c := 1.0
+	for i := 0; i < tracks; i++ {
+		c *= v * cat.AnyReachSelectivity
+	}
+	return c
+}

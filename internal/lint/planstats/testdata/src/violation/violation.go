@@ -1,0 +1,15 @@
+// Package violation exercises the planstats diagnostics: the planner
+// scanning raw graph state instead of the statistics catalog.
+package violation
+
+import (
+	"ecrpq/internal/graphdb" // want `planner imports ecrpq/internal/graphdb`
+)
+
+func degreeScan(db *graphdb.DB) int { // want `planner touches graphdb\.DB`
+	total := 0
+	for v := 0; v < db.NumVertices(); v++ {
+		total += len(db.VertexName(v))
+	}
+	return total
+}

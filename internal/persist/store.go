@@ -25,6 +25,12 @@ type Entry struct {
 	Gen          uint64
 	RegisteredAt time.Time
 	DB           *graphdb.DB
+	// Stats is the encoded statistics catalog sidecar
+	// (internal/stats.Catalog.Encode) saved next to the snapshot, or nil
+	// when none was persisted (pre-planner journals, or a lost sidecar —
+	// the server recomputes in both cases). The journal format itself is
+	// unchanged: the sidecar shares the snapshot's generation-derived name.
+	Stats []byte
 }
 
 // Store is a crash-safe registry persistence layer over one data
@@ -108,12 +114,20 @@ func Open(dir string) (*Store, error) {
 			s.warnings = append(s.warnings, fmt.Sprintf("dropping %q: snapshot %s corrupt: %v", name, lr.snapFile, err))
 			continue
 		}
-		s.entries = append(s.entries, Entry{
+		e := Entry{
 			Name:         name,
 			Gen:          lr.gen,
 			RegisteredAt: time.Unix(0, int64(lr.unixNano)),
 			DB:           db,
-		})
+		}
+		// The stats sidecar is optional: readable bytes are handed to the
+		// server verbatim (it validates on decode and recomputes on
+		// mismatch), anything else just means recompute.
+		if raw, err := os.ReadFile(filepath.Join(dir, statsFileName(lr.gen))); err == nil {
+			e.Stats = raw
+		}
+		referenced[statsFileName(lr.gen)] = true
+		s.entries = append(s.entries, e)
 	}
 	sort.Slice(s.entries, func(i, j int) bool { return s.entries[i].Gen < s.entries[j].Gen })
 
@@ -122,7 +136,8 @@ func Open(dir string) (*Store, error) {
 	if dents, err := os.ReadDir(dir); err == nil {
 		for _, de := range dents {
 			n := de.Name()
-			stale := (strings.HasSuffix(n, ".snap") && !referenced[n]) || strings.HasPrefix(n, ".tmp-")
+			stale := ((strings.HasSuffix(n, ".snap") || strings.HasSuffix(n, ".stats")) && !referenced[n]) ||
+				strings.HasPrefix(n, ".tmp-")
 			if stale {
 				_ = os.Remove(filepath.Join(dir, n))
 			}
@@ -157,6 +172,9 @@ func (s *Store) Warnings() []string { return s.warnings }
 // globally unique, so the name is too.
 func snapFileName(gen uint64) string { return fmt.Sprintf("db-%016x.snap", gen) }
 
+// statsFileName names the statistics catalog sidecar for a generation.
+func statsFileName(gen uint64) string { return fmt.Sprintf("db-%016x.stats", gen) }
+
 // AppendRegister durably records a registration: snapshot first (temp
 // file, fsync, atomic rename, directory fsync), then the journal record
 // referencing it (append, fsync). On error the registration is not
@@ -170,6 +188,15 @@ func (s *Store) AppendRegister(name string, gen uint64, registeredAt time.Time, 
 // are recorded as spans (the fsyncs dominate register latency, and the
 // slow-query log should say so rather than blaming evaluation).
 func (s *Store) AppendRegisterContext(ctx context.Context, name string, gen uint64, registeredAt time.Time, db *graphdb.DB) error {
+	return s.AppendRegisterWithStats(ctx, name, gen, registeredAt, db, nil)
+}
+
+// AppendRegisterWithStats is AppendRegisterContext plus an optional
+// encoded statistics catalog, written as a sidecar file (same atomic
+// temp+rename discipline as the snapshot) before the journal record. The
+// sidecar is advisory: it is not journaled, and a crash between snapshot
+// and sidecar just means the server recomputes statistics on restart.
+func (s *Store) AppendRegisterWithStats(ctx context.Context, name string, gen uint64, registeredAt time.Time, db *graphdb.DB, statsJSON []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -178,6 +205,9 @@ func (s *Store) AppendRegisterContext(ctx context.Context, name string, gen uint
 	snapFile := snapFileName(gen)
 	_, ssp := trace.StartSpan(ctx, "persist/snapshot_write")
 	err := s.writeSnapshot(snapFile, gen, db)
+	if err == nil && len(statsJSON) > 0 {
+		err = s.writeSidecar(statsFileName(gen), gen, statsJSON)
+	}
 	ssp.End()
 	if err != nil {
 		return err
@@ -215,9 +245,40 @@ func (s *Store) AppendDropContext(ctx context.Context, name string, gen uint64) 
 	if err != nil {
 		return err
 	}
-	// The snapshot is now unreferenced; best-effort removal (Open GCs
-	// leftovers).
+	// The snapshot and stats sidecar are now unreferenced; best-effort
+	// removal (Open GCs leftovers).
 	_ = os.Remove(filepath.Join(s.dir, snapFileName(gen)))
+	_ = os.Remove(filepath.Join(s.dir, statsFileName(gen)))
+	return nil
+}
+
+// writeSidecar writes arbitrary sidecar bytes next to a snapshot with the
+// same temp-write/fsync/rename discipline.
+func (s *Store) writeSidecar(fileName string, gen uint64, data []byte) error {
+	tmp := filepath.Join(s.dir, fmt.Sprintf(".tmp-stats-%016x", gen))
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: creating sidecar temp file: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("persist: writing sidecar: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("persist: syncing sidecar: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("persist: closing sidecar: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, fileName)); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("persist: publishing sidecar: %w", err)
+	}
+	s.syncDir()
 	return nil
 }
 

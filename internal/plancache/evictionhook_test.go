@@ -1,0 +1,89 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestEvictionHookFiresOnBudgetPressure(t *testing.T) {
+	c := New(numShards * 64) // 64 bytes per shard
+	var mu sync.Mutex
+	var got []Key
+	c.SetEvictionHook(func(k Key) {
+		mu.Lock()
+		got = append(got, k)
+		mu.Unlock()
+	})
+	// Same shard guaranteed by inserting many keys: enough of them land
+	// together to exceed a 64-byte shard budget at 40 bytes each.
+	for i := 0; i < 64; i++ {
+		c.Put(Key{QueryHash: fmt.Sprintf("q%02d", i), Strategy: "generic", DBGen: 3}, i, 40)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) == 0 {
+		t.Fatal("no eviction hook calls despite budget pressure")
+	}
+	if int(c.Stats().Evictions) != len(got) {
+		t.Errorf("hook calls (%d) disagree with eviction counter (%d)", len(got), c.Stats().Evictions)
+	}
+	for _, k := range got {
+		if k.DBGen != 3 {
+			t.Errorf("unexpected evicted key %+v", k)
+		}
+	}
+}
+
+func TestEvictionHookSilentOnReplaceDelete(t *testing.T) {
+	c := New(1 << 20)
+	calls := 0
+	c.SetEvictionHook(func(Key) { calls++ })
+	k := Key{QueryHash: "q", Strategy: "generic", DBGen: 1}
+	c.Put(k, 1, 100)
+	c.Put(k, 2, 100) // replace
+	c.Delete(k)
+	if calls != 0 {
+		t.Errorf("hook fired %d times on caller-initiated removals", calls)
+	}
+}
+
+// TestEvictionHookFiresOnInvalidate: dropping a generation is an
+// eviction from the database's point of view — the hook sees every key
+// and the eviction counter includes them, so the per-database counters
+// attribute re-registrations correctly.
+func TestEvictionHookFiresOnInvalidate(t *testing.T) {
+	c := New(1 << 20)
+	var got []Key
+	c.SetEvictionHook(func(k Key) { got = append(got, k) })
+	c.Put(Key{QueryHash: "q1", Strategy: "generic", DBGen: 1}, 1, 100)
+	c.Put(Key{QueryHash: "q2", Strategy: "auto", DBGen: 1}, 2, 100)
+	c.Put(Key{QueryHash: "q1", Strategy: "generic", DBGen: 0}, 3, 100)
+	if n := c.InvalidateGeneration(1); n != 2 {
+		t.Fatalf("invalidated %d entries, want 2", n)
+	}
+	if len(got) != 2 {
+		t.Fatalf("hook saw %d keys, want 2: %+v", len(got), got)
+	}
+	for _, k := range got {
+		if k.DBGen != 1 {
+			t.Errorf("hook saw gen-%d key %+v, want only gen 1", k.DBGen, k)
+		}
+	}
+	if ev := c.Stats().Evictions; ev != 2 {
+		t.Errorf("eviction counter = %d, want 2 (invalidations count)", ev)
+	}
+}
+
+func TestEvictionHookClear(t *testing.T) {
+	c := New(numShards * 64)
+	calls := 0
+	c.SetEvictionHook(func(Key) { calls++ })
+	c.SetEvictionHook(nil)
+	for i := 0; i < 64; i++ {
+		c.Put(Key{QueryHash: fmt.Sprintf("q%02d", i)}, i, 40)
+	}
+	if calls != 0 {
+		t.Errorf("cleared hook still fired %d times", calls)
+	}
+}

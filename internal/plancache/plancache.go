@@ -80,6 +80,12 @@ type Cache struct {
 	misses    atomic.Uint64
 	evictions atomic.Uint64
 	rejected  atomic.Uint64
+
+	// evictionHook, when set, observes the key of every budget- or
+	// ledger-driven eviction (not replaces, deletes, or generation
+	// invalidations — those are caller-initiated removals, not pressure).
+	// Invoked outside the shard mutex; see SetEvictionHook.
+	evictionHook atomic.Pointer[func(Key)]
 }
 
 // entry is one cached value in a shard's intrusive LRU list.
@@ -134,6 +140,32 @@ func (c *Cache) SetLedger(l Ledger) {
 		s.mu.Lock()
 		s.ledger = l
 		s.mu.Unlock()
+	}
+}
+
+// SetEvictionHook registers fn to be called with the key of every entry
+// evicted under byte-budget or ledger pressure, or dropped by
+// InvalidateGeneration. The query server uses it
+// to attribute evictions to databases (by generation) for the per-database
+// cache counters. fn runs after the shard mutex is released and must be
+// cheap and non-blocking; it may be called concurrently. Passing nil
+// clears the hook.
+func (c *Cache) SetEvictionHook(fn func(Key)) {
+	if fn == nil {
+		c.evictionHook.Store(nil)
+		return
+	}
+	c.evictionHook.Store(&fn)
+}
+
+func (c *Cache) notifyEvicted(keys []Key) {
+	if len(keys) == 0 {
+		return
+	}
+	if fn := c.evictionHook.Load(); fn != nil {
+		for _, k := range keys {
+			(*fn)(k)
+		}
 	}
 }
 
@@ -199,7 +231,7 @@ func (c *Cache) Put(k Key, v any, sizeBytes int) {
 		c.rejected.Add(1)
 		return
 	}
-	evicted := 0
+	var evictedKeys []Key
 	if e, ok := s.items[k]; ok {
 		// Replace: retire the old value first so its ledger bytes are
 		// available to the acquisition below. Not counted as an eviction —
@@ -214,13 +246,14 @@ func (c *Cache) Put(k Key, v any, sizeBytes int) {
 	for s.ledger != nil && !s.ledger.TryAcquire(size) {
 		if s.tail == nil {
 			s.mu.Unlock()
-			if evicted > 0 {
-				c.evictions.Add(uint64(evicted))
+			if len(evictedKeys) > 0 {
+				c.evictions.Add(uint64(len(evictedKeys)))
+				c.notifyEvicted(evictedKeys)
 			}
 			c.rejected.Add(1)
 			return
 		}
-		evicted++
+		evictedKeys = append(evictedKeys, s.tail.key)
 		s.removeLocked(s.tail)
 	}
 	e := &entry{key: k, val: v, size: size}
@@ -228,12 +261,13 @@ func (c *Cache) Put(k Key, v any, sizeBytes int) {
 	s.pushFront(e)
 	s.bytes += size
 	for s.bytes > s.budget && s.tail != e {
-		evicted++
+		evictedKeys = append(evictedKeys, s.tail.key)
 		s.removeLocked(s.tail)
 	}
 	s.mu.Unlock()
-	if evicted > 0 {
-		c.evictions.Add(uint64(evicted))
+	if len(evictedKeys) > 0 {
+		c.evictions.Add(uint64(len(evictedKeys)))
+		c.notifyEvicted(evictedKeys)
 	}
 }
 
@@ -249,21 +283,28 @@ func (c *Cache) Delete(k Key) {
 
 // InvalidateGeneration drops every entry built against the given database
 // generation (used when a named database is replaced or dropped; the
-// db-independent gen-0 plans survive). Returns the number dropped.
+// db-independent gen-0 plans survive). Returns the number dropped. The
+// drops count as evictions and are reported to the eviction hook — to
+// the database they are exactly that, work discarded before its natural
+// retirement — so the per-database counters see re-registrations too.
 func (c *Cache) InvalidateGeneration(gen uint64) int {
-	dropped := 0
+	var evictedKeys []Key
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
 		for k, e := range s.items {
 			if k.DBGen == gen {
 				s.removeLocked(e)
-				dropped++
+				evictedKeys = append(evictedKeys, k)
 			}
 		}
 		s.mu.Unlock()
 	}
-	return dropped
+	if len(evictedKeys) > 0 {
+		c.evictions.Add(uint64(len(evictedKeys)))
+		c.notifyEvicted(evictedKeys)
+	}
+	return len(evictedKeys)
 }
 
 // Stats snapshots the counters and current occupancy.

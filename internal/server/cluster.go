@@ -46,6 +46,7 @@ import (
 	"ecrpq/internal/govern"
 	"ecrpq/internal/graphdb"
 	"ecrpq/internal/persist"
+	"ecrpq/internal/stats"
 	"ecrpq/internal/trace"
 )
 
@@ -145,8 +146,11 @@ func (s *Server) routeWrite(w http.ResponseWriter, r *http.Request, name string)
 }
 
 // shipRegister queues a committed register/replace for push replication.
-// Called from doRegister under persistMu; no-op in single-node mode.
-func (s *Server) shipRegister(name string, gen uint64, at time.Time, db *graphdb.DB) {
+// The statistics catalog rides along so replicas plan from the owner's
+// catalog (byte-identical costs → identical EXPLAIN output cluster-wide)
+// instead of recomputing. Called from doRegister under persistMu; no-op
+// in single-node mode.
+func (s *Server) shipRegister(name string, gen uint64, at time.Time, db *graphdb.DB, statsJSON []byte) {
 	st := s.clu.Load()
 	if st == nil {
 		return
@@ -154,6 +158,7 @@ func (s *Server) shipRegister(name string, gen uint64, at time.Time, db *graphdb
 	s.enqueueShip(st, client.ReplicateRecord{
 		Op: "register", Name: name, Gen: gen,
 		UnixNano: at.UnixNano(), Snapshot: persist.EncodeSnapshot(db),
+		Stats: statsJSON,
 	})
 }
 
@@ -344,14 +349,28 @@ func (s *Server) applyReplicated(ctx context.Context, rec client.ReplicateRecord
 		if e, ok := s.dbs.get(rec.Name); ok && e.gen >= rec.Gen {
 			return false, "stale", nil
 		}
+		// Prefer the owner's shipped catalog (a replica must cost plans
+		// exactly as the owner does); recompute locally only when the ship
+		// predates stats or the payload is unusable.
+		var cat *stats.Catalog
+		if len(rec.Stats) > 0 {
+			if dec, derr := stats.Decode(rec.Stats); derr == nil && dec.Generation == rec.Gen {
+				cat = dec
+			}
+		}
+		if cat == nil {
+			cat = s.computeStats(ctx, db, rec.Gen)
+		}
 		if s.store != nil {
-			if err := s.store.AppendRegisterContext(ctx, rec.Name, rec.Gen, at, db); err != nil {
+			if err := s.store.AppendRegisterWithStats(ctx, rec.Name, rec.Gen, at, db, rec.Stats); err != nil {
 				return false, "", fmt.Errorf("replicate: persisting %q: %w", rec.Name, err)
 			}
 		}
-		_, replacedGen, replaced := s.dbs.installWithGen(rec.Name, db, rec.Gen, at)
+		_, replacedGen, replaced := s.dbs.installWithGen(rec.Name, db, rec.Gen, at, cat)
+		s.noteGenName(rec.Gen, rec.Name)
 		if replaced {
 			s.cache.InvalidateGeneration(replacedGen)
+			s.dropGenName(replacedGen)
 		}
 		return true, "", nil
 	case "drop":
@@ -369,6 +388,7 @@ func (s *Server) applyReplicated(ctx context.Context, rec client.ReplicateRecord
 		gen, dropped := s.dbs.drop(rec.Name)
 		if dropped {
 			s.cache.InvalidateGeneration(gen)
+			s.dropGenName(gen)
 		}
 		return dropped, "", nil
 	default:
@@ -469,13 +489,17 @@ func (s *Server) handleReplicatePull(w http.ResponseWriter, r *http.Request) {
 		if !caller || req.Have[e.name] >= e.gen {
 			continue
 		}
-		resp.Records = append(resp.Records, client.ReplicateRecord{
+		rec := client.ReplicateRecord{
 			Op:       "register",
 			Name:     e.name,
 			Gen:      e.gen,
 			UnixNano: e.registeredAt.UnixNano(),
 			Snapshot: persist.EncodeSnapshot(e.db),
-		})
+		}
+		if e.stats != nil {
+			rec.Stats = e.stats.Encode()
+		}
+		resp.Records = append(resp.Records, rec)
 	}
 	for name := range req.Have {
 		if c.Owner(name).ID != self {
@@ -631,6 +655,22 @@ func (s *Server) forwardQuery(ctx context.Context, c *cluster.Cluster, w http.Re
 		cctx, cancel := context.WithTimeout(fctx, s.forwardTimeout(req.TimeoutMs))
 		defer cancel()
 		return cl.Query(cctx, creq)
+	})
+}
+
+// forwardExplain proxies a /v1/explain for a database this node does not
+// hold. The serving holder plans from its local (replicated) catalog; the
+// catalog replicates byte-identically with the registration, so the
+// answer matches what the owner would say.
+func (s *Server) forwardExplain(ctx context.Context, c *cluster.Cluster, w http.ResponseWriter, req explainRequest) {
+	creq := client.ExplainRequest{
+		DB: req.DB, Query: req.Query, Strategy: req.Strategy,
+		Execute: req.Execute, TimeoutMs: req.TimeoutMs, Forwarded: true,
+	}
+	s.forward(ctx, c, w, req.DB, func(fctx context.Context, cl *client.Client) (any, error) {
+		cctx, cancel := context.WithTimeout(fctx, s.forwardTimeout(req.TimeoutMs))
+		defer cancel()
+		return cl.Explain(cctx, creq)
 	})
 }
 

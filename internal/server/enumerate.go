@@ -243,7 +243,11 @@ func (s *Server) enumerate(ctx context.Context, entry *dbEntry, q *query.Query, 
 	start := time.Now()
 	tr := trace.FromContext(ctx)
 	tr.SetStr("query_hash", hash)
-	prepared, resolved, cacheState, err := s.preparedPlan(ctx, q, hash, strat, stratName, s.coreOptions(strat))
+	// The planner's decision (not its hints) applies here: strategy choice
+	// is deterministic per generation, so the public enumeration order
+	// stays cursor-stable, while ordering/pushdown hints are withheld —
+	// they must never perturb the order pages are defined over.
+	prepared, _, resolved, cacheState, err := s.preparedPlan(ctx, entry, q, hash, strat, stratName, s.coreOptions(strat))
 	if err != nil {
 		return nil, err
 	}
@@ -254,6 +258,7 @@ func (s *Server) enumerate(ctx context.Context, entry *dbEntry, q *query.Query, 
 	} else {
 		s.mCacheMisses.Inc()
 	}
+	s.noteDBCacheRequest(entry.name, cacheState == "hit")
 
 	it, err := prepared.Enumerate(ctx, entry.db)
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"ecrpq/internal/graphdb"
 	"ecrpq/internal/invariant"
 	"ecrpq/internal/plancache"
+	"ecrpq/internal/planner"
 	"ecrpq/internal/query"
 	"ecrpq/internal/trace"
 )
@@ -519,45 +520,87 @@ func (s *Server) degradedAnswer(w http.ResponseWriter, tr *trace.Trace, q *query
 	return true
 }
 
+// planDecision resolves "auto" for (q, entry) through the cost-based
+// planner and memoizes the result under the "auto" pseudo-strategy at the
+// entry's generation — the decision depends on the statistics catalog, so
+// a re-registered database (new generation, new stats) naturally
+// invalidates it, while repeat queries skip Explain and Resolve entirely.
+// With no catalog the planner falls back to the fixed track-count rule
+// (Decision.UsedFallback), keeping execution and EXPLAIN in agreement
+// either way.
+func (s *Server) planDecision(ctx context.Context, entry *dbEntry, q *query.Query, hash string) (*planner.Decision, error) {
+	key := plancache.Key{QueryHash: hash, Strategy: "auto", DBGen: entry.gen}
+	if v, ok := s.cacheGet(ctx, key); ok {
+		if d, ok := v.(*planner.Decision); ok {
+			return d, nil
+		}
+	}
+	_, sp := trace.StartSpan(ctx, "planner/resolve")
+	plan, err := core.Explain(q, s.coreOptions(core.Auto))
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	d := planner.Resolve(entry.stats, plan, s.coreOptions(core.Auto), s.cfg.Planner)
+	sp.End()
+	size := 256 + 8*len(d.ComponentOrder) + 128*len(d.Stages)
+	s.cachePut(ctx, key, d, size)
+	return d, nil
+}
+
 // preparedPlan resolves the compiled plan for (q, strat) through the
-// plan cache. Plans are keyed by the *resolved* strategy, so the same
-// query requested via "auto" and via the strategy auto picks shares one
-// plan (resolution depends only on the query, so this is sound). The
-// auto→resolved mapping is itself memoized under the "auto"
-// pseudo-strategy; a warm auto request therefore still skips Prepare.
-// cacheState is "hit" or "miss"; db-generational artifacts
-// (materializations) are the caller's concern.
-func (s *Server) preparedPlan(ctx context.Context, q *query.Query, hash string, strat core.Strategy, stratName string, opts core.Options) (prepared *core.Prepared, resolved, cacheState string, err error) {
-	planKeyFor := func(name string) plancache.Key {
-		return plancache.Key{QueryHash: hash, Strategy: name, DBGen: 0}
-	}
+// plan cache. "auto" goes through the cost-based planner (planDecision);
+// the returned Decision is non-nil exactly in that case, so callers can
+// apply its ordering and pushdown hints and EXPLAIN can report the same
+// resolution execution used. Plans are keyed by the *resolved* strategy
+// at generation 0 (compilation is db-independent), so the same query
+// requested via "auto" and via the strategy the planner picks shares one
+// plan. cacheState is "hit" or "miss" for the compiled plan;
+// db-generational artifacts (materializations) are the caller's concern.
+func (s *Server) preparedPlan(ctx context.Context, entry *dbEntry, q *query.Query, hash string, strat core.Strategy, stratName string, opts core.Options) (prepared *core.Prepared, dec *planner.Decision, resolved, cacheState string, err error) {
 	resolved = stratName
-	resolvedKnown := strat != core.Auto
-	if !resolvedKnown {
-		if v, ok := s.cacheGet(ctx, planKeyFor("auto")); ok {
-			resolved, resolvedKnown = v.(string), true
+	if strat == core.Auto {
+		d, derr := s.planDecision(ctx, entry, q, hash)
+		if derr != nil {
+			return nil, nil, "", "", derr
 		}
+		dec = d
+		resolved = d.Strategy.String()
+		opts.Strategy = d.Strategy
 	}
+	planKey := plancache.Key{QueryHash: hash, Strategy: resolved, DBGen: 0}
 	cacheState = "hit"
-	if resolvedKnown {
-		if v, ok := s.cacheGet(ctx, planKeyFor(resolved)); ok {
-			prepared = v.(*core.Prepared)
-		}
+	if v, ok := s.cacheGet(ctx, planKey); ok {
+		prepared = v.(*core.Prepared)
 	}
 	if prepared == nil {
 		cacheState = "miss"
 		p, perr := core.PrepareContext(ctx, q, opts)
 		if perr != nil {
-			return nil, "", "", perr
+			return nil, nil, "", "", perr
 		}
 		prepared = p
-		resolved = p.Strategy().String()
-		s.cachePut(ctx, planKeyFor(resolved), p, p.MemBytes())
-		if strat == core.Auto {
-			s.cachePut(ctx, planKeyFor("auto"), resolved, len(hash)+len(resolved))
-		}
+		s.cachePut(ctx, planKey, p, p.MemBytes())
 	}
-	return prepared, resolved, cacheState, nil
+	return prepared, dec, resolved, cacheState, nil
+}
+
+// planHints turns a planner decision into evaluation hints for one
+// database. Only the Generic strategy consumes hints (ordering and
+// source-vertex pushdown); for Reduction the decision already did its job
+// by picking the strategy.
+func (s *Server) planHints(dec *planner.Decision, prepared *core.Prepared, db *graphdb.DB) *core.PlanHints {
+	if dec == nil || prepared.Strategy() != core.Generic {
+		return nil
+	}
+	h := &core.PlanHints{ComponentOrder: dec.ComponentOrder}
+	if dec.Pushdown {
+		h.Candidates = prepared.PushdownCandidates(db)
+	}
+	if h.ComponentOrder == nil && h.Candidates == nil {
+		return nil
+	}
+	return h
 }
 
 // evaluate runs on a pool worker: plan-cache lookup/population, then
@@ -598,7 +641,7 @@ func (s *Server) evaluate(ctx context.Context, entry *dbEntry, q *query.Query, s
 		}, nil
 	}
 
-	prepared, resolved, cacheState, err := s.preparedPlan(ctx, q, hash, strat, stratName, opts)
+	prepared, dec, resolved, cacheState, err := s.preparedPlan(ctx, entry, q, hash, strat, stratName, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -631,8 +674,9 @@ func (s *Server) evaluate(ctx context.Context, entry *dbEntry, q *query.Query, s
 	} else {
 		s.mCacheMisses.Inc()
 	}
+	s.noteDBCacheRequest(entry.name, cacheState == "hit")
 
-	res, err := prepared.EvaluateContext(ctx, entry.db, mat)
+	res, err := prepared.EvaluateContextHinted(ctx, entry.db, mat, s.planHints(dec, prepared, entry.db))
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ecrpq/internal/graphdb"
+	"ecrpq/internal/stats"
 )
 
 // dbEntry is one registered database. Entries are immutable once
@@ -17,6 +18,11 @@ type dbEntry struct {
 	db           *graphdb.DB
 	gen          uint64
 	registeredAt time.Time
+	// stats is the statistics catalog computed (or replicated) for this
+	// registration, feeding the cost-based planner. nil means "no
+	// statistics" — the planner falls back to the fixed auto rule, so a
+	// failed or skipped stats computation never blocks registration.
+	stats *stats.Catalog
 }
 
 // dbRegistry is the named-database table: concurrent register / replace /
@@ -38,7 +44,7 @@ func newDBRegistry() *dbRegistry {
 // returns the new entry and, when a previous entry was replaced, its
 // generation (for cache invalidation).
 func (r *dbRegistry) register(name string, db *graphdb.DB) (entry *dbEntry, replacedGen uint64, replaced bool) {
-	return r.installWithGen(name, db, r.allocGen(), time.Now())
+	return r.installWithGen(name, db, r.allocGen(), time.Now(), nil)
 }
 
 // allocGen reserves the next generation. Splitting allocation from
@@ -56,7 +62,7 @@ func (r *dbRegistry) allocGen() uint64 {
 // journal-replayed) generation. The counter is bumped to at least gen so
 // generations stay globally monotonic across restarts — which is what
 // keeps plan-cache invalidation correct after a reload.
-func (r *dbRegistry) installWithGen(name string, db *graphdb.DB, gen uint64, at time.Time) (entry *dbEntry, replacedGen uint64, replaced bool) {
+func (r *dbRegistry) installWithGen(name string, db *graphdb.DB, gen uint64, at time.Time, cat *stats.Catalog) (entry *dbEntry, replacedGen uint64, replaced bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if old, ok := r.entries[name]; ok {
@@ -65,7 +71,7 @@ func (r *dbRegistry) installWithGen(name string, db *graphdb.DB, gen uint64, at 
 	if gen > r.nextGen {
 		r.nextGen = gen
 	}
-	entry = &dbEntry{name: name, db: db, gen: gen, registeredAt: at}
+	entry = &dbEntry{name: name, db: db, gen: gen, registeredAt: at, stats: cat}
 	r.entries[name] = entry
 	return entry, replacedGen, replaced
 }

@@ -42,7 +42,9 @@ import (
 	"ecrpq/internal/invariant"
 	"ecrpq/internal/persist"
 	"ecrpq/internal/plancache"
+	"ecrpq/internal/planner"
 	"ecrpq/internal/server/metrics"
+	"ecrpq/internal/stats"
 	"ecrpq/internal/trace"
 )
 
@@ -117,6 +119,14 @@ type Config struct {
 	EnumerateDefaultLimit int
 	// EnumerateMaxLimit caps any requested page size (default 1000).
 	EnumerateMaxLimit int
+	// DisableStats skips statistics-catalog computation at register time.
+	// Databases registered without statistics resolve "auto" by the fixed
+	// track-count rule instead of the cost model (the pre-planner
+	// behaviour) — useful for benchmarking the planner against its absence
+	// and as an escape hatch for very large registrations.
+	DisableStats bool
+	// Planner tunes the cost-based planner (zero value = defaults).
+	Planner planner.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -231,6 +241,16 @@ type Server struct {
 	mEnumerates     *metrics.Counter   // /v1/enumerate pages served or attempted
 	mStaleCursors   *metrics.Counter   // enumerate cursors refused: database re-registered
 
+	// Per-database plan-cache attribution. dbCacheMu guards both maps:
+	// dbCache accumulates hit/miss/eviction counts per database name, and
+	// genNames maps a live generation to its database name so the cache's
+	// eviction hook (which only sees keys) can attribute generation-keyed
+	// evictions. Gen-0 (db-independent plan) evictions are attributed to
+	// the pseudo-database "" and not rendered.
+	dbCacheMu sync.Mutex
+	dbCache   map[string]*dbCacheCounters
+	genNames  map[uint64]string
+
 	mForwards       *metrics.Counter // reads answered by another holder (incl. typed refusals)
 	mForwardErrors  *metrics.Counter // forward attempts that failed at the transport level
 	mRedirects      *metrics.Counter // writes 307-redirected to the owning node
@@ -249,12 +269,14 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		dbs:     newDBRegistry(),
-		cache:   plancache.New(cfg.CacheBudgetBytes),
-		mux:     http.NewServeMux(),
-		reg:     metrics.NewRegistry(),
-		started: time.Now(),
+		cfg:      cfg,
+		dbs:      newDBRegistry(),
+		cache:    plancache.New(cfg.CacheBudgetBytes),
+		mux:      http.NewServeMux(),
+		reg:      metrics.NewRegistry(),
+		started:  time.Now(),
+		dbCache:  make(map[string]*dbCacheCounters),
+		genNames: make(map[uint64]string),
 	}
 	// One ledger for everything resident: live evaluations reserve from
 	// the broker and the plan cache charges its entries to it, so a cached
@@ -319,6 +341,8 @@ func New(cfg Config) *Server {
 		return fmt.Sprintf(`{"hits":%d,"misses":%d,"evictions":%d,"rejected":%d,"entries":%d,"bytes":%d,"budget":%d,"hit_rate":%.4f}`,
 			st.Hits, st.Misses, st.Evictions, st.Rejected, st.Entries, st.Bytes, st.Budget, st.HitRate())
 	})
+	s.reg.Func("plan_cache_by_db", s.renderDBCache)
+	s.cache.SetEvictionHook(s.onCacheEviction)
 	s.reg.Func("govern", func() string {
 		st := s.broker.Stats()
 		return fmt.Sprintf(`{"budget_bytes":%d,"reserved_bytes":%d,"peak_bytes":%d,"denials":%d}`,
@@ -333,7 +357,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/dbs/{name}", s.wrap(s.handleDropDB))
 	s.mux.HandleFunc("GET /v1/dbs", s.wrap(s.handleListDBs))
 	s.mux.HandleFunc("POST /v1/query", s.wrap(s.handleQuery))
+	s.mux.HandleFunc("POST /v1/explain", s.wrap(s.handleExplain))
 	s.mux.HandleFunc("POST /v1/enumerate", s.wrap(s.handleEnumerate))
+	s.mux.HandleFunc("GET /v1/stats/{name}", s.wrap(s.handleStats))
 	s.mux.HandleFunc("GET /v1/measures", s.wrap(s.handleMeasures))
 	s.mux.HandleFunc("POST /v1/measures", s.wrap(s.handleMeasures))
 	s.mux.HandleFunc("GET /healthz", s.wrap(s.handleHealthz))
@@ -396,9 +422,22 @@ func (s *Server) AttachStore(st *persist.Store) (int, error) {
 	}
 	entries := st.Entries()
 	for _, e := range entries {
-		s.dbs.installWithGen(e.Name, e.DB, e.Gen, e.RegisteredAt)
-		s.cfg.Logger.Printf("event=restore_db name=%s gen=%d vertices=%d",
-			e.Name, e.Gen, e.DB.NumVertices())
+		// Prefer the persisted stats sidecar; recompute when it is absent,
+		// corrupt, or from a different generation (a crash between
+		// snapshot and sidecar leaves the previous generation's file).
+		var cat *stats.Catalog
+		if len(e.Stats) > 0 {
+			if dec, err := stats.Decode(e.Stats); err == nil && dec.Generation == e.Gen {
+				cat = dec
+			}
+		}
+		if cat == nil {
+			cat = s.computeStats(context.Background(), e.DB, e.Gen)
+		}
+		s.dbs.installWithGen(e.Name, e.DB, e.Gen, e.RegisteredAt, cat)
+		s.noteGenName(e.Gen, e.Name)
+		s.cfg.Logger.Printf("event=restore_db name=%s gen=%d vertices=%d stats=%t",
+			e.Name, e.Gen, e.DB.NumVertices(), cat != nil)
 	}
 	s.dbs.bumpGen(st.MaxGen())
 	s.store = st
@@ -416,16 +455,27 @@ func (s *Server) doRegister(ctx context.Context, name string, db *graphdb.DB) (e
 	defer s.persistMu.Unlock()
 	gen := s.dbs.allocGen()
 	at := time.Now()
+	// Statistics are computed before the durability write so the sidecar
+	// and the replication record carry them. A nil catalog (stats disabled
+	// or the ledger refused the transient compute) degrades the planner to
+	// the fixed rule — it never blocks the registration.
+	cat := s.computeStats(ctx, db, gen)
+	var statsJSON []byte
+	if cat != nil {
+		statsJSON = cat.Encode()
+	}
 	if s.store != nil {
-		if err := s.store.AppendRegisterContext(ctx, name, gen, at, db); err != nil {
+		if err := s.store.AppendRegisterWithStats(ctx, name, gen, at, db, statsJSON); err != nil {
 			return nil, false, fmt.Errorf("persisting %q: %w", name, err)
 		}
 	}
-	entry, replacedGen, replaced := s.dbs.installWithGen(name, db, gen, at)
+	entry, replacedGen, replaced := s.dbs.installWithGen(name, db, gen, at, cat)
+	s.noteGenName(gen, name)
 	if replaced {
 		s.cache.InvalidateGeneration(replacedGen)
+		s.dropGenName(replacedGen)
 	}
-	s.shipRegister(name, gen, at, db)
+	s.shipRegister(name, gen, at, db, statsJSON)
 	return entry, replaced, nil
 }
 
@@ -449,6 +499,7 @@ func (s *Server) doDrop(ctx context.Context, name string) (gen uint64, ok bool, 
 	gen, ok = s.dbs.drop(name)
 	if ok {
 		s.cache.InvalidateGeneration(gen)
+		s.dropGenName(gen)
 		s.shipDrop(name, gen)
 	}
 	return gen, ok, nil

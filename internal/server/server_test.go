@@ -405,19 +405,41 @@ func TestRegisterReplaceInvalidatesCache(t *testing.T) {
 func TestAutoSharesResolvedPlan(t *testing.T) {
 	s := newTestServer(t, Config{})
 	registerDB(t, s, "g", denseDBText(12))
-	explicit := map[string]any{"db": "g", "query": slowQuery, "strategy": "reduction"}
 	auto := map[string]any{"db": "g", "query": slowQuery, "strategy": "auto"}
 
-	doJSON(t, s, "POST", "/v1/query", explicit)
-	if st := s.CacheStats(); st.Entries != 2 {
-		t.Fatalf("entries=%d after explicit query, want 2 (plan + materialization)", st.Entries)
+	// Ask the planner what auto resolves to on this database, then pin the
+	// explicit spelling to the same strategy. This also warms the decision
+	// memo ({hash, "auto", gen}), the single cache entry after explain.
+	rec, exp := doJSON(t, s, "POST", "/v1/explain", map[string]any{"db": "g", "query": slowQuery})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("explain: %d %s", rec.Code, rec.Body.String())
 	}
-	// The first auto request resolves the strategy (one Prepare) and
-	// memoizes the resolution; it must reuse the explicit request's
-	// materialization rather than store a second one.
+	resolved, _ := exp["strategy"].(string)
+	if resolved != "generic" && resolved != "reduction" {
+		t.Fatalf("explain strategy = %v, want generic or reduction", exp["strategy"])
+	}
+	if st := s.CacheStats(); st.Entries != 1 {
+		t.Fatalf("entries=%d after explain, want 1 (auto decision memo)", st.Entries)
+	}
+	// The plan is keyed by the resolved strategy; Reduction additionally
+	// caches a per-generation materialization.
+	planEntries := 1
+	if resolved == "reduction" {
+		planEntries = 2
+	}
+	explicit := map[string]any{"db": "g", "query": slowQuery, "strategy": resolved}
+
+	doJSON(t, s, "POST", "/v1/query", explicit)
+	if st := s.CacheStats(); st.Entries != 1+planEntries {
+		t.Fatalf("entries=%d after explicit query, want %d (decision memo + plan artifacts)",
+			st.Entries, 1+planEntries)
+	}
+	// The auto request must reuse the explicit request's plan (and
+	// materialization) rather than store duplicates under another key.
 	doJSON(t, s, "POST", "/v1/query", auto)
-	if st := s.CacheStats(); st.Entries != 3 {
-		t.Fatalf("entries=%d after auto query, want 3 (plan + materialization + auto memo)", st.Entries)
+	if st := s.CacheStats(); st.Entries != 1+planEntries {
+		t.Fatalf("entries=%d after auto query, want %d still (everything shared)",
+			st.Entries, 1+planEntries)
 	}
 	rec, out := doJSON(t, s, "POST", "/v1/query", auto)
 	if rec.Code != http.StatusOK {
@@ -426,15 +448,15 @@ func TestAutoSharesResolvedPlan(t *testing.T) {
 	if out["cache"] != "hit" {
 		t.Errorf("warm auto query cache=%v, want hit", out["cache"])
 	}
-	if out["strategy"] != "reduction" {
-		t.Errorf("warm auto query strategy=%v, want reduction", out["strategy"])
+	if out["strategy"] != resolved {
+		t.Errorf("warm auto query strategy=%v, want %s", out["strategy"], resolved)
 	}
 	// And the explicit spelling stays warm too — same underlying entries.
 	if _, out := doJSON(t, s, "POST", "/v1/query", explicit); out["cache"] != "hit" {
 		t.Errorf("explicit query after auto cache=%v, want hit", out["cache"])
 	}
-	if st := s.CacheStats(); st.Entries != 3 {
-		t.Errorf("entries=%d after warm queries, want 3 still", st.Entries)
+	if st := s.CacheStats(); st.Entries != 1+planEntries {
+		t.Errorf("entries=%d after warm queries, want %d still", st.Entries, 1+planEntries)
 	}
 }
 

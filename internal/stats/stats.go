@@ -1,0 +1,277 @@
+// Package stats maintains per-database statistics catalogs for the
+// cost-based planner (internal/planner). A Catalog is computed once at
+// register/ingest time, versioned by the database generation, persisted as
+// a sidecar next to the snapshot (internal/persist), shipped with the
+// replication record (internal/server cluster mode), and served at
+// GET /v1/stats/{db}.
+//
+// Everything in a Catalog is database-sized-or-smaller and deterministic:
+// reachability selectivities are estimated by BFS from a fixed-seed sample
+// of source vertices, so owner and replica compute byte-identical catalogs
+// for the same graph and generation — which is what makes "replica EXPLAIN
+// matches owner EXPLAIN" testable.
+package stats
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/bits"
+
+	"ecrpq/internal/govern"
+	"ecrpq/internal/graphdb"
+)
+
+// maxSampledSources bounds the number of BFS source samples used for
+// reachability selectivity estimation.
+const maxSampledSources = 32
+
+// LabelStats holds the per-label statistics of one edge label.
+type LabelStats struct {
+	// Label is the label name (alphabet symbol name).
+	Label string `json:"label"`
+	// Count is the number of edges carrying this label.
+	Count int `json:"count"`
+	// DistinctSrc / DistinctDst count distinct endpoint vertices with at
+	// least one out-/in-edge of this label. DistinctSrc/|V| is exactly the
+	// selectivity of the planner's first-label pushdown for this label.
+	DistinctSrc int `json:"distinct_src"`
+	DistinctDst int `json:"distinct_dst"`
+	// ReachSelectivity estimates Pr[v reachable from u] over uniform (u,v)
+	// when only edges of this label may be traversed, sampled by BFS from
+	// SampledSources fixed-seed sources (1.0 on an empty graph by
+	// convention is never emitted; empty graphs get 0).
+	ReachSelectivity float64 `json:"reach_selectivity"`
+}
+
+// Catalog is the statistics catalog of one registered database at one
+// generation. It is immutable after Compute and safe for concurrent use.
+type Catalog struct {
+	// Generation is the registry generation this catalog describes. A
+	// catalog is valid for exactly one generation: re-registering a
+	// database recomputes its catalog.
+	Generation uint64 `json:"generation"`
+	Vertices   int    `json:"vertices"`
+	Edges      int    `json:"edges"`
+	// Labels has one entry per alphabet symbol, in alphabet order (also
+	// the count of single-letter DFAs the planner prices: each label's
+	// one-state recognizer).
+	Labels []LabelStats `json:"labels"`
+	// OutDegreeHist / InDegreeHist are log2-bucketed degree histograms:
+	// bucket 0 counts degree-0 vertices, bucket i ≥ 1 counts vertices with
+	// degree in [2^(i-1), 2^i).
+	OutDegreeHist []int `json:"out_degree_hist"`
+	InDegreeHist  []int `json:"in_degree_hist"`
+	// AnyReachSelectivity estimates Pr[v reachable from u] over uniform
+	// (u,v) with any-label edges, from the same source sample.
+	AnyReachSelectivity float64 `json:"any_reach_selectivity"`
+	// SampledSources is how many BFS sources the selectivities average
+	// over (min(32, |V|), deterministically chosen).
+	SampledSources int `json:"sampled_sources"`
+}
+
+// catalogRowBytes approximates the retained size of one LabelStats row
+// plus its share of the histogram slices.
+const catalogRowBytes = 96
+
+// MemBytes approximates the retained size of the catalog, for govern
+// ledger charging and cache budgeting.
+func (c *Catalog) MemBytes() int {
+	if c == nil {
+		return 0
+	}
+	return 256 + catalogRowBytes*len(c.Labels) + 8*(len(c.OutDegreeHist)+len(c.InDegreeHist))
+}
+
+// Encode serializes the catalog for the persist sidecar and the
+// replication record.
+func (c *Catalog) Encode() []byte {
+	b, err := json.Marshal(c)
+	if err != nil {
+		// Catalog marshals unconditionally; json.Marshal cannot fail here.
+		return nil
+	}
+	return b
+}
+
+// Decode parses an encoded catalog.
+func Decode(b []byte) (*Catalog, error) {
+	var c Catalog
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("stats: decoding catalog: %w", err)
+	}
+	return &c, nil
+}
+
+// degreeBucket maps a degree to its log2 histogram bucket.
+func degreeBucket(d int) int {
+	if d <= 0 {
+		return 0
+	}
+	return bits.Len(uint(d))
+}
+
+// sampleSources picks min(maxSampledSources, n) distinct vertices with a
+// fixed-constant-seed linear congruential generator. Deterministic across
+// processes and platforms so replicas recompute identical catalogs.
+func sampleSources(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	k := maxSampledSources
+	if n <= k {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	// Fisher–Yates over a virtual 0..n-1 with an LCG (Numerical Recipes
+	// constants); only the first k positions are materialized.
+	const (
+		lcgMul = 1664525
+		lcgAdd = 1013904223
+	)
+	state := uint32(0x9e3779b9)
+	next := func(bound int) int {
+		state = state*lcgMul + lcgAdd
+		return int(uint64(state) * uint64(bound) >> 32)
+	}
+	picked := make(map[int]int, k) // virtual index → value after swaps
+	out := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		j := i + next(n-i)
+		vi, ok := picked[i]
+		if !ok {
+			vi = i
+		}
+		vj, ok := picked[j]
+		if !ok {
+			vj = j
+		}
+		out = append(out, vj)
+		picked[j] = vi
+	}
+	return out
+}
+
+// bfsCount returns how many vertices (including u itself) are reachable
+// from u following only edges accepted by allow.
+func bfsCount(db *graphdb.DB, u int, allow func(graphdb.Edge) bool, seen []bool, queue []int) int {
+	for i := range seen {
+		seen[i] = false
+	}
+	seen[u] = true
+	queue = queue[:0]
+	queue = append(queue, u)
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range db.Out(v) {
+			if !seen[e.To] && allow(e) {
+				seen[e.To] = true
+				count++
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return count
+}
+
+// Compute builds the statistics catalog for db at the given generation. It
+// charges the retained catalog size to the context's govern reservation
+// (no-op when none is attached) and polls ctx between BFS samples.
+func Compute(ctx context.Context, db *graphdb.DB, gen uint64) (*Catalog, error) {
+	a := db.Alphabet()
+	n := db.NumVertices()
+	c := &Catalog{
+		Generation: gen,
+		Vertices:   n,
+		Edges:      db.NumEdges(),
+		Labels:     make([]LabelStats, a.Size()),
+	}
+	for i := range c.Labels {
+		c.Labels[i].Label = a.Name(a.Symbols()[i])
+	}
+
+	outHist := make([]int, degreeBucket(n)+1)
+	inHist := make([]int, degreeBucket(n)+1)
+	srcSeen := make([][]bool, a.Size())
+	dstSeen := make([][]bool, a.Size())
+	for i := range srcSeen {
+		srcSeen[i] = make([]bool, n)
+		dstSeen[i] = make([]bool, n)
+	}
+	maxOut, maxIn := 0, 0
+	for v := 0; v < n; v++ {
+		out := db.Out(v)
+		in := db.In(v)
+		outHist[degreeBucket(len(out))]++
+		inHist[degreeBucket(len(in))]++
+		if len(out) > maxOut {
+			maxOut = len(out)
+		}
+		if len(in) > maxIn {
+			maxIn = len(in)
+		}
+		for _, e := range out {
+			l := int(e.Label)
+			c.Labels[l].Count++
+			if !srcSeen[l][v] {
+				srcSeen[l][v] = true
+				c.Labels[l].DistinctSrc++
+			}
+			if !dstSeen[l][e.To] {
+				dstSeen[l][e.To] = true
+				c.Labels[l].DistinctDst++
+			}
+		}
+	}
+	c.OutDegreeHist = outHist[:degreeBucket(maxOut)+1]
+	c.InDegreeHist = inHist[:degreeBucket(maxIn)+1]
+
+	// Sampled reachability selectivities: any-label plus one restricted
+	// BFS per label, all from the same deterministic source sample.
+	sources := sampleSources(n)
+	c.SampledSources = len(sources)
+	if n > 0 && len(sources) > 0 {
+		seen := make([]bool, n)
+		queue := make([]int, 0, n)
+		anyTotal := 0
+		labelTotal := make([]int, a.Size())
+		for _, u := range sources {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			anyTotal += bfsCount(db, u, func(graphdb.Edge) bool { return true }, seen, queue)
+			for l := range labelTotal {
+				sym := a.Symbols()[l]
+				labelTotal[l] += bfsCount(db, u, func(e graphdb.Edge) bool { return e.Label == sym }, seen, queue)
+			}
+		}
+		denom := float64(len(sources)) * float64(n)
+		c.AnyReachSelectivity = float64(anyTotal) / denom
+		for l := range c.Labels {
+			c.Labels[l].ReachSelectivity = float64(labelTotal[l]) / denom
+		}
+	}
+
+	if err := govern.FromContext(ctx).Grow(int64(c.MemBytes())); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// LabelByName returns the stats row for a label name.
+func (c *Catalog) LabelByName(name string) (LabelStats, bool) {
+	if c == nil {
+		return LabelStats{}, false
+	}
+	for _, l := range c.Labels {
+		if l.Label == name {
+			return l, true
+		}
+	}
+	return LabelStats{}, false
+}
