@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint lint-json vet fuzz-smoke bench server-test chaos trace-gate govern-gate stream-gate cluster-gate plan-gate ci
+.PHONY: all build test race lint lint-json vet fuzz-smoke bench server-test chaos trace-gate govern-gate stream-gate cluster-gate plan-gate integrity-gate ci
 
 all: build test
 
@@ -36,6 +36,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseUnion -fuzztime $(FUZZTIME) ./internal/query/
 	$(GO) test -run '^$$' -fuzz FuzzParseCompile -fuzztime $(FUZZTIME) ./internal/rex/
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotRoundTrip -fuzztime $(FUZZTIME) ./internal/persist/
+	$(GO) test -run '^$$' -fuzz FuzzDigestCodec -fuzztime $(FUZZTIME) ./internal/integrity/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -112,7 +113,20 @@ plan-gate:
 	$(GO) run ./cmd/ecrpq-lint -only planstats ./...
 	$(GO) test -count=1 -run TestPlannerAblationBar ./internal/experiments/
 
+## integrity-gate guards the end-to-end integrity subsystem: digest
+## codec and sidecar suites, then the corruption chaos tests under the
+## race detector with fault injection compiled in — at-rest bit-flips
+## self-heal from verified memory, rotted copies quarantine with typed
+## 503s and cluster reads failing over, divergent replication ships are
+## rejected, and the repair loop re-fetches verified content from the
+## ring owner with digests re-converging and no goroutine leaks.
+integrity-gate:
+	$(GO) test -race -count=1 ./internal/integrity/
+	$(GO) test -race -count=1 -tags faultinject ./internal/persist/ ./internal/server/ \
+		-run 'TestDigest|TestSidecar|TestScrub|TestQuarantine|TestIntegrity|TestAntiEntropy|TestReplicateRejects|TestClusterCorruption|TestChaosScrub|TestChaosReplicateDivergence|TestChaosClusterBitflip|TestChaosCrashBeforeSidecarRename'
+
 ## ci mirrors the GitHub Actions gate: build, vet, lint, tests, race
 ## tests, chaos suite, trace/govern zero-alloc gates, the streaming
-## enumeration gate, the planner gate, and the multi-node cluster gate.
-ci: build vet lint test race server-test chaos trace-gate govern-gate stream-gate plan-gate cluster-gate
+## enumeration gate, the planner gate, the multi-node cluster gate, and
+## the integrity gate.
+ci: build vet lint test race server-test chaos trace-gate govern-gate stream-gate plan-gate cluster-gate integrity-gate

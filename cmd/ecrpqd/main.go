@@ -14,6 +14,7 @@
 //	       [-enumerate-limit 100] [-enumerate-max-limit 1000]
 //	       [-node-id ID -peers id=url,...] [-replicas 2]
 //	       [-probe-interval 1s] [-catchup-interval 2s]
+//	       [-scrub-interval 0] [-scrub-pace 8388608] [-anti-entropy-interval 0]
 //
 // Cluster mode: with -node-id and -peers (a comma-separated id=url list
 // naming every node, including this one), the daemon joins a static
@@ -57,6 +58,19 @@
 // is made durable (checksummed snapshot + journal record, fsynced) before
 // it is acknowledged, and on startup the journal is replayed so databases
 // survive a kill -9 with their generations intact.
+//
+// End-to-end integrity: every registration carries an order-independent
+// content digest, persisted beside the snapshot and verified by replicas
+// before a shipped record installs. With -scrub-interval a background
+// scrub re-verifies in-memory digests, on-disk snapshot checksums
+// (reads paced by -scrub-pace and charged to the memory ledger), and
+// the journal tail; corruption is repaired from whichever copy still
+// verifies, and a database with no good copy is quarantined — reads
+// answer a typed 503 CORRUPT_LOCAL (failing over to healthy holders in
+// cluster mode) instead of serving wrong answers or crashing. With
+// -anti-entropy-interval each holder periodically compares its
+// (generation, digest) pair against the ring owner's via GET
+// /v1/integrity/{db} and re-fetches on divergence.
 //
 // With -check the binary acts as a health probe instead of a server: it
 // asks a running daemon at -addr for /healthz and /v1/dbs via the
@@ -143,6 +157,9 @@ func main() {
 	replicas := flag.Int("replicas", 0, "copies kept of each database, owner included (0 = default 2)")
 	probeInterval := flag.Duration("probe-interval", 0, "peer health probe period (0 = default 1s)")
 	catchupInterval := flag.Duration("catchup-interval", 0, "replication catch-up pull period (0 = default 2s)")
+	scrubInterval := flag.Duration("scrub-interval", 0, "background integrity scrub period (0 = disabled)")
+	scrubPace := flag.Int64("scrub-pace", 0, "scrub disk read pacing in bytes/second (0 = default 8 MiB/s)")
+	antiEntropyInterval := flag.Duration("anti-entropy-interval", 0, "cross-holder digest comparison period in cluster mode (0 = disabled)")
 	var dbs dbFlags
 	flag.Var(&dbs, "db", "preload a database as name=file (repeatable)")
 	flag.Parse()
@@ -180,6 +197,9 @@ func main() {
 		DegradedFallback:      *degraded,
 		EnumerateDefaultLimit: *enumLimit,
 		EnumerateMaxLimit:     *enumMaxLimit,
+		ScrubInterval:         *scrubInterval,
+		ScrubPaceBytes:        *scrubPace,
+		AntiEntropyInterval:   *antiEntropyInterval,
 	}, dbs, *dataDir, *drainTimeout, *debugAddr, clusterFlags{
 		NodeID:          *nodeID,
 		Peers:           *peers,

@@ -497,6 +497,12 @@ type ReplicateRecord struct {
 	// from the same numbers and EXPLAIN agrees cluster-wide. Optional:
 	// absent on drops and on ships from stats-disabled owners.
 	Stats []byte `json:"stats,omitempty"`
+	// Digest is the owner's encoded content digest (internal/integrity)
+	// for this registration. Replicas verify the decoded snapshot against
+	// it before installing and reject the record on mismatch, so a
+	// corrupted ship can never silently install divergent state. Optional
+	// for wire compatibility with older owners; absent on drops.
+	Digest []byte `json:"digest,omitempty"`
 }
 
 // ReplicateResult reports what the replica did with a shipped record.
@@ -614,6 +620,26 @@ func (c *Client) Stats(ctx context.Context, db string) (json.RawMessage, error) 
 		return nil, err
 	}
 	return out, nil
+}
+
+// IntegrityInfo is the GET /v1/integrity/{db} response: the node's local
+// generation and content digest for one database, plus its quarantine
+// state. The anti-entropy sweep compares these pairs across holders.
+type IntegrityInfo struct {
+	DB          string `json:"db"`
+	Gen         uint64 `json:"gen"`
+	Digest      string `json:"digest"` // %016x content sum
+	Quarantined bool   `json:"quarantined"`
+}
+
+// Integrity fetches a node's (generation, digest) pair for one database.
+// Retried (read-only).
+func (c *Client) Integrity(ctx context.Context, db string) (*IntegrityInfo, error) {
+	var out IntegrityInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/integrity/"+url.PathEscape(db), nil, true, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Measures reports a query's structural measures. Retried (read-only).

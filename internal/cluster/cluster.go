@@ -33,6 +33,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -296,22 +297,37 @@ func (c *Cluster) Stop() {
 	c.wg.Wait()
 }
 
+// Jitter spreads a loop interval uniformly across [d/2, 3d/2). Periodic
+// cluster work — readiness probes, catch-up pulls, scrub and
+// anti-entropy sweeps — must not run in lockstep: nodes restarted by the
+// same supervisor share a phase, and synchronized loops turn every
+// restart into a thundering herd against whichever peer comes up last.
+// Non-positive d is returned unchanged.
+func Jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
 // probeLoop polls one peer's /readyz. Readiness (not liveness) is the
 // probe target on purpose: a draining node answers /healthz 200 but
 // /readyz 503, and the router must stop sending it work in both the
-// draining and the dead case.
+// draining and the dead case. Each wait is independently jittered so
+// co-restarted nodes desynchronize instead of probing in lockstep.
 func (c *Cluster) probeLoop(id string) {
 	defer c.wg.Done()
-	tick := time.NewTicker(c.cfg.ProbeInterval)
-	defer tick.Stop()
+	timer := time.NewTimer(Jitter(c.cfg.ProbeInterval))
+	defer timer.Stop()
 	for {
 		select {
 		case <-c.stopCh:
 			return
-		case <-tick.C:
+		case <-timer.C:
 		}
 		healthy := c.probeOnce(id)
 		c.setHealthy(id, healthy, time.Now())
+		timer.Reset(Jitter(c.cfg.ProbeInterval))
 	}
 }
 

@@ -14,6 +14,15 @@
 // crashed apply); and "cluster.catchup" suppresses the pull-based
 // repair loop so lag persists until the site is disabled.
 //
+// The integrity subsystem adds corruption-shaped sites, where an
+// injected "error" is interpreted as data damage rather than a failure
+// return: "integrity.bitflip" makes the background scrub see a flipped
+// bit in the on-disk snapshot (at-rest rot), "integrity.digest" makes a
+// digest verification disagree (a divergent replica or rotted heap),
+// and "persist.sidecar.rename" crashes a sidecar write between the
+// temp-file write and its rename (the orphan is garbage-collected at
+// the next Open).
+//
 // The package compiles in two modes:
 //
 //   - Default ("production") builds: Point is a constant-nil function and

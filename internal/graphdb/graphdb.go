@@ -428,6 +428,72 @@ func (d *DB) FormatString() string {
 	return sb.String()
 }
 
+// CheckConsistency verifies the database's internal adjacency
+// invariants: the names/out/in slices agree on the vertex count, the
+// name index round-trips, the edge counter matches both adjacency
+// directions, every edge endpoint and label is in range, and every
+// outgoing edge has exactly one mirrored incoming edge. It exists for
+// the integrity scrub: a content digest covers the out-adjacency
+// records, while this check catches corruption the digest cannot see
+// (a lost in-edge mirror, a poisoned name index). Cost is O(V+E).
+func (d *DB) CheckConsistency() error {
+	n := len(d.names)
+	if len(d.out) != n || len(d.in) != n {
+		return fmt.Errorf("graphdb: adjacency length mismatch: %d names, %d out, %d in", n, len(d.out), len(d.in))
+	}
+	for name, v := range d.index {
+		if v < 0 || v >= n || d.names[v] != name {
+			return fmt.Errorf("graphdb: name index maps %q to vertex %d which is not so named", name, v)
+		}
+	}
+	for v, name := range d.names {
+		if name == "" {
+			continue
+		}
+		if got, ok := d.index[name]; !ok || got != v {
+			return fmt.Errorf("graphdb: named vertex %d (%q) missing from index", v, name)
+		}
+	}
+	// Count-based mirror check: each out edge (u,l,v) contributes +1 and
+	// its in mirror at v contributes -1; everything must cancel.
+	type ekey struct {
+		u, v int
+		l    alphabet.Symbol
+	}
+	balance := make(map[ekey]int)
+	nOut, nIn := 0, 0
+	for u, es := range d.out {
+		for _, e := range es {
+			if e.To < 0 || e.To >= n {
+				return fmt.Errorf("graphdb: out edge %d->%d target out of range", u, e.To)
+			}
+			if !d.alpha.Contains(e.Label) {
+				return fmt.Errorf("graphdb: out edge %d->%d label %d not in alphabet", u, e.To, e.Label)
+			}
+			balance[ekey{u, e.To, e.Label}]++
+			nOut++
+		}
+	}
+	for v, es := range d.in {
+		for _, e := range es {
+			if e.To < 0 || e.To >= n {
+				return fmt.Errorf("graphdb: in edge %d<-%d source out of range", v, e.To)
+			}
+			balance[ekey{e.To, v, e.Label}]--
+			nIn++
+		}
+	}
+	if nOut != d.edges || nIn != d.edges {
+		return fmt.Errorf("graphdb: edge counter %d disagrees with adjacency (%d out, %d in)", d.edges, nOut, nIn)
+	}
+	for k, c := range balance {
+		if c != 0 {
+			return fmt.Errorf("graphdb: edge (%d,%d,%d) out/in mirror imbalance %+d", k.u, k.l, k.v, c)
+		}
+	}
+	return nil
+}
+
 // DisjointUnion adds a copy of other into d, returning the vertex-id offset
 // of the copy. Both databases must share the same alphabet object (or equal
 // symbol sets in the same order).

@@ -333,3 +333,35 @@ func TestDOT(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckConsistency(t *testing.T) {
+	db := triangleDB(t)
+	if err := db.CheckConsistency(); err != nil {
+		t.Fatalf("fresh db inconsistent: %v", err)
+	}
+
+	// A lost in-edge mirror (the kind of corruption a content digest over
+	// out-adjacency cannot see) must be detected.
+	broken := triangleDB(t)
+	broken.in[0] = broken.in[0][:0]
+	if err := broken.CheckConsistency(); err == nil {
+		t.Fatal("dropped in-mirror not detected")
+	}
+
+	// A poisoned name index must be detected.
+	broken = triangleDB(t)
+	for name := range broken.index {
+		broken.index[name] = (broken.index[name] + 1) % broken.NumVertices()
+		break
+	}
+	if err := broken.CheckConsistency(); err == nil {
+		t.Fatal("poisoned name index not detected")
+	}
+
+	// A wrong edge counter must be detected.
+	broken = triangleDB(t)
+	broken.edges++
+	if err := broken.CheckConsistency(); err == nil {
+		t.Fatal("wrong edge counter not detected")
+	}
+}

@@ -1,0 +1,181 @@
+package integrity
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ecrpq/internal/alphabet"
+	"ecrpq/internal/graphdb"
+)
+
+// buildDB constructs a small dense-ish graph deterministically from seed.
+func buildDB(t *testing.T, n int, seed int64) *graphdb.DB {
+	t.Helper()
+	a, err := alphabet.New("a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := graphdb.New(a)
+	for i := 0; i < n; i++ {
+		db.MustAddVertex("")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 3*n; i++ {
+		db.MustAddEdge(rng.Intn(n), alphabet.Symbol(rng.Intn(3)), rng.Intn(n))
+	}
+	return db
+}
+
+func TestComputeDeterministic(t *testing.T) {
+	db := buildDB(t, 32, 7)
+	d1 := Compute(db, 5)
+	d2 := Compute(db, 5)
+	if d1 != d2 {
+		t.Fatalf("same db, same gen: %v vs %v", d1, d2)
+	}
+	if d1.Gen != 5 {
+		t.Fatalf("Gen = %d, want 5", d1.Gen)
+	}
+}
+
+// TestComputeOrderIndependent inserts the same edge set in two different
+// orders: same vertices, same edges, same digest. This is the property
+// that lets a replica verify a decoded snapshot against the owner's
+// digest without caring how either side's adjacency lists are ordered.
+func TestComputeOrderIndependent(t *testing.T) {
+	a, err := alphabet.New("x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type edge struct {
+		u, v int
+		l    alphabet.Symbol
+	}
+	edges := []edge{{0, 1, 0}, {1, 2, 1}, {2, 0, 0}, {0, 2, 1}, {2, 1, 0}}
+	build := func(perm []int) *graphdb.DB {
+		db := graphdb.New(a)
+		for i := 0; i < 3; i++ {
+			db.MustAddVertex("")
+		}
+		for _, i := range perm {
+			e := edges[i]
+			db.MustAddEdge(e.u, e.l, e.v)
+		}
+		return db
+	}
+	want := Compute(build([]int{0, 1, 2, 3, 4}), 9)
+	for _, perm := range [][]int{{4, 3, 2, 1, 0}, {2, 0, 4, 1, 3}, {1, 4, 0, 3, 2}} {
+		if got := Compute(build(perm), 9); got != want {
+			t.Fatalf("permutation %v changed digest: %v vs %v", perm, got, want)
+		}
+	}
+}
+
+// TestComputeSensitivity: any single-record change — one more edge, one
+// renamed vertex, a different alphabet, a different generation — must
+// move the sum.
+func TestComputeSensitivity(t *testing.T) {
+	base := buildDB(t, 16, 3)
+	d := Compute(base, 1)
+
+	if got := Compute(base, 2); got.Sum == d.Sum {
+		t.Fatal("generation change did not move the sum")
+	}
+
+	more := buildDB(t, 16, 3)
+	more.MustAddEdge(0, 0, 15)
+	if got := Compute(more, 1); got.Sum == d.Sum {
+		t.Fatal("extra edge did not move the sum")
+	}
+
+	named := buildDB(t, 16, 3)
+	named.MustAddVertex("extra")
+	if got := Compute(named, 1); got.Sum == d.Sum {
+		t.Fatal("extra vertex did not move the sum")
+	}
+
+	a2, err := alphabet.New("a", "b", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := graphdb.New(a2)
+	if got := Compute(other, 1); got.Sum == Compute(graphdb.New(base.Alphabet()), 1).Sum {
+		t.Fatal("alphabet change did not move the sum")
+	}
+	_ = other
+}
+
+// TestComputeEmpty: an empty database still has a well-defined, gen-bound
+// digest (the counts record and generation mix guarantee a nonzero fold).
+func TestComputeEmpty(t *testing.T) {
+	a, err := alphabet.New("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := Compute(graphdb.New(a), 1)
+	d2 := Compute(graphdb.New(a), 2)
+	if d1.Sum == d2.Sum {
+		t.Fatal("empty-db digests at different generations collide")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, d := range []Digest{{}, {Gen: 1, Sum: 42}, {Gen: ^uint64(0), Sum: ^uint64(0)}} {
+		enc := d.Encode()
+		if len(enc) != encodedLen {
+			t.Fatalf("Encode length %d, want %d", len(enc), encodedLen)
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", d, err)
+		}
+		if got != d {
+			t.Fatalf("round trip: %v vs %v", got, d)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	enc := Digest{Gen: 7, Sum: 0xdeadbeef}.Encode()
+
+	if _, err := Decode(enc[:10]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated: got %v", err)
+	}
+	if _, err := Decode(append(append([]byte{}, enc...), 0)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("trailing bytes: got %v", err)
+	}
+
+	bad := append([]byte{}, enc...)
+	bad[0] = 'X'
+	if _, err := Decode(bad); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("magic: got %v", err)
+	}
+
+	bad = append([]byte{}, enc...)
+	bad[4] = 99
+	if _, err := Decode(bad); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("version: got %v", err)
+	}
+
+	// Every single-bit flip in the payload must be caught by the CRC.
+	for i := 5; i < 21; i++ {
+		bad = append([]byte{}, enc...)
+		bad[i] ^= 0x10
+		if _, err := Decode(bad); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("bit flip at %d: got %v", i, err)
+		}
+	}
+}
+
+func TestVerify(t *testing.T) {
+	db := buildDB(t, 8, 11)
+	d := Compute(db, 3)
+	if _, ok := Verify(db, d); !ok {
+		t.Fatal("Verify rejected a matching digest")
+	}
+	d.Sum ^= 1
+	if got, ok := Verify(db, d); ok {
+		t.Fatalf("Verify accepted a corrupted digest (recomputed %v)", got)
+	}
+}

@@ -11,6 +11,7 @@ package persist
 // would make it live — and assert recovery keeps that property.
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -165,6 +166,66 @@ func TestChaosCrashBeforeSnapshotRename(t *testing.T) {
 	leftovers, err := filepath.Glob(filepath.Join(dir, ".tmp-*"))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Errorf(".tmp- files survived reopen: %v", leftovers)
+	}
+}
+
+// TestChaosCrashBeforeSidecarRename crashes a register between a
+// sidecar's temp-file write and its rename. The register fails (the
+// journal record was never written), the orphan temp is left behind
+// exactly as a real crash would leave it, and reopen GCs the orphan
+// while keeping the previously committed registration — and its earlier
+// sidecars — fully intact.
+func TestChaosCrashBeforeSidecarRename(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := buildDB(t, 4)
+	stats1 := []byte(`{"generation":1}`)
+	if err := st.AppendRegisterWithSidecars(context.Background(), "alpha", 1, time.Unix(100, 0), db, stats1, []byte("DG1-placeholder-bytes-ok")); err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.EnableSite("persist.sidecar.rename", faultinject.ModeError, 1.0)
+	err = st.AppendRegisterWithSidecars(context.Background(), "alpha", 2, time.Unix(200, 0), buildDB(t, 5), []byte(`{"generation":2}`), []byte("DG2"))
+	faultinject.Disable()
+	if err == nil {
+		t.Fatal("AppendRegisterWithSidecars succeeded despite the injected sidecar crash")
+	}
+	// The crash left the gen-2 temp sidecar orphaned on disk.
+	leftovers, globErr := filepath.Glob(filepath.Join(dir, ".tmp-*"))
+	if globErr != nil {
+		t.Fatal(globErr)
+	}
+	if len(leftovers) == 0 {
+		t.Fatal("test arranged the wrong crash window: no orphan temp sidecar on disk")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("closing crashed store: %v", err)
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopening after crash: %v", err)
+	}
+	defer st2.Close()
+	ents := st2.Entries()
+	if len(ents) != 1 || ents[0].Gen != 1 {
+		t.Fatalf("recovered %d entries (gen %v), want the committed gen-1 registration", len(ents), ents)
+	}
+	if string(ents[0].Stats) != string(stats1) {
+		t.Errorf("gen-1 stats sidecar damaged: %q", ents[0].Stats)
+	}
+	if string(ents[0].Digest) != "DG1-placeholder-bytes-ok" {
+		t.Errorf("gen-1 digest sidecar damaged: %q", ents[0].Digest)
+	}
+	leftovers, globErr = filepath.Glob(filepath.Join(dir, ".tmp-*"))
+	if globErr != nil {
+		t.Fatal(globErr)
 	}
 	if len(leftovers) != 0 {
 		t.Errorf(".tmp- files survived reopen: %v", leftovers)

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ecrpq/internal/faultinject"
@@ -31,6 +32,13 @@ type Entry struct {
 	// the server recomputes in both cases). The journal format itself is
 	// unchanged: the sidecar shares the snapshot's generation-derived name.
 	Stats []byte
+	// Digest is the encoded content digest sidecar
+	// (internal/integrity.Digest.Encode) saved next to the snapshot, or
+	// nil when none was persisted. Like Stats it is advisory bytes handed
+	// to the server verbatim: the server validates on decode and
+	// recomputes from the loaded snapshot when the sidecar is absent,
+	// corrupt, or from another generation.
+	Digest []byte
 }
 
 // Store is a crash-safe registry persistence layer over one data
@@ -48,6 +56,13 @@ type Store struct {
 	entries  []Entry
 	maxGen   uint64
 	warnings []string
+
+	// syncDir failure accounting: directory fsync errors are survivable
+	// (the fallback is the pre-rename durability level) but must not be
+	// invisible — the scrub status and an expvar counter surface them.
+	syncDirErrs atomic.Uint64
+	syncErrMu   sync.Mutex
+	lastSyncErr string
 }
 
 // Open prepares dir (creating it if needed), recovers the journal —
@@ -120,13 +135,17 @@ func Open(dir string) (*Store, error) {
 			RegisteredAt: time.Unix(0, int64(lr.unixNano)),
 			DB:           db,
 		}
-		// The stats sidecar is optional: readable bytes are handed to the
-		// server verbatim (it validates on decode and recomputes on
-		// mismatch), anything else just means recompute.
+		// The stats and digest sidecars are optional: readable bytes are
+		// handed to the server verbatim (it validates on decode and
+		// recomputes on mismatch), anything else just means recompute.
 		if raw, err := os.ReadFile(filepath.Join(dir, statsFileName(lr.gen))); err == nil {
 			e.Stats = raw
 		}
+		if raw, err := os.ReadFile(filepath.Join(dir, digestFileName(lr.gen))); err == nil {
+			e.Digest = raw
+		}
 		referenced[statsFileName(lr.gen)] = true
+		referenced[digestFileName(lr.gen)] = true
 		s.entries = append(s.entries, e)
 	}
 	sort.Slice(s.entries, func(i, j int) bool { return s.entries[i].Gen < s.entries[j].Gen })
@@ -136,7 +155,8 @@ func Open(dir string) (*Store, error) {
 	if dents, err := os.ReadDir(dir); err == nil {
 		for _, de := range dents {
 			n := de.Name()
-			stale := ((strings.HasSuffix(n, ".snap") || strings.HasSuffix(n, ".stats")) && !referenced[n]) ||
+			stale := ((strings.HasSuffix(n, ".snap") || strings.HasSuffix(n, ".stats") ||
+				strings.HasSuffix(n, ".digest")) && !referenced[n]) ||
 				strings.HasPrefix(n, ".tmp-")
 			if stale {
 				_ = os.Remove(filepath.Join(dir, n))
@@ -175,6 +195,9 @@ func snapFileName(gen uint64) string { return fmt.Sprintf("db-%016x.snap", gen) 
 // statsFileName names the statistics catalog sidecar for a generation.
 func statsFileName(gen uint64) string { return fmt.Sprintf("db-%016x.stats", gen) }
 
+// digestFileName names the content-digest sidecar for a generation.
+func digestFileName(gen uint64) string { return fmt.Sprintf("db-%016x.digest", gen) }
+
 // AppendRegister durably records a registration: snapshot first (temp
 // file, fsync, atomic rename, directory fsync), then the journal record
 // referencing it (append, fsync). On error the registration is not
@@ -197,6 +220,16 @@ func (s *Store) AppendRegisterContext(ctx context.Context, name string, gen uint
 // sidecar is advisory: it is not journaled, and a crash between snapshot
 // and sidecar just means the server recomputes statistics on restart.
 func (s *Store) AppendRegisterWithStats(ctx context.Context, name string, gen uint64, registeredAt time.Time, db *graphdb.DB, statsJSON []byte) error {
+	return s.AppendRegisterWithSidecars(ctx, name, gen, registeredAt, db, statsJSON, nil)
+}
+
+// AppendRegisterWithSidecars is the full register write: snapshot, then
+// the optional statistics and content-digest sidecars (each with the
+// atomic temp+rename discipline), then the journal record. The digest
+// sidecar lets a restart and the background scrub verify on-disk and
+// in-memory content without recomputing a digest they cannot trust; like
+// the stats sidecar it is advisory and never journaled.
+func (s *Store) AppendRegisterWithSidecars(ctx context.Context, name string, gen uint64, registeredAt time.Time, db *graphdb.DB, statsJSON, digest []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -206,7 +239,10 @@ func (s *Store) AppendRegisterWithStats(ctx context.Context, name string, gen ui
 	_, ssp := trace.StartSpan(ctx, "persist/snapshot_write")
 	err := s.writeSnapshot(snapFile, gen, db)
 	if err == nil && len(statsJSON) > 0 {
-		err = s.writeSidecar(statsFileName(gen), gen, statsJSON)
+		err = s.writeSidecar(statsFileName(gen), statsJSON)
+	}
+	if err == nil && len(digest) > 0 {
+		err = s.writeSidecar(digestFileName(gen), digest)
 	}
 	ssp.End()
 	if err != nil {
@@ -245,17 +281,20 @@ func (s *Store) AppendDropContext(ctx context.Context, name string, gen uint64) 
 	if err != nil {
 		return err
 	}
-	// The snapshot and stats sidecar are now unreferenced; best-effort
+	// The snapshot and its sidecars are now unreferenced; best-effort
 	// removal (Open GCs leftovers).
 	_ = os.Remove(filepath.Join(s.dir, snapFileName(gen)))
 	_ = os.Remove(filepath.Join(s.dir, statsFileName(gen)))
+	_ = os.Remove(filepath.Join(s.dir, digestFileName(gen)))
 	return nil
 }
 
 // writeSidecar writes arbitrary sidecar bytes next to a snapshot with the
-// same temp-write/fsync/rename discipline.
-func (s *Store) writeSidecar(fileName string, gen uint64, data []byte) error {
-	tmp := filepath.Join(s.dir, fmt.Sprintf(".tmp-stats-%016x", gen))
+// same temp-write/fsync/rename discipline. The temp name embeds the final
+// name so concurrent sidecar kinds (stats, digest) for one generation can
+// never collide, and Open's ".tmp-" GC sweeps any orphan a crash leaves.
+func (s *Store) writeSidecar(fileName string, data []byte) error {
+	tmp := filepath.Join(s.dir, ".tmp-"+fileName)
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("persist: creating sidecar temp file: %w", err)
@@ -273,6 +312,12 @@ func (s *Store) writeSidecar(fileName string, gen uint64, data []byte) error {
 	if err := f.Close(); err != nil {
 		_ = os.Remove(tmp)
 		return fmt.Errorf("persist: closing sidecar: %w", err)
+	}
+	if err := faultinject.Point("persist.sidecar.rename"); err != nil {
+		// A crash between temp write and rename: the temp stays behind
+		// exactly as a real crash would leave it (Open GCs it), and the
+		// previously published sidecar, if any, is untouched.
+		return fmt.Errorf("persist: publishing sidecar: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(s.dir, fileName)); err != nil {
 		_ = os.Remove(tmp)
@@ -338,15 +383,114 @@ func (s *Store) appendRecord(rec journalRecord) error {
 }
 
 // syncDir fsyncs the data directory so a rename survives power loss.
-// Errors are ignored: directory fsync is unsupported on some filesystems,
-// and the fallback is merely the pre-rename durability level.
+// Errors do not fail the write — directory fsync is unsupported on some
+// filesystems, and the fallback is merely the pre-rename durability
+// level — but they are counted and the last one retained, so an operator
+// watching the scrub status or the persist expvar sees a filesystem that
+// quietly refuses durability instead of nothing at all.
 func (s *Store) syncDir() {
 	d, err := os.Open(s.dir)
 	if err != nil {
+		s.noteSyncDirErr(err)
 		return
 	}
-	_ = d.Sync()
+	if err := d.Sync(); err != nil {
+		s.noteSyncDirErr(err)
+	}
 	_ = d.Close()
+}
+
+func (s *Store) noteSyncDirErr(err error) {
+	s.syncDirErrs.Add(1)
+	s.syncErrMu.Lock()
+	s.lastSyncErr = err.Error()
+	s.syncErrMu.Unlock()
+}
+
+// SyncDirFailures returns how many directory fsyncs have failed since
+// Open.
+func (s *Store) SyncDirFailures() uint64 { return s.syncDirErrs.Load() }
+
+// LastSyncDirError returns the most recent directory-fsync failure
+// message, "" when none has occurred.
+func (s *Store) LastSyncDirError() string {
+	s.syncErrMu.Lock()
+	defer s.syncErrMu.Unlock()
+	return s.lastSyncErr
+}
+
+// SnapshotSize returns the on-disk size of the snapshot for gen, for
+// scrub pacing and ledger charging before the bytes are read.
+func (s *Store) SnapshotSize(gen uint64) (int64, error) {
+	fi, err := os.Stat(filepath.Join(s.dir, snapFileName(gen)))
+	if err != nil {
+		return 0, fmt.Errorf("persist: statting snapshot: %w", err)
+	}
+	return fi.Size(), nil
+}
+
+// ReadSnapshot re-reads the raw snapshot bytes for gen from disk. The
+// caller decodes (DecodeSnapshot CRC-checks); this is the scrub's view of
+// what a restart would actually load, as opposed to what memory holds.
+func (s *Store) ReadSnapshot(gen uint64) ([]byte, error) {
+	raw, err := os.ReadFile(filepath.Join(s.dir, snapFileName(gen)))
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading snapshot: %w", err)
+	}
+	return raw, nil
+}
+
+// RewriteSnapshot re-publishes the snapshot (and digest sidecar, when
+// given) for an existing generation from a known-good in-memory copy:
+// the self-heal path when the scrub finds disk rot under a verified
+// in-memory database. The same atomic temp+rename discipline applies, so
+// a crash mid-heal leaves either the old corrupt file (scrub finds it
+// again) or the healed one — never a torn snapshot.
+func (s *Store) RewriteSnapshot(gen uint64, db *graphdb.DB, digest []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("persist: store is closed")
+	}
+	if err := s.writeSnapshot(snapFileName(gen), gen, db); err != nil {
+		return err
+	}
+	if len(digest) > 0 {
+		return s.writeSidecar(digestFileName(gen), digest)
+	}
+	return nil
+}
+
+// JournalCheck is VerifyJournal's report.
+type JournalCheck struct {
+	// Records is how many intact records the journal currently holds.
+	Records int
+	// TornBytes is how many trailing bytes fail their checksum or frame
+	// (zero on a healthy journal; a crash mid-append leaves some until
+	// the next Open truncates them).
+	TornBytes int
+}
+
+// VerifyJournal re-reads the journal from disk and re-validates every
+// record checksum, under the store mutex so a concurrent append cannot
+// masquerade as a torn tail. Used by the background scrub; a non-zero
+// TornBytes between restarts means bytes that were once fsynced no
+// longer check out — bit rot, not a crash artifact.
+func (s *Store) VerifyJournal() (JournalCheck, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JournalCheck{}, fmt.Errorf("persist: store is closed")
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, journalName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return JournalCheck{}, nil
+		}
+		return JournalCheck{}, fmt.Errorf("persist: reading journal: %w", err)
+	}
+	recs, validEnd := scanJournal(data)
+	return JournalCheck{Records: len(recs), TornBytes: len(data) - validEnd}, nil
 }
 
 // Close releases the journal handle. The store must not be used after.

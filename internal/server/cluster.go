@@ -96,9 +96,14 @@ func (s *Server) AttachCluster(c *cluster.Cluster) error {
 		return fmt.Errorf("server: a cluster is already attached")
 	}
 	c.Start()
-	s.clusterWG.Add(2)
+	s.clusterWG.Add(3)
 	go s.shipLoop(ctx, st)
 	go s.catchupLoop(ctx, st)
+	go s.repairLoop(ctx, st)
+	if s.cfg.AntiEntropyInterval > 0 {
+		s.clusterWG.Add(1)
+		go s.antiEntropyLoop(ctx, st)
+	}
 	s.cfg.Logger.Printf("event=cluster_start node=%s peers=%d rf=%d probe_ms=%d",
 		c.Self().ID, len(c.Peers()), c.ReplicationFactor(), c.ProbeInterval().Milliseconds())
 	return nil
@@ -150,7 +155,7 @@ func (s *Server) routeWrite(w http.ResponseWriter, r *http.Request, name string)
 // catalog (byte-identical costs → identical EXPLAIN output cluster-wide)
 // instead of recomputing. Called from doRegister under persistMu; no-op
 // in single-node mode.
-func (s *Server) shipRegister(name string, gen uint64, at time.Time, db *graphdb.DB, statsJSON []byte) {
+func (s *Server) shipRegister(name string, gen uint64, at time.Time, db *graphdb.DB, statsJSON, digest []byte) {
 	st := s.clu.Load()
 	if st == nil {
 		return
@@ -158,7 +163,7 @@ func (s *Server) shipRegister(name string, gen uint64, at time.Time, db *graphdb
 	s.enqueueShip(st, client.ReplicateRecord{
 		Op: "register", Name: name, Gen: gen,
 		UnixNano: at.UnixNano(), Snapshot: persist.EncodeSnapshot(db),
-		Stats: statsJSON,
+		Stats: statsJSON, Digest: digest,
 	})
 }
 
@@ -258,15 +263,18 @@ func (s *Server) shipOne(ctx context.Context, c *cluster.Cluster, rec client.Rep
 // (or late-joining) node from nothing.
 func (s *Server) catchupLoop(ctx context.Context, st *clusterState) {
 	defer s.clusterWG.Done()
-	tick := time.NewTicker(st.c.CatchupInterval())
-	defer tick.Stop()
+	// Jittered like the prober: a multi-node restart must not have every
+	// node pull from every owner on the same tick.
+	timer := time.NewTimer(cluster.Jitter(st.c.CatchupInterval()))
+	defer timer.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-tick.C:
+		case <-timer.C:
 		}
 		s.catchupOnce(ctx, st.c)
+		timer.Reset(cluster.Jitter(st.c.CatchupInterval()))
 	}
 }
 
@@ -335,18 +343,33 @@ func (s *Server) applyReplicated(ctx context.Context, rec client.ReplicateRecord
 	switch rec.Op {
 	case "register":
 		// Cheap staleness pre-check before decoding a possibly large
-		// snapshot; re-checked under persistMu before installing.
-		if e, ok := s.dbs.get(rec.Name); ok && e.gen >= rec.Gen {
+		// snapshot; re-checked under persistMu before installing. The check
+		// is quarantine-aware: a record AT the local generation is normally
+		// a no-op, but when the local copy is quarantined it is exactly how
+		// a repair pull re-installs verified content at the same generation.
+		if e, ok := s.dbs.get(rec.Name); ok && s.replicaFresh(e, rec.Gen) {
 			return false, "stale", nil
 		}
 		db, derr := persist.DecodeSnapshot(rec.Snapshot)
 		if derr != nil {
 			return false, "", fmt.Errorf("replicate: decoding snapshot for %q gen %d: %w", rec.Name, rec.Gen, derr)
 		}
+		// Verify the decoded graph against the owner's shipped digest
+		// before anything becomes durable or visible. A mismatch means the
+		// record was damaged somewhere past the owner's commit (or the
+		// owner itself is corrupt): reject it — the error surfaces as a 422
+		// to the pusher, and catch-up re-pulls a fresh snapshot — rather
+		// than install divergent state that would silently serve wrong
+		// answers.
+		dg, verr := s.verifyShippedDigest(rec, db)
+		if verr != nil {
+			return false, "", verr
+		}
 		at := time.Unix(0, rec.UnixNano)
 		s.persistMu.Lock()
 		defer s.persistMu.Unlock()
-		if e, ok := s.dbs.get(rec.Name); ok && e.gen >= rec.Gen {
+		e, existed := s.dbs.get(rec.Name)
+		if existed && s.replicaFresh(e, rec.Gen) {
 			return false, "stale", nil
 		}
 		// Prefer the owner's shipped catalog (a replica must cost plans
@@ -362,16 +385,24 @@ func (s *Server) applyReplicated(ctx context.Context, rec client.ReplicateRecord
 			cat = s.computeStats(ctx, db, rec.Gen)
 		}
 		if s.store != nil {
-			if err := s.store.AppendRegisterWithStats(ctx, rec.Name, rec.Gen, at, db, rec.Stats); err != nil {
+			if err := s.store.AppendRegisterWithSidecars(ctx, rec.Name, rec.Gen, at, db, rec.Stats, dg.Encode()); err != nil {
 				return false, "", fmt.Errorf("replicate: persisting %q: %w", rec.Name, err)
 			}
 		}
-		_, replacedGen, replaced := s.dbs.installWithGen(rec.Name, db, rec.Gen, at, cat)
-		s.noteGenName(rec.Gen, rec.Name)
+		_, replacedGen, replaced := s.dbs.installWithGen(rec.Name, db, rec.Gen, at, cat, dg)
 		if replaced {
+			// Invalidate the replaced generation's materializations. On a
+			// same-generation repair the generation number survives, so the
+			// cache entries keyed by it (possibly built from corrupt data)
+			// must go while the gen→name note stays.
 			s.cache.InvalidateGeneration(replacedGen)
-			s.dropGenName(replacedGen)
+			if replacedGen != rec.Gen {
+				s.dropGenName(replacedGen)
+			}
 		}
+		s.noteGenName(rec.Gen, rec.Name)
+		// The installed copy is freshly verified; lift any quarantine.
+		s.unquarantine(rec.Name, true)
 		return true, "", nil
 	case "drop":
 		s.persistMu.Lock()
@@ -489,6 +520,12 @@ func (s *Server) handleReplicatePull(w http.ResponseWriter, r *http.Request) {
 		if !caller || req.Have[e.name] >= e.gen {
 			continue
 		}
+		// Never serve catch-up records from a quarantined copy: the whole
+		// point of quarantine is that this content is suspect, and a pull
+		// would propagate it with a matching (locally computed) digest.
+		if s.isQuarantined(e.name) {
+			continue
+		}
 		rec := client.ReplicateRecord{
 			Op:       "register",
 			Name:     e.name,
@@ -498,6 +535,9 @@ func (s *Server) handleReplicatePull(w http.ResponseWriter, r *http.Request) {
 		}
 		if e.stats != nil {
 			rec.Stats = e.stats.Encode()
+		}
+		if e.digest.Gen == e.gen {
+			rec.Digest = e.digest.Encode()
 		}
 		resp.Records = append(resp.Records, rec)
 	}
@@ -605,6 +645,14 @@ func (s *Server) forward(ctx context.Context, c *cluster.Cluster, w http.Respons
 		}
 		var se *client.StatusError
 		if errors.As(err, &se) {
+			// CORRUPT_LOCAL is the one typed refusal that is peer-local:
+			// the holder quarantined its copy, but another holder's copy is
+			// presumed healthy. Keep failing over instead of surfacing it.
+			if se.ErrCode == "CORRUPT_LOCAL" {
+				s.mForwardErrors.Inc()
+				lastErr = err
+				continue
+			}
 			s.mForwards.Inc()
 			if se.RetryAfter > 0 {
 				secs := int64((se.RetryAfter + time.Second - 1) / time.Second)

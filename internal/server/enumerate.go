@@ -150,6 +150,18 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no database %q (register with POST /v1/dbs/{name})", req.DB))
 		return
 	}
+	// Quarantined content must not back a page — a cursor resumed against
+	// a corrupt copy would splice wrong answers into an otherwise good
+	// stream. Fail over (cursor included verbatim: generations match
+	// cluster-wide) or refuse.
+	if s.isQuarantined(req.DB) {
+		if c := s.clusterHandle(); c != nil && !req.Forwarded {
+			s.forwardEnumerate(tctx, c, w, req)
+			return
+		}
+		s.refuseCorrupt(w, req.DB)
+		return
+	}
 	offset := 0
 	if req.Cursor != "" {
 		cur, err := decodeCursor(req.Cursor)

@@ -114,6 +114,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no database %q (register with POST /v1/dbs/{name})", req.DB))
 		return
 	}
+	if s.isQuarantined(req.DB) {
+		if c := s.clusterHandle(); c != nil && !req.Forwarded {
+			s.forwardExplain(tctx, c, w, req)
+			return
+		}
+		s.refuseCorrupt(w, req.DB)
+		return
+	}
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMs > 0 {

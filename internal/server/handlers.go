@@ -292,6 +292,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no database %q (register with POST /v1/dbs/{name})", req.DB))
 		return
 	}
+	// Held but quarantined: never evaluate over content the integrity
+	// subsystem has flagged. In cluster mode the read fails over to a
+	// healthy holder; otherwise the caller gets the typed 503.
+	if s.isQuarantined(req.DB) {
+		if c := s.clusterHandle(); c != nil && !req.Forwarded {
+			s.forwardQuery(tctx, c, w, req)
+			return
+		}
+		s.refuseCorrupt(w, req.DB)
+		return
+	}
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMs > 0 {

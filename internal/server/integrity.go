@@ -1,0 +1,593 @@
+package server
+
+// Integrity subsystem: quarantine, background scrub, and anti-entropy.
+//
+// Every registration carries an order-independent content digest
+// (internal/integrity) computed by the owner, persisted as a sidecar,
+// and shipped with replication. This file is everything the server does
+// with it after register time:
+//
+//   - Quarantine: a database whose content fails verification is marked
+//     corrupt-local. Reads against it answer a typed 503 CORRUPT_LOCAL
+//     (in cluster mode they transparently fail over to a healthy
+//     holder), writes are unaffected (a replacement registration heals),
+//     and the process keeps serving everything else — corruption is a
+//     per-database degradation, never a crash.
+//
+//   - Scrub: when Config.ScrubInterval > 0, a background loop
+//     re-verifies each database's in-memory digest and structural
+//     invariants, re-reads its on-disk snapshot (paced by
+//     ScrubPaceBytes and charged to the govern ledger, so scrubbing
+//     competes with queries instead of starving them), and re-checks
+//     the journal tail. Findings feed a repair matrix: good memory
+//     heals bad disk by rewriting the snapshot; good disk heals bad
+//     memory by reinstalling; when both are bad the database is
+//     quarantined and, on a replica, re-fetched from the ring owner.
+//
+//   - Anti-entropy: when Config.AntiEntropyInterval > 0 in cluster
+//     mode, each non-owner holder periodically compares its
+//     (generation, digest) pair against the owner's. Divergence at the
+//     same generation means silent corruption or a bad apply — the
+//     holder quarantines its copy and the repair loop pulls a fresh
+//     verified snapshot.
+//
+// Fault injection: "integrity.bitflip" flips a byte in scrub's view of
+// the on-disk snapshot (at-rest rot); "integrity.digest" corrupts a
+// digest verification (divergent replica content). Both are no-ops
+// without the faultinject build tag.
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"ecrpq/internal/client"
+	"ecrpq/internal/cluster"
+	"ecrpq/internal/faultinject"
+	"ecrpq/internal/graphdb"
+	"ecrpq/internal/integrity"
+	"ecrpq/internal/persist"
+
+	"context"
+)
+
+// quarantine marks name corrupt-local. Idempotent: the first reason
+// sticks (it names the original finding; later findings are usually
+// consequences).
+func (s *Server) quarantine(name, reason string) {
+	s.quarMu.Lock()
+	_, already := s.quarantined[name]
+	if !already {
+		s.quarantined[name] = reason
+	}
+	s.quarMu.Unlock()
+	if !already {
+		s.mQuarantines.Inc()
+		s.cfg.Logger.Printf("event=integrity_quarantine db=%s reason=%q", name, reason)
+	}
+}
+
+// unquarantine lifts a quarantine after verified content replaced the
+// corrupt copy. repaired distinguishes a genuine repair (counted and
+// logged) from a supersede (drop, or a replacement registration minting
+// a fresh generation).
+func (s *Server) unquarantine(name string, repaired bool) {
+	s.quarMu.Lock()
+	_, was := s.quarantined[name]
+	delete(s.quarantined, name)
+	s.quarMu.Unlock()
+	if was && repaired {
+		s.mRepairs.Inc()
+		s.cfg.Logger.Printf("event=integrity_repaired db=%s", name)
+	}
+}
+
+// isQuarantined reports whether name is currently corrupt-local.
+func (s *Server) isQuarantined(name string) bool {
+	s.quarMu.Lock()
+	defer s.quarMu.Unlock()
+	_, ok := s.quarantined[name]
+	return ok
+}
+
+// quarantineSnapshot copies the quarantine table (name → reason).
+func (s *Server) quarantineSnapshot() map[string]string {
+	s.quarMu.Lock()
+	defer s.quarMu.Unlock()
+	if len(s.quarantined) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(s.quarantined))
+	for k, v := range s.quarantined {
+		out[k] = v
+	}
+	return out
+}
+
+// refuseCorrupt answers a read against a quarantined database with the
+// typed 503. Retry-After is the scrub/repair cadence ballpark: by the
+// next attempt the repair loop may have re-fetched a verified copy.
+func (s *Server) refuseCorrupt(w http.ResponseWriter, name string) {
+	s.quarMu.Lock()
+	reason := s.quarantined[name]
+	s.quarMu.Unlock()
+	s.mCorruptRefused.Inc()
+	w.Header().Set("Retry-After", "2")
+	writeErrorCode(w, http.StatusServiceUnavailable, "CORRUPT_LOCAL",
+		fmt.Sprintf("local copy of %q is quarantined: %s", name, reason))
+}
+
+// replicaFresh reports whether the local entry already covers a
+// replicated record at gen. Strictly newer local content always wins; at
+// the same generation the record is redundant — unless the local copy is
+// quarantined, in which case the incoming record is a repair and must be
+// allowed through.
+func (s *Server) replicaFresh(e *dbEntry, gen uint64) bool {
+	return e.gen > gen || (e.gen == gen && !s.isQuarantined(e.name))
+}
+
+// verifyShippedDigest recomputes the digest of a decoded replication
+// snapshot and checks it against the owner's shipped digest. An empty
+// shipped digest (an owner predating the integrity subsystem) is
+// accepted with the locally computed digest standing in.
+func (s *Server) verifyShippedDigest(rec client.ReplicateRecord, db *graphdb.DB) (integrity.Digest, error) {
+	got := integrity.Compute(db, rec.Gen)
+	s.mDigestsComputed.Inc()
+	if err := faultinject.Point("integrity.digest"); err != nil {
+		// Chaos: pretend the decode produced divergent content.
+		got.Sum ^= 0xbad1dea
+	}
+	if len(rec.Digest) == 0 {
+		return got, nil
+	}
+	want, err := integrity.Decode(rec.Digest)
+	if err != nil {
+		s.mApplyRejected.Inc()
+		return integrity.Digest{}, fmt.Errorf("replicate: digest record for %q gen %d: %w", rec.Name, rec.Gen, err)
+	}
+	if want.Gen != rec.Gen {
+		s.mApplyRejected.Inc()
+		return integrity.Digest{}, fmt.Errorf("replicate: digest for %q is bound to gen %d, record is gen %d",
+			rec.Name, want.Gen, rec.Gen)
+	}
+	if got != want {
+		s.mDigestMismatches.Inc()
+		s.mApplyRejected.Inc()
+		return integrity.Digest{}, fmt.Errorf("replicate: %q gen %d digest mismatch: owner shipped %s, snapshot decodes to %s",
+			rec.Name, rec.Gen, want, got)
+	}
+	return got, nil
+}
+
+// handleIntegrity serves this node's (generation, digest, quarantine)
+// triple for one database: the wire half of the anti-entropy protocol
+// and an operator probe ("is this node's copy the one I think it is?").
+func (s *Server) handleIntegrity(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.dbs.get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no database %q held on this node", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, client.IntegrityInfo{
+		DB:          name,
+		Gen:         e.gen,
+		Digest:      e.digest.String(),
+		Quarantined: s.isQuarantined(name),
+	})
+}
+
+// scrubStatus is the last scrub pass's summary, served via the
+// "integrity" expvar.
+type scrubStatus struct {
+	passes      uint64
+	lastStart   time.Time
+	lastEnd     time.Time
+	checked     int
+	corrupt     int
+	lastFinding string
+	journalTorn int
+	lastError   string
+}
+
+// renderIntegrity renders the integrity expvar: quarantine table and
+// scrub summary.
+func (s *Server) renderIntegrity() string {
+	q := s.quarantineSnapshot()
+	names := make([]string, 0, len(q))
+	for n := range q {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s.scrubMu.Lock()
+	st := s.scrubStat
+	s.scrubMu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"quarantined":[`)
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q", n)
+	}
+	fmt.Fprintf(&b, `],"scrub_passes":%d,"scrub_checked":%d,"scrub_corrupt":%d,"scrub_journal_torn_bytes":%d,"scrub_last_finding":%q,"scrub_last_error":%q`,
+		st.passes, st.checked, st.corrupt, st.journalTorn, st.lastFinding, st.lastError)
+	if !st.lastEnd.IsZero() {
+		fmt.Fprintf(&b, `,"scrub_last_unix":%d`, st.lastEnd.Unix())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// renderPersistHealth renders the persist_health expvar: journal salvage
+// notes retained from startup and directory-sync failure accounting
+// (both previously logged once and dropped).
+func (s *Server) renderPersistHealth() string {
+	s.salvageMu.Lock()
+	salvage := len(s.salvage)
+	s.salvageMu.Unlock()
+	s.persistMu.Lock()
+	st := s.store
+	s.persistMu.Unlock()
+	var syncFails uint64
+	lastSyncErr := ""
+	if st != nil {
+		syncFails = st.SyncDirFailures()
+		lastSyncErr = st.LastSyncDirError()
+	}
+	return fmt.Sprintf(`{"attached":%t,"salvage_warnings":%d,"syncdir_failures":%d,"last_syncdir_error":%q}`,
+		st != nil, salvage, syncFails, lastSyncErr)
+}
+
+// stopScrubOnce halts the scrub loop and waits for it (idempotent; no-op
+// when scrubbing is disabled).
+func (s *Server) stopScrubOnce() {
+	s.scrubStopOnce.Do(func() { close(s.stopScrub) })
+	s.scrubWG.Wait()
+}
+
+// scrubSleep pauses for d, abandoning the wait (and reporting false)
+// when the scrub is being stopped.
+func (s *Server) scrubSleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-s.stopScrub:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// scrubLoop runs scrubOnce every ScrubInterval (jittered) until
+// Shutdown.
+func (s *Server) scrubLoop() {
+	defer s.scrubWG.Done()
+	for {
+		if !s.scrubSleep(cluster.Jitter(s.cfg.ScrubInterval)) {
+			return
+		}
+		s.scrubOnce(context.Background())
+	}
+}
+
+// scrubOnce runs one full verification pass over every registered
+// database plus the journal. It never blocks serving: reads are paced
+// and ledger-charged, verification works on immutable entries, and the
+// only mutations are the same install/rewrite paths registration uses.
+func (s *Server) scrubOnce(ctx context.Context) {
+	start := time.Now()
+	s.scrubMu.Lock()
+	s.scrubStat.lastStart = start
+	s.scrubMu.Unlock()
+
+	checked, corrupt := 0, 0
+	lastFinding, lastErr := "", ""
+	for _, e := range s.dbs.list() {
+		select {
+		case <-s.stopScrub:
+			return
+		default:
+		}
+		checked++
+		finding, serr := s.scrubDB(ctx, e)
+		if serr != "" {
+			lastErr = serr
+		}
+		if finding != "" {
+			corrupt++
+			lastFinding = finding
+			s.mScrubCorrupt.Inc()
+		}
+	}
+
+	journalTorn := 0
+	s.persistMu.Lock()
+	st := s.store
+	s.persistMu.Unlock()
+	if st != nil {
+		chk, err := st.VerifyJournal()
+		if err != nil {
+			lastErr = err.Error()
+		} else {
+			journalTorn = chk.TornBytes
+			if chk.TornBytes > 0 {
+				// Torn bytes right after a crash are normal (Open salvages
+				// them); torn bytes appearing between restarts are rot.
+				corrupt++
+				s.mScrubCorrupt.Inc()
+				lastFinding = fmt.Sprintf("journal: %d byte(s) fail checksum past record %d", chk.TornBytes, chk.Records)
+				s.cfg.Logger.Printf("event=scrub_journal_torn bytes=%d records=%d", chk.TornBytes, chk.Records)
+			}
+		}
+		if fails := st.SyncDirFailures(); fails > 0 && lastErr == "" {
+			lastErr = fmt.Sprintf("syncdir failures: %d (last: %s)", fails, st.LastSyncDirError())
+		}
+	}
+
+	s.mScrubPasses.Inc()
+	s.scrubMu.Lock()
+	s.scrubStat.passes++
+	s.scrubStat.lastEnd = time.Now()
+	s.scrubStat.checked = checked
+	s.scrubStat.corrupt = corrupt
+	s.scrubStat.lastFinding = lastFinding
+	s.scrubStat.journalTorn = journalTorn
+	s.scrubStat.lastError = lastErr
+	s.scrubMu.Unlock()
+	if corrupt > 0 {
+		s.cfg.Logger.Printf("event=scrub_pass checked=%d corrupt=%d dur_ms=%d",
+			checked, corrupt, time.Since(start).Milliseconds())
+	}
+}
+
+// scrubDB verifies one database in memory and on disk and applies the
+// repair matrix. It returns a human-readable finding ("" when healthy)
+// and an internal error string ("" when none).
+func (s *Server) scrubDB(ctx context.Context, e *dbEntry) (finding, internalErr string) {
+	// Memory: recompute the content digest and walk the structural
+	// invariants. Entries are immutable, so a mismatch means the heap
+	// bytes changed underneath us (or the entry was installed corrupt).
+	memOK := true
+	var memWhy string
+	if e.digest.Gen == e.gen {
+		if got, ok := integrity.Verify(e.db, e.digest); !ok {
+			memOK = false
+			memWhy = fmt.Sprintf("memory digest %s, expected %s", got, e.digest)
+		}
+	}
+	if err := faultinject.Point("integrity.digest"); err != nil && memOK {
+		memOK = false
+		memWhy = "memory digest corrupted (injected)"
+	}
+	if memOK {
+		if err := e.db.CheckConsistency(); err != nil {
+			memOK = false
+			memWhy = "structural: " + err.Error()
+		}
+	}
+	if !memOK {
+		s.mDigestMismatches.Inc()
+	}
+
+	// Disk: re-read the snapshot (paced, ledger-charged), CRC-check it by
+	// decoding, and verify the decode against the expected digest. diskDB
+	// is non-nil exactly when the on-disk copy is fully verified.
+	var diskDB *graphdb.DB
+	diskWhy := "no persistence store attached"
+	s.persistMu.Lock()
+	st := s.store
+	s.persistMu.Unlock()
+	if st != nil {
+		diskDB, diskWhy = s.scrubDisk(st, e)
+	}
+
+	switch {
+	case memOK && diskDB != nil, memOK && st == nil:
+		// Healthy (or memory-only). A quarantine that no longer has a
+		// cause — everything verifies — is lifted.
+		if s.isQuarantined(e.name) {
+			s.unquarantine(e.name, true)
+		}
+		return "", ""
+	case memOK && diskDB == nil:
+		// Disk rot under good memory: self-heal by rewriting the snapshot
+		// from the verified in-memory copy. Serving was never wrong (reads
+		// come from memory); the rewrite protects the next restart.
+		finding = fmt.Sprintf("%s gen %d: disk snapshot corrupt (%s); rewritten from verified memory", e.name, e.gen, diskWhy)
+		s.cfg.Logger.Printf("event=scrub_disk_heal db=%s gen=%d reason=%q", e.name, e.gen, diskWhy)
+		if err := st.RewriteSnapshot(e.gen, e.db, e.digest.Encode()); err != nil {
+			s.mRepairErrors.Inc()
+			return finding, fmt.Sprintf("rewriting snapshot for %s: %v", e.name, err)
+		}
+		s.mRepairs.Inc()
+		return finding, ""
+	case !memOK && diskDB != nil:
+		// Memory rot under good disk: reinstall the verified on-disk copy
+		// at the same generation. The plan cache may hold materializations
+		// built from the corrupt heap, so the generation's entries are
+		// invalidated even though the generation number survives.
+		finding = fmt.Sprintf("%s gen %d: in-memory copy corrupt (%s); reinstalled from verified disk", e.name, e.gen, memWhy)
+		s.cfg.Logger.Printf("event=scrub_memory_heal db=%s gen=%d reason=%q", e.name, e.gen, memWhy)
+		s.persistMu.Lock()
+		if cur, ok := s.dbs.get(e.name); ok && cur.gen == e.gen {
+			s.dbs.installWithGen(e.name, diskDB, e.gen, e.registeredAt, e.stats, e.digest)
+			s.cache.InvalidateGeneration(e.gen)
+			s.unquarantine(e.name, true)
+		}
+		s.persistMu.Unlock()
+		s.mRepairs.Inc()
+		return finding, ""
+	default:
+		// Both copies bad (or memory bad with no store): quarantine. A
+		// replica's repair loop re-fetches from the ring owner; an owner
+		// (or single node) stays quarantined until re-registration.
+		finding = fmt.Sprintf("%s gen %d: memory (%s) and disk (%s) both fail verification", e.name, e.gen, memWhy, diskWhy)
+		s.quarantine(e.name, finding)
+		return finding, ""
+	}
+}
+
+// scrubDisk re-reads and fully verifies e's on-disk snapshot, returning
+// the decoded database on success and a reason string on failure. The
+// read is charged to the govern ledger (a scrub competes with queries
+// for memory, it does not bypass the budget) and paced to
+// ScrubPaceBytes per second so a large database cannot monopolize disk
+// bandwidth.
+func (s *Server) scrubDisk(st *persist.Store, e *dbEntry) (*graphdb.DB, string) {
+	size, err := st.SnapshotSize(e.gen)
+	if err != nil {
+		return nil, fmt.Sprintf("stat: %v", err)
+	}
+	res, rerr := s.broker.Reserve(size)
+	if rerr != nil {
+		// Budget pressure: skip this database's disk check rather than
+		// worsen an overload; the next pass retries.
+		return nil, "skipped: " + rerr.Error()
+	}
+	defer res.Release()
+	if !s.scrubSleep(time.Duration(size * int64(time.Second) / s.cfg.ScrubPaceBytes)) {
+		return nil, "skipped: scrub stopping"
+	}
+	raw, err := st.ReadSnapshot(e.gen)
+	if err != nil {
+		return nil, fmt.Sprintf("read: %v", err)
+	}
+	if ferr := faultinject.Point("integrity.bitflip"); ferr != nil && len(raw) > 0 {
+		// Chaos: at-rest rot, one flipped bit in the middle of the file.
+		raw[len(raw)/2] ^= 0x04
+	}
+	db, err := persist.DecodeSnapshot(raw)
+	if err != nil {
+		return nil, fmt.Sprintf("decode: %v", err)
+	}
+	if e.digest.Gen == e.gen {
+		if got, ok := integrity.Verify(db, e.digest); !ok {
+			return nil, fmt.Sprintf("disk digest %s, expected %s", got, e.digest)
+		}
+	}
+	return db, ""
+}
+
+// repairLoop watches the quarantine table on a cluster node and
+// re-fetches quarantined databases this node does not own from their
+// ring owner. Runs at the catch-up cadence (jittered); single-node
+// repair is the scrub's job (disk↔memory) or the operator's
+// (re-register).
+func (s *Server) repairLoop(ctx context.Context, st *clusterState) {
+	defer s.clusterWG.Done()
+	timer := time.NewTimer(cluster.Jitter(st.c.CatchupInterval()))
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-timer.C:
+		}
+		for name := range s.quarantineSnapshot() {
+			if !st.c.IsOwner(name) {
+				s.repairOne(ctx, st.c, name)
+			}
+		}
+		timer.Reset(cluster.Jitter(st.c.CatchupInterval()))
+	}
+}
+
+// repairOne pulls a fresh verified copy of one quarantined database from
+// its ring owner by reporting generation 0 for it (forcing a full
+// re-send) while reporting true generations for everything else that
+// owner owns (so nothing else is re-shipped). The apply path verifies
+// the shipped digest and lifts the quarantine.
+func (s *Server) repairOne(ctx context.Context, c *cluster.Cluster, name string) {
+	owner := c.Owner(name)
+	if owner.ID == c.Self().ID || !c.Healthy(owner.ID) {
+		return
+	}
+	have := map[string]uint64{name: 0}
+	for _, e := range s.dbs.list() {
+		if e.name != name && c.Owner(e.name).ID == owner.ID {
+			have[e.name] = e.gen
+		}
+	}
+	pctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	resp, err := c.ClientFor(owner.ID).ReplicatePull(pctx, client.PullRequest{Node: c.Self().ID, Have: have})
+	cancel()
+	if err != nil {
+		s.mRepairErrors.Inc()
+		s.cfg.Logger.Printf("event=integrity_repair_failed db=%s owner=%s err=%q", name, owner.ID, err)
+		return
+	}
+	for _, rec := range resp.Records {
+		if rec.Name != name {
+			continue
+		}
+		applied, _, aerr := s.applyReplicated(ctx, rec)
+		if aerr != nil {
+			s.mRepairErrors.Inc()
+			s.cfg.Logger.Printf("event=integrity_repair_failed db=%s owner=%s err=%q", name, owner.ID, aerr)
+			return
+		}
+		if applied {
+			s.cfg.Logger.Printf("event=integrity_refetched db=%s gen=%d from=%s", name, rec.Gen, owner.ID)
+		}
+	}
+}
+
+// antiEntropyLoop periodically compares this node's (generation, digest)
+// pairs against each database's ring owner. The comparison is
+// one-directional — every non-owner holder checks itself against the
+// owner — which converges without all-pairs chatter: the owner is the
+// generation authority, and an owner that rots is caught by its own
+// scrub.
+func (s *Server) antiEntropyLoop(ctx context.Context, st *clusterState) {
+	defer s.clusterWG.Done()
+	timer := time.NewTimer(cluster.Jitter(s.cfg.AntiEntropyInterval))
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-timer.C:
+		}
+		s.antiEntropyOnce(ctx, st.c)
+		timer.Reset(cluster.Jitter(s.cfg.AntiEntropyInterval))
+	}
+}
+
+// antiEntropyOnce performs one comparison round.
+func (s *Server) antiEntropyOnce(ctx context.Context, c *cluster.Cluster) {
+	s.mAERounds.Inc()
+	self := c.Self().ID
+	for _, e := range s.dbs.list() {
+		owner := c.Owner(e.name)
+		if owner.ID == self || !c.Healthy(owner.ID) {
+			continue
+		}
+		if err := faultinject.Point("cluster.partition"); err != nil {
+			continue
+		}
+		ictx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		info, err := c.ClientFor(owner.ID).Integrity(ictx, e.name)
+		cancel()
+		if err != nil {
+			continue // owner may not hold it yet, or be mid-restart; next round
+		}
+		if info.Quarantined {
+			continue // the owner's own copy is suspect; don't compare against it
+		}
+		// A generation gap is the catch-up loop's job, not corruption.
+		// Divergence is same generation, different content.
+		if info.Gen == e.gen && info.Digest != e.digest.String() {
+			s.mAEDivergent.Inc()
+			s.mDigestMismatches.Inc()
+			s.quarantine(e.name, fmt.Sprintf(
+				"anti-entropy: gen %d digest %s diverges from owner %s's %s",
+				e.gen, e.digest, owner.ID, info.Digest))
+		}
+	}
+}

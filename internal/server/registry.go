@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ecrpq/internal/graphdb"
+	"ecrpq/internal/integrity"
 	"ecrpq/internal/stats"
 )
 
@@ -23,6 +24,11 @@ type dbEntry struct {
 	// statistics" — the planner falls back to the fixed auto rule, so a
 	// failed or skipped stats computation never blocks registration.
 	stats *stats.Catalog
+	// digest is the content digest computed (or verified against the
+	// owner's) at install time, bound to gen. The scrub re-verifies
+	// memory against it and the anti-entropy sweep compares it across
+	// holders. Gen==0 means "no digest" (pre-digest journal replay).
+	digest integrity.Digest
 }
 
 // dbRegistry is the named-database table: concurrent register / replace /
@@ -44,7 +50,8 @@ func newDBRegistry() *dbRegistry {
 // returns the new entry and, when a previous entry was replaced, its
 // generation (for cache invalidation).
 func (r *dbRegistry) register(name string, db *graphdb.DB) (entry *dbEntry, replacedGen uint64, replaced bool) {
-	return r.installWithGen(name, db, r.allocGen(), time.Now(), nil)
+	gen := r.allocGen()
+	return r.installWithGen(name, db, gen, time.Now(), nil, integrity.Compute(db, gen))
 }
 
 // allocGen reserves the next generation. Splitting allocation from
@@ -62,7 +69,7 @@ func (r *dbRegistry) allocGen() uint64 {
 // journal-replayed) generation. The counter is bumped to at least gen so
 // generations stay globally monotonic across restarts — which is what
 // keeps plan-cache invalidation correct after a reload.
-func (r *dbRegistry) installWithGen(name string, db *graphdb.DB, gen uint64, at time.Time, cat *stats.Catalog) (entry *dbEntry, replacedGen uint64, replaced bool) {
+func (r *dbRegistry) installWithGen(name string, db *graphdb.DB, gen uint64, at time.Time, cat *stats.Catalog, dg integrity.Digest) (entry *dbEntry, replacedGen uint64, replaced bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if old, ok := r.entries[name]; ok {
@@ -71,7 +78,7 @@ func (r *dbRegistry) installWithGen(name string, db *graphdb.DB, gen uint64, at 
 	if gen > r.nextGen {
 		r.nextGen = gen
 	}
-	entry = &dbEntry{name: name, db: db, gen: gen, registeredAt: at, stats: cat}
+	entry = &dbEntry{name: name, db: db, gen: gen, registeredAt: at, stats: cat, digest: dg}
 	r.entries[name] = entry
 	return entry, replacedGen, replaced
 }

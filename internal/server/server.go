@@ -39,6 +39,7 @@ import (
 	"ecrpq/internal/core"
 	"ecrpq/internal/govern"
 	"ecrpq/internal/graphdb"
+	"ecrpq/internal/integrity"
 	"ecrpq/internal/invariant"
 	"ecrpq/internal/persist"
 	"ecrpq/internal/plancache"
@@ -127,6 +128,21 @@ type Config struct {
 	DisableStats bool
 	// Planner tunes the cost-based planner (zero value = defaults).
 	Planner planner.Config
+	// ScrubInterval enables the background integrity scrub at this cadence
+	// (0 = disabled). Each pass re-verifies every registered database's
+	// in-memory content digest and structural invariants, its on-disk
+	// snapshot CRC, and the journal tail, quarantining (not crashing on)
+	// anything corrupt.
+	ScrubInterval time.Duration
+	// ScrubPaceBytes bounds how many snapshot bytes one scrub pass reads
+	// from disk per second (default 8 MiB/s when scrubbing is enabled), so
+	// the scrub cannot starve serving I/O.
+	ScrubPaceBytes int64
+	// AntiEntropyInterval enables the periodic cross-holder (generation,
+	// digest) comparison in cluster mode (0 = disabled). A holder that
+	// finds itself divergent from the owner at the same generation
+	// quarantines the database and schedules a repair pull.
+	AntiEntropyInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -171,6 +187,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EnumerateMaxLimit <= 0 {
 		c.EnumerateMaxLimit = 1000
+	}
+	if c.ScrubPaceBytes <= 0 {
+		c.ScrubPaceBytes = 8 << 20
 	}
 	return c
 }
@@ -262,6 +281,36 @@ type Server struct {
 	mApplyStale     *metrics.Counter // replication records ignored: at/below local generation
 	mCatchupPulls   *metrics.Counter // catch-up pull rounds completed
 	mCatchupApplied *metrics.Counter // records repaired via catch-up
+
+	// Integrity subsystem state (see integrity.go in this package).
+	// quarMu guards quarantined: name → human-readable corruption reason.
+	// A quarantined database refuses local reads with a typed 503
+	// CORRUPT_LOCAL (cluster nodes fail reads over to healthy holders)
+	// until a repair re-installs verified content. salvageMu/salvage
+	// retain the persist layer's torn-tail salvage notes, previously
+	// logged once and dropped, for /healthz and expvar. scrubMu/scrubStat
+	// expose the last scrub pass; stopScrub halts the loops at Shutdown.
+	quarMu        sync.Mutex
+	quarantined   map[string]string
+	salvageMu     sync.Mutex
+	salvage       []string
+	scrubMu       sync.Mutex
+	scrubStat     scrubStatus
+	stopScrub     chan struct{}
+	scrubStopOnce sync.Once
+	scrubWG       sync.WaitGroup
+
+	mDigestsComputed  *metrics.Counter // content digests computed at register/restore time
+	mDigestMismatches *metrics.Counter // digest verifications that failed (any path)
+	mScrubPasses      *metrics.Counter // completed background scrub passes
+	mScrubCorrupt     *metrics.Counter // corruption findings from scrub passes
+	mQuarantines      *metrics.Counter // databases placed in quarantine
+	mRepairs          *metrics.Counter // quarantined databases restored to verified state
+	mRepairErrors     *metrics.Counter // repair attempts that failed (retried next round)
+	mApplyRejected    *metrics.Counter // replicate records rejected: shipped digest mismatch
+	mAERounds         *metrics.Counter // anti-entropy comparison rounds completed
+	mAEDivergent      *metrics.Counter // anti-entropy comparisons that found divergence
+	mCorruptRefused   *metrics.Counter // reads refused with 503 CORRUPT_LOCAL
 }
 
 // New returns a ready-to-serve daemon. Callers own the HTTP listener
@@ -269,14 +318,16 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		dbs:      newDBRegistry(),
-		cache:    plancache.New(cfg.CacheBudgetBytes),
-		mux:      http.NewServeMux(),
-		reg:      metrics.NewRegistry(),
-		started:  time.Now(),
-		dbCache:  make(map[string]*dbCacheCounters),
-		genNames: make(map[uint64]string),
+		cfg:         cfg,
+		dbs:         newDBRegistry(),
+		cache:       plancache.New(cfg.CacheBudgetBytes),
+		mux:         http.NewServeMux(),
+		reg:         metrics.NewRegistry(),
+		started:     time.Now(),
+		dbCache:     make(map[string]*dbCacheCounters),
+		genNames:    make(map[uint64]string),
+		quarantined: make(map[string]string),
+		stopScrub:   make(chan struct{}),
 	}
 	// One ledger for everything resident: live evaluations reserve from
 	// the broker and the plan cache charges its entries to it, so a cached
@@ -326,6 +377,17 @@ func New(cfg Config) *Server {
 	s.mApplyStale = s.reg.Counter("cluster_replicate_stale_total")
 	s.mCatchupPulls = s.reg.Counter("cluster_catchup_pulls_total")
 	s.mCatchupApplied = s.reg.Counter("cluster_catchup_applied_total")
+	s.mDigestsComputed = s.reg.Counter("integrity_digests_computed_total")
+	s.mDigestMismatches = s.reg.Counter("integrity_digest_mismatches_total")
+	s.mScrubPasses = s.reg.Counter("integrity_scrub_passes_total")
+	s.mScrubCorrupt = s.reg.Counter("integrity_scrub_corrupt_total")
+	s.mQuarantines = s.reg.Counter("integrity_quarantines_total")
+	s.mRepairs = s.reg.Counter("integrity_repairs_total")
+	s.mRepairErrors = s.reg.Counter("integrity_repair_errors_total")
+	s.mApplyRejected = s.reg.Counter("integrity_apply_rejected_total")
+	s.mAERounds = s.reg.Counter("integrity_anti_entropy_rounds_total")
+	s.mAEDivergent = s.reg.Counter("integrity_anti_entropy_divergent_total")
+	s.mCorruptRefused = s.reg.Counter("integrity_corrupt_refused_total")
 	// The pool is built after the metrics and shedder it feeds.
 	s.pool = newWorkerPool(cfg.Workers, cfg.QueueDepth,
 		func() { s.mDroppedExpired.Inc() },
@@ -352,6 +414,8 @@ func New(cfg Config) *Server {
 	s.reg.Func("uptime_seconds", func() string {
 		return fmt.Sprintf("%.0f", time.Since(s.started).Seconds())
 	})
+	s.reg.Func("integrity", s.renderIntegrity)
+	s.reg.Func("persist_health", s.renderPersistHealth)
 
 	s.mux.HandleFunc("POST /v1/dbs/{name}", s.wrap(s.handleRegisterDB))
 	s.mux.HandleFunc("DELETE /v1/dbs/{name}", s.wrap(s.handleDropDB))
@@ -367,9 +431,14 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/cluster", s.wrap(s.handleClusterStatus))
 	s.mux.HandleFunc("POST /v1/replicate", s.wrap(s.handleReplicate))
 	s.mux.HandleFunc("POST /v1/replicate/pull", s.wrap(s.handleReplicatePull))
+	s.mux.HandleFunc("GET /v1/integrity/{name}", s.wrap(s.handleIntegrity))
 	s.mux.HandleFunc("GET /debug/vars", s.wrap(s.handleDebugVars))
 	s.mux.HandleFunc("GET /debug/trace/recent", s.wrap(s.handleTraceRecent))
 	s.mux.HandleFunc("GET /debug/trace/chrome", s.wrap(s.handleTraceChrome))
+	if cfg.ScrubInterval > 0 {
+		s.scrubWG.Add(1)
+		go s.scrubLoop()
+	}
 	return s
 }
 
@@ -417,9 +486,16 @@ func (s *Server) AttachStore(st *persist.Store) (int, error) {
 	if s.store != nil {
 		return 0, fmt.Errorf("server: a store is already attached")
 	}
-	for _, w := range st.Warnings() {
+	warnings := st.Warnings()
+	for _, w := range warnings {
 		s.cfg.Logger.Printf("event=persist_warning msg=%q", w)
 	}
+	// Salvage notes used to be logged once and dropped; retain them so
+	// /healthz and the persist_health expvar can report what the journal
+	// recovery discarded long after the startup log has scrolled away.
+	s.salvageMu.Lock()
+	s.salvage = append(s.salvage, warnings...)
+	s.salvageMu.Unlock()
 	entries := st.Entries()
 	for _, e := range entries {
 		// Prefer the persisted stats sidecar; recompute when it is absent,
@@ -434,10 +510,25 @@ func (s *Server) AttachStore(st *persist.Store) (int, error) {
 		if cat == nil {
 			cat = s.computeStats(context.Background(), e.DB, e.Gen)
 		}
-		s.dbs.installWithGen(e.Name, e.DB, e.Gen, e.RegisteredAt, cat)
+		// Verify the restored database against its persisted digest
+		// sidecar. The snapshot's CRC already vouches for the bytes on
+		// disk; the digest additionally vouches that those bytes decode to
+		// the content that was registered. A mismatch (or a sidecar from a
+		// different generation) means at-rest damage the CRC could not
+		// see — install the entry but quarantine it rather than serve
+		// potentially wrong answers or refuse to start.
+		dg := integrity.Compute(e.DB, e.Gen)
+		s.mDigestsComputed.Inc()
+		if len(e.Digest) > 0 {
+			if want, err := integrity.Decode(e.Digest); err == nil && want.Gen == e.Gen && want != dg {
+				s.mDigestMismatches.Inc()
+				s.quarantine(e.Name, fmt.Sprintf("restore: digest mismatch (disk %s, computed %s)", want, dg))
+			}
+		}
+		s.dbs.installWithGen(e.Name, e.DB, e.Gen, e.RegisteredAt, cat, dg)
 		s.noteGenName(e.Gen, e.Name)
-		s.cfg.Logger.Printf("event=restore_db name=%s gen=%d vertices=%d stats=%t",
-			e.Name, e.Gen, e.DB.NumVertices(), cat != nil)
+		s.cfg.Logger.Printf("event=restore_db name=%s gen=%d vertices=%d stats=%t digest=%s",
+			e.Name, e.Gen, e.DB.NumVertices(), cat != nil, dg)
 	}
 	s.dbs.bumpGen(st.MaxGen())
 	s.store = st
@@ -464,18 +555,28 @@ func (s *Server) doRegister(ctx context.Context, name string, db *graphdb.DB) (e
 	if cat != nil {
 		statsJSON = cat.Encode()
 	}
+	// The content digest is computed before the durability write so the
+	// sidecar and the replication record carry it: replicas verify decoded
+	// snapshots against it, the scrub re-verifies memory and disk against
+	// it, and anti-entropy compares it across holders.
+	dg := integrity.Compute(db, gen)
+	s.mDigestsComputed.Inc()
 	if s.store != nil {
-		if err := s.store.AppendRegisterWithStats(ctx, name, gen, at, db, statsJSON); err != nil {
+		if err := s.store.AppendRegisterWithSidecars(ctx, name, gen, at, db, statsJSON, dg.Encode()); err != nil {
 			return nil, false, fmt.Errorf("persisting %q: %w", name, err)
 		}
 	}
-	entry, replacedGen, replaced := s.dbs.installWithGen(name, db, gen, at, cat)
+	entry, replacedGen, replaced := s.dbs.installWithGen(name, db, gen, at, cat, dg)
 	s.noteGenName(gen, name)
+	// A replacement registration supersedes any quarantine on the name:
+	// the corrupt generation is gone and the new content is freshly
+	// digested.
+	s.unquarantine(name, false)
 	if replaced {
 		s.cache.InvalidateGeneration(replacedGen)
 		s.dropGenName(replacedGen)
 	}
-	s.shipRegister(name, gen, at, db, statsJSON)
+	s.shipRegister(name, gen, at, db, statsJSON, dg.Encode())
 	return entry, replaced, nil
 }
 
@@ -500,6 +601,7 @@ func (s *Server) doDrop(ctx context.Context, name string) (gen uint64, ok bool, 
 	if ok {
 		s.cache.InvalidateGeneration(gen)
 		s.dropGenName(gen)
+		s.unquarantine(name, false)
 		s.shipDrop(name, gen)
 	}
 	return gen, ok, nil
@@ -525,6 +627,10 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // concurrently; Shutdown is idempotent.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	// Stop the background scrub before the cluster machinery: a scrub
+	// mid-pass must not race registry teardown or schedule repairs into a
+	// dying process.
+	s.stopScrubOnce()
 	// Stop cluster machinery first: probers, the replication shipper, and
 	// the catch-up loop must not keep calling peers (or applying records)
 	// while the registry is being torn down.
@@ -602,12 +708,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":         status,
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"databases":      s.dbs.size(),
 		"inflight":       s.inflight.Load(),
-	})
+	}
+	// Degraded-but-alive detail: journal salvage notes from the last
+	// restart and any databases currently quarantined by the integrity
+	// subsystem. Liveness stays 200 — the process is healthy even when
+	// some content is not — but operators probing /healthz see the damage.
+	s.salvageMu.Lock()
+	if len(s.salvage) > 0 {
+		body["persist_salvage"] = append([]string(nil), s.salvage...)
+	}
+	s.salvageMu.Unlock()
+	if q := s.quarantineSnapshot(); len(q) > 0 {
+		body["quarantined"] = q
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleReadyz reports readiness to take traffic: 503 once draining
