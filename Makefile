@@ -123,7 +123,7 @@ plan-gate:
 integrity-gate:
 	$(GO) test -race -count=1 ./internal/integrity/
 	$(GO) test -race -count=1 -tags faultinject ./internal/persist/ ./internal/server/ \
-		-run 'TestDigest|TestSidecar|TestScrub|TestQuarantine|TestIntegrity|TestAntiEntropy|TestReplicateRejects|TestClusterCorruption|TestChaosScrub|TestChaosReplicateDivergence|TestChaosClusterBitflip|TestChaosCrashBeforeSidecarRename'
+		-run 'TestDigest|TestSidecar|TestScrub|TestQuarantine|TestIntegrity|TestAntiEntropy|TestReplicateRejects|TestClusterCorruption|TestChaosScrub|TestChaosReplicateDivergence|TestChaosClusterBitflip|TestChaosCrashBeforeSidecarRename|TestRestoreDigestMismatch|TestVerifyJournal'
 
 ## ci mirrors the GitHub Actions gate: build, vet, lint, tests, race
 ## tests, chaos suite, trace/govern zero-alloc gates, the streaming

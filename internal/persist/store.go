@@ -472,22 +472,37 @@ type JournalCheck struct {
 }
 
 // VerifyJournal re-reads the journal from disk and re-validates every
-// record checksum, under the store mutex so a concurrent append cannot
-// masquerade as a torn tail. Used by the background scrub; a non-zero
-// TornBytes between restarts means bytes that were once fsynced no
-// longer check out — bit rot, not a crash artifact.
+// record checksum. Used by the background scrub; a non-zero TornBytes
+// between restarts means bytes that were once fsynced no longer check
+// out — bit rot, not a crash artifact.
+//
+// Only the length snapshot happens under the store mutex (appends hold
+// it too, so the recorded length always sits on a record boundary); the
+// file read and scan run outside it, ignoring bytes past that length.
+// A concurrent append can therefore never masquerade as a torn tail,
+// and a scrub pass never stalls registrations and drops for the
+// duration of a full journal read.
 func (s *Store) VerifyJournal() (JournalCheck, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return JournalCheck{}, fmt.Errorf("persist: store is closed")
 	}
+	fi, err := s.journal.Stat()
+	s.mu.Unlock()
+	if err != nil {
+		return JournalCheck{}, fmt.Errorf("persist: statting journal: %w", err)
+	}
+	limit := fi.Size()
 	data, err := os.ReadFile(filepath.Join(s.dir, journalName))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return JournalCheck{}, nil
 		}
 		return JournalCheck{}, fmt.Errorf("persist: reading journal: %w", err)
+	}
+	if int64(len(data)) > limit {
+		data = data[:limit]
 	}
 	recs, validEnd := scanJournal(data)
 	return JournalCheck{Records: len(recs), TornBytes: len(data) - validEnd}, nil

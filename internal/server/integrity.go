@@ -37,8 +37,11 @@ package server
 // without the faultinject build tag.
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -53,14 +56,28 @@ import (
 	"context"
 )
 
-// quarantine marks name corrupt-local. Idempotent: the first reason
+// quarRecord is one quarantine-table entry: why the database was
+// quarantined, and whether a scrub pass that finds everything verifying
+// may lift it. Scrub and restore quarantines are locally re-verifiable —
+// their cause is a digest/structural check the scrub itself re-runs, so
+// "everything now verifies" genuinely contradicts the finding. An
+// anti-entropy quarantine records divergence from the ring owner, which
+// no amount of local verification can rule out (the divergent content is
+// self-consistent by construction) — only a verified re-install
+// (repair pull, replacement registration, or drop) lifts it.
+type quarRecord struct {
+	reason        string
+	scrubLiftable bool
+}
+
+// quarantine marks name corrupt-local. Idempotent: the first record
 // sticks (it names the original finding; later findings are usually
 // consequences).
-func (s *Server) quarantine(name, reason string) {
+func (s *Server) quarantine(name, reason string, scrubLiftable bool) {
 	s.quarMu.Lock()
 	_, already := s.quarantined[name]
 	if !already {
-		s.quarantined[name] = reason
+		s.quarantined[name] = quarRecord{reason: reason, scrubLiftable: scrubLiftable}
 	}
 	s.quarMu.Unlock()
 	if !already {
@@ -84,6 +101,24 @@ func (s *Server) unquarantine(name string, repaired bool) {
 	}
 }
 
+// unquarantineScrubVerified lifts a quarantine on the strength of local
+// verification alone (the scrub's healthy and memory-heal outcomes). It
+// refuses to lift records whose cause the scrub cannot re-check — an
+// anti-entropy divergence stays quarantined until a verified re-install.
+func (s *Server) unquarantineScrubVerified(name string) {
+	s.quarMu.Lock()
+	rec, was := s.quarantined[name]
+	lift := was && rec.scrubLiftable
+	if lift {
+		delete(s.quarantined, name)
+	}
+	s.quarMu.Unlock()
+	if lift {
+		s.mRepairs.Inc()
+		s.cfg.Logger.Printf("event=integrity_repaired db=%s", name)
+	}
+}
+
 // isQuarantined reports whether name is currently corrupt-local.
 func (s *Server) isQuarantined(name string) bool {
 	s.quarMu.Lock()
@@ -101,7 +136,7 @@ func (s *Server) quarantineSnapshot() map[string]string {
 	}
 	out := make(map[string]string, len(s.quarantined))
 	for k, v := range s.quarantined {
-		out[k] = v
+		out[k] = v.reason
 	}
 	return out
 }
@@ -111,7 +146,7 @@ func (s *Server) quarantineSnapshot() map[string]string {
 // next attempt the repair loop may have re-fetched a verified copy.
 func (s *Server) refuseCorrupt(w http.ResponseWriter, name string) {
 	s.quarMu.Lock()
-	reason := s.quarantined[name]
+	reason := s.quarantined[name].reason
 	s.quarMu.Unlock()
 	s.mCorruptRefused.Inc()
 	w.Header().Set("Retry-After", "2")
@@ -376,26 +411,37 @@ func (s *Server) scrubDB(ctx context.Context, e *dbEntry) (finding, internalErr 
 	}
 
 	// Disk: re-read the snapshot (paced, ledger-charged), CRC-check it by
-	// decoding, and verify the decode against the expected digest. diskDB
-	// is non-nil exactly when the on-disk copy is fully verified.
+	// decoding, and verify the decode against the expected digest. The
+	// verdict is a tri-state — a skipped or failed check is not evidence
+	// of rot, so it must never trigger a heal.
+	diskSt := diskUnknown
 	var diskDB *graphdb.DB
 	diskWhy := "no persistence store attached"
 	s.persistMu.Lock()
 	st := s.store
 	s.persistMu.Unlock()
 	if st != nil {
-		diskDB, diskWhy = s.scrubDisk(st, e)
+		diskDB, diskSt, diskWhy = s.scrubDisk(st, e)
 	}
 
 	switch {
-	case memOK && diskDB != nil, memOK && st == nil:
-		// Healthy (or memory-only). A quarantine that no longer has a
-		// cause — everything verifies — is lifted.
-		if s.isQuarantined(e.name) {
-			s.unquarantine(e.name, true)
+	case memOK && (diskSt == diskVerified || st == nil):
+		// Healthy (or memory-only). A quarantine whose cause this pass
+		// just re-checked — everything verifies — is lifted; an
+		// anti-entropy quarantine is not (local verification cannot rule
+		// out divergence from the owner).
+		s.unquarantineScrubVerified(e.name)
+		return "", ""
+	case memOK && diskSt == diskUnknown:
+		// Disk state unknown (ledger pressure, scrub stopping, stat
+		// error): not a finding. Rewriting the snapshot here would churn
+		// disk on every pass under memory pressure for no reason; the
+		// next pass retries the check.
+		if diskWhy != "" && !strings.HasPrefix(diskWhy, "skipped:") {
+			return "", fmt.Sprintf("disk check for %s gen %d inconclusive: %s", e.name, e.gen, diskWhy)
 		}
 		return "", ""
-	case memOK && diskDB == nil:
+	case memOK && diskSt == diskCorrupt:
 		// Disk rot under good memory: self-heal by rewriting the snapshot
 		// from the verified in-memory copy. Serving was never wrong (reads
 		// come from memory); the rewrite protects the next restart.
@@ -407,56 +453,88 @@ func (s *Server) scrubDB(ctx context.Context, e *dbEntry) (finding, internalErr 
 		}
 		s.mRepairs.Inc()
 		return finding, ""
-	case !memOK && diskDB != nil:
+	case !memOK && diskSt == diskVerified:
 		// Memory rot under good disk: reinstall the verified on-disk copy
 		// at the same generation. The plan cache may hold materializations
 		// built from the corrupt heap, so the generation's entries are
-		// invalidated even though the generation number survives.
-		finding = fmt.Sprintf("%s gen %d: in-memory copy corrupt (%s); reinstalled from verified disk", e.name, e.gen, memWhy)
-		s.cfg.Logger.Printf("event=scrub_memory_heal db=%s gen=%d reason=%q", e.name, e.gen, memWhy)
+		// invalidated even though the generation number survives. The
+		// reinstall is guarded: a concurrent replacement (a newer
+		// generation arrived while the scrub read disk) means there is
+		// nothing left to heal — no repair is counted or reported. Stats
+		// are recomputed from the verified disk copy rather than reusing a
+		// catalog possibly built over the corrupt heap.
 		s.persistMu.Lock()
+		healed := false
 		if cur, ok := s.dbs.get(e.name); ok && cur.gen == e.gen {
-			s.dbs.installWithGen(e.name, diskDB, e.gen, e.registeredAt, e.stats, e.digest)
+			cat := s.computeStats(ctx, diskDB, e.gen)
+			s.dbs.installWithGen(e.name, diskDB, e.gen, e.registeredAt, cat, e.digest)
 			s.cache.InvalidateGeneration(e.gen)
-			s.unquarantine(e.name, true)
+			s.unquarantineScrubVerified(e.name)
+			healed = true
 		}
 		s.persistMu.Unlock()
+		if !healed {
+			return "", ""
+		}
+		finding = fmt.Sprintf("%s gen %d: in-memory copy corrupt (%s); reinstalled from verified disk", e.name, e.gen, memWhy)
+		s.cfg.Logger.Printf("event=scrub_memory_heal db=%s gen=%d reason=%q", e.name, e.gen, memWhy)
 		s.mRepairs.Inc()
 		return finding, ""
 	default:
-		// Both copies bad (or memory bad with no store): quarantine. A
-		// replica's repair loop re-fetches from the ring owner; an owner
-		// (or single node) stays quarantined until re-registration.
-		finding = fmt.Sprintf("%s gen %d: memory (%s) and disk (%s) both fail verification", e.name, e.gen, memWhy, diskWhy)
-		s.quarantine(e.name, finding)
+		// Memory bad with no verified disk copy to heal from (disk also
+		// bad, disk state unknown, or no store): quarantine. A replica's
+		// repair loop re-fetches from the ring owner; an owner (or single
+		// node) stays quarantined until re-registration — or until a later
+		// pass verifies the disk copy and reinstalls it.
+		finding = fmt.Sprintf("%s gen %d: memory fails verification (%s); disk: %s", e.name, e.gen, memWhy, diskWhy)
+		s.quarantine(e.name, finding, true)
 		return finding, ""
 	}
 }
 
-// scrubDisk re-reads and fully verifies e's on-disk snapshot, returning
-// the decoded database on success and a reason string on failure. The
-// read is charged to the govern ledger (a scrub competes with queries
-// for memory, it does not bypass the budget) and paced to
-// ScrubPaceBytes per second so a large database cannot monopolize disk
-// bandwidth.
-func (s *Server) scrubDisk(st *persist.Store, e *dbEntry) (*graphdb.DB, string) {
+// diskVerdict is scrubDisk's conclusion about the on-disk snapshot.
+type diskVerdict int
+
+const (
+	// diskUnknown: the check could not run to completion (ledger
+	// pressure, scrub shutdown, stat error) — no evidence either way.
+	diskUnknown diskVerdict = iota
+	// diskVerified: the snapshot read, decoded, and digest-verified.
+	diskVerified
+	// diskCorrupt: the snapshot is positively damaged (missing, fails
+	// CRC/decode, or decodes to content with the wrong digest).
+	diskCorrupt
+)
+
+// scrubDisk re-reads and fully verifies e's on-disk snapshot. The read
+// is charged to the govern ledger (a scrub competes with queries for
+// memory, it does not bypass the budget) and paced to ScrubPaceBytes per
+// second so a large database cannot monopolize disk bandwidth. The
+// decoded database is non-nil exactly when the verdict is diskVerified;
+// the reason string explains any other verdict.
+func (s *Server) scrubDisk(st *persist.Store, e *dbEntry) (*graphdb.DB, diskVerdict, string) {
 	size, err := st.SnapshotSize(e.gen)
 	if err != nil {
-		return nil, fmt.Sprintf("stat: %v", err)
+		if errors.Is(err, os.ErrNotExist) {
+			// A missing snapshot is positive damage: a restart would lose
+			// the database. The rewrite heal recreates it.
+			return nil, diskCorrupt, fmt.Sprintf("stat: %v", err)
+		}
+		return nil, diskUnknown, fmt.Sprintf("stat: %v", err)
 	}
 	res, rerr := s.broker.Reserve(size)
 	if rerr != nil {
 		// Budget pressure: skip this database's disk check rather than
 		// worsen an overload; the next pass retries.
-		return nil, "skipped: " + rerr.Error()
+		return nil, diskUnknown, "skipped: " + rerr.Error()
 	}
 	defer res.Release()
-	if !s.scrubSleep(time.Duration(size * int64(time.Second) / s.cfg.ScrubPaceBytes)) {
-		return nil, "skipped: scrub stopping"
+	if !s.scrubSleep(scrubPaceDelay(size, s.cfg.ScrubPaceBytes)) {
+		return nil, diskUnknown, "skipped: scrub stopping"
 	}
 	raw, err := st.ReadSnapshot(e.gen)
 	if err != nil {
-		return nil, fmt.Sprintf("read: %v", err)
+		return nil, diskCorrupt, fmt.Sprintf("read: %v", err)
 	}
 	if ferr := faultinject.Point("integrity.bitflip"); ferr != nil && len(raw) > 0 {
 		// Chaos: at-rest rot, one flipped bit in the middle of the file.
@@ -464,14 +542,32 @@ func (s *Server) scrubDisk(st *persist.Store, e *dbEntry) (*graphdb.DB, string) 
 	}
 	db, err := persist.DecodeSnapshot(raw)
 	if err != nil {
-		return nil, fmt.Sprintf("decode: %v", err)
+		return nil, diskCorrupt, fmt.Sprintf("decode: %v", err)
 	}
 	if e.digest.Gen == e.gen {
 		if got, ok := integrity.Verify(db, e.digest); !ok {
-			return nil, fmt.Sprintf("disk digest %s, expected %s", got, e.digest)
+			return nil, diskCorrupt, fmt.Sprintf("disk digest %s, expected %s", got, e.digest)
 		}
 	}
-	return db, ""
+	return db, diskVerified, ""
+}
+
+// scrubPaceDelay converts a snapshot size into the pre-read sleep that
+// holds the scrub to pace bytes per second. Computed as whole seconds
+// plus a float remainder so it cannot overflow int64 the way
+// size*time.Second does for snapshots past ~9.2 GB (which yielded a
+// negative duration and disabled pacing for exactly the files that need
+// it most).
+func scrubPaceDelay(size, pace int64) time.Duration {
+	if size <= 0 || pace <= 0 {
+		return 0
+	}
+	secs := size / pace
+	if secs >= int64(math.MaxInt64/time.Second) {
+		return time.Duration(math.MaxInt64)
+	}
+	rem := time.Duration(float64(size%pace) / float64(pace) * float64(time.Second))
+	return time.Duration(secs)*time.Second + rem
 }
 
 // repairLoop watches the quarantine table on a cluster node and
@@ -585,9 +681,12 @@ func (s *Server) antiEntropyOnce(ctx context.Context, c *cluster.Cluster) {
 		if info.Gen == e.gen && info.Digest != e.digest.String() {
 			s.mAEDivergent.Inc()
 			s.mDigestMismatches.Inc()
+			// Not scrub-liftable: the divergent content is locally
+			// self-consistent, so a scrub pass would verify it clean.
+			// Only a verified re-install from the owner lifts this.
 			s.quarantine(e.name, fmt.Sprintf(
 				"anti-entropy: gen %d digest %s diverges from owner %s's %s",
-				e.gen, e.digest, owner.ID, info.Digest))
+				e.gen, e.digest, owner.ID, info.Digest), false)
 		}
 	}
 }

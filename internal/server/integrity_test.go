@@ -7,9 +7,11 @@ package server
 // faultinject sites live in integrity_chaos_test.go.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -447,4 +449,163 @@ func TestAntiEntropyDetectsDivergence(t *testing.T) {
 	}
 	cur, _ := victim.srv.dbs.get(name)
 	t.Fatalf("divergent replica did not converge: digest %v, owner %v", cur.digest, ownerEntry.digest)
+}
+
+// TestRestoreDigestMismatchStaysQuarantined: content restored against a
+// disagreeing digest sidecar is quarantined with the *persisted* digest
+// as the entry's expectation — so a scrub pass re-finds the mismatch and
+// keeps the quarantine, instead of verifying the corrupt content against
+// a digest computed from itself and lifting it.
+func TestRestoreDigestMismatchStaysQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s1, st1, _ := attachedServer(t, dir)
+	registerDB(t, s1, "g", denseDBText(8))
+	e1, _ := s1.dbs.get("g")
+	st1.Close()
+
+	// Simulate at-rest damage the snapshot CRC cannot see: the sidecar
+	// (the authoritative record of what was registered) disagrees with
+	// what the snapshot decodes to.
+	want := integrity.Compute(mustParseDB(t, altDBText()), e1.gen)
+	sidecar := filepath.Join(dir, fmt.Sprintf("db-%016x.digest", e1.gen))
+	if err := os.WriteFile(sidecar, want.Encode(), 0o644); err != nil {
+		t.Fatalf("tampering sidecar: %v", err)
+	}
+
+	s2, st2, n := attachedServer(t, dir)
+	defer st2.Close()
+	if n != 1 {
+		t.Fatalf("restored %d entries, want 1", n)
+	}
+	if !s2.isQuarantined("g") {
+		t.Fatal("restore digest mismatch did not quarantine")
+	}
+	e2, _ := s2.dbs.get("g")
+	if e2.digest != want {
+		t.Fatalf("entry digest %v, want the persisted sidecar digest %v (a digest computed from the restored content self-verifies and defeats the quarantine)", e2.digest, want)
+	}
+
+	// The scrub re-checks memory and disk against the authoritative
+	// digest, finds both failing, and must keep the quarantine.
+	s2.scrubOnce(context.Background())
+	if !s2.isQuarantined("g") {
+		t.Fatal("scrub pass lifted a restore quarantine without verified replacement content")
+	}
+	rec, out := doJSON(t, s2, "POST", "/v1/query", map[string]any{"db": "g", "query": quickQuery})
+	if rec.Code != http.StatusServiceUnavailable || out["code"] != "CORRUPT_LOCAL" {
+		t.Errorf("query on restore-quarantined db: %d code=%v, want 503 CORRUPT_LOCAL", rec.Code, out["code"])
+	}
+
+	// A replacement registration mints a fresh verified generation.
+	registerDB(t, s2, "g", denseDBText(8))
+	if s2.isQuarantined("g") {
+		t.Error("replacement registration did not lift the restore quarantine")
+	}
+}
+
+// TestScrubCannotLiftAntiEntropyQuarantine: an anti-entropy quarantine
+// records divergence from the ring owner; the divergent content is
+// locally self-consistent, so a scrub pass that verifies everything
+// clean proves nothing about it and must not lift it. Only a verified
+// re-install (here: a replacement registration) does.
+func TestScrubCannotLiftAntiEntropyQuarantine(t *testing.T) {
+	s := newTestServer(t, Config{})
+	registerDB(t, s, "g", denseDBText(8))
+	s.quarantine("g", "anti-entropy: gen 1 digest diverges from owner", false)
+
+	s.scrubOnce(context.Background())
+	if !s.isQuarantined("g") {
+		t.Fatal("scrub lifted an anti-entropy quarantine it cannot locally re-verify")
+	}
+	if v := s.mRepairs.Value(); v != 0 {
+		t.Errorf("repairs counter = %d after a no-op scrub, want 0", v)
+	}
+
+	registerDB(t, s, "g", denseDBText(8))
+	if s.isQuarantined("g") {
+		t.Error("verified re-install did not lift the anti-entropy quarantine")
+	}
+}
+
+// TestScrubSkipsDiskCheckUnderLedgerPressure: a disk check the scrub
+// could not run (ledger refused the snapshot-read reservation) is not
+// evidence of rot — no corruption finding, no counter, and crucially no
+// snapshot rewrite on every pass while the pressure lasts. Once the
+// ledger frees up, the next pass runs the real check and heals.
+func TestScrubSkipsDiskCheckUnderLedgerPressure(t *testing.T) {
+	const budget = 1 << 20
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	s := newTestServer(t, Config{MemBudgetBytes: budget})
+	if _, err := s.AttachStore(st); err != nil {
+		t.Fatalf("AttachStore: %v", err)
+	}
+	defer st.Close()
+	registerDB(t, s, "g", denseDBText(8))
+	e, _ := s.dbs.get("g")
+	size, err := st.SnapshotSize(e.gen)
+	if err != nil {
+		t.Fatalf("SnapshotSize: %v", err)
+	}
+
+	// Occupy the ledger so the scrub's reservation for the snapshot read
+	// must fail, then rot the disk copy behind the store's back.
+	res, err := s.broker.Reserve(budget - s.broker.Reserved() - size + 1)
+	if err != nil {
+		t.Fatalf("occupying ledger: %v", err)
+	}
+	flipByte(t, snapPath(dir, e.gen))
+	before, err := os.ReadFile(snapPath(dir, e.gen))
+	if err != nil {
+		t.Fatalf("reading rotted snapshot: %v", err)
+	}
+
+	s.scrubOnce(context.Background())
+	if v := s.mScrubCorrupt.Value(); v != 0 {
+		t.Errorf("inconclusive disk check counted as corruption (counter = %d)", v)
+	}
+	if s.isQuarantined("g") {
+		t.Error("inconclusive disk check under verified memory quarantined the database")
+	}
+	after, err := os.ReadFile(snapPath(dir, e.gen))
+	if err != nil {
+		t.Fatalf("re-reading snapshot: %v", err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("scrub rewrote the snapshot despite an inconclusive disk check")
+	}
+
+	// Pressure off: the real check runs, finds the rot, and self-heals.
+	res.Release()
+	s.scrubOnce(context.Background())
+	if v := s.mScrubCorrupt.Value(); v != 1 {
+		t.Errorf("scrub corrupt counter = %d after pressure lifted, want 1", v)
+	}
+	if v := s.mRepairs.Value(); v != 1 {
+		t.Errorf("repairs counter = %d after pressure lifted, want 1", v)
+	}
+}
+
+// TestScrubPaceDelayOverflowSafe: the pacing sleep must stay exact for
+// ordinary sizes and non-negative for snapshots past ~9.2 GB, where the
+// old size*time.Second computation overflowed int64 and disabled pacing
+// for exactly the files that need it most.
+func TestScrubPaceDelayOverflowSafe(t *testing.T) {
+	if d := scrubPaceDelay(12<<20, 8<<20); d != 1500*time.Millisecond {
+		t.Errorf("12 MiB at 8 MiB/s = %v, want 1.5s", d)
+	}
+	if d := scrubPaceDelay(10<<30, 8<<20); d != 1280*time.Second {
+		t.Errorf("10 GiB at 8 MiB/s = %v, want 1280s (old computation went negative)", d)
+	}
+	if d := scrubPaceDelay(math.MaxInt64, 1); d != time.Duration(math.MaxInt64) {
+		t.Errorf("MaxInt64 bytes at 1 B/s = %v, want the clamped maximum", d)
+	}
+	for _, size := range []int64{0, 1, 10 << 30, 100 << 30, math.MaxInt64} {
+		if d := scrubPaceDelay(size, 8<<20); d < 0 {
+			t.Errorf("scrubPaceDelay(%d, 8Mi) = %v, negative", size, d)
+		}
+	}
+	if d := scrubPaceDelay(100, 0); d != 0 {
+		t.Errorf("zero pace = %v, want 0 (no pacing)", d)
+	}
 }

@@ -283,7 +283,8 @@ type Server struct {
 	mCatchupApplied *metrics.Counter // records repaired via catch-up
 
 	// Integrity subsystem state (see integrity.go in this package).
-	// quarMu guards quarantined: name → human-readable corruption reason.
+	// quarMu guards quarantined: name → quarantine record (reason plus
+	// whether local scrub verification may lift it).
 	// A quarantined database refuses local reads with a typed 503
 	// CORRUPT_LOCAL (cluster nodes fail reads over to healthy holders)
 	// until a repair re-installs verified content. salvageMu/salvage
@@ -291,7 +292,7 @@ type Server struct {
 	// logged once and dropped, for /healthz and expvar. scrubMu/scrubStat
 	// expose the last scrub pass; stopScrub halts the loops at Shutdown.
 	quarMu        sync.Mutex
-	quarantined   map[string]string
+	quarantined   map[string]quarRecord
 	salvageMu     sync.Mutex
 	salvage       []string
 	scrubMu       sync.Mutex
@@ -326,7 +327,7 @@ func New(cfg Config) *Server {
 		started:     time.Now(),
 		dbCache:     make(map[string]*dbCacheCounters),
 		genNames:    make(map[uint64]string),
-		quarantined: make(map[string]string),
+		quarantined: make(map[string]quarRecord),
 		stopScrub:   make(chan struct{}),
 	}
 	// One ledger for everything resident: live evaluations reserve from
@@ -516,13 +517,20 @@ func (s *Server) AttachStore(st *persist.Store) (int, error) {
 		// the content that was registered. A mismatch (or a sidecar from a
 		// different generation) means at-rest damage the CRC could not
 		// see — install the entry but quarantine it rather than serve
-		// potentially wrong answers or refuse to start.
+		// potentially wrong answers or refuse to start. The entry keeps
+		// the *persisted* digest as its expectation, never one computed
+		// from the corrupt content: a self-consistent digest would let the
+		// next scrub pass verify the corruption clean and lift the
+		// quarantine.
 		dg := integrity.Compute(e.DB, e.Gen)
 		s.mDigestsComputed.Inc()
 		if len(e.Digest) > 0 {
-			if want, err := integrity.Decode(e.Digest); err == nil && want.Gen == e.Gen && want != dg {
-				s.mDigestMismatches.Inc()
-				s.quarantine(e.Name, fmt.Sprintf("restore: digest mismatch (disk %s, computed %s)", want, dg))
+			if want, err := integrity.Decode(e.Digest); err == nil && want.Gen == e.Gen {
+				if want != dg {
+					s.mDigestMismatches.Inc()
+					s.quarantine(e.Name, fmt.Sprintf("restore: digest mismatch (disk %s, computed %s)", want, dg), true)
+				}
+				dg = want
 			}
 		}
 		s.dbs.installWithGen(e.Name, e.DB, e.Gen, e.RegisteredAt, cat, dg)
